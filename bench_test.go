@@ -1,0 +1,244 @@
+package duplexity
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates its table/figure through
+// the experiment Suite and reports headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation at a reduced (benchmark-friendly)
+// scale. Set -benchscale to trade fidelity for time; the cmd/duplexity
+// tool runs the same experiments at paper scale.
+
+import (
+	"flag"
+	"strconv"
+	"testing"
+)
+
+var benchScale = flag.Float64("benchscale", 0.1,
+	"experiment fidelity for benchmarks (1.0 = paper scale)")
+
+// Suites are memoized per seed and shared across benchmarks: the Figure 5
+// and Figure 6 benchmarks all consume the same design×workload×load
+// simulation campaign, exactly as the figures share one gem5 campaign in
+// the paper. The first benchmark to touch the campaign pays its cost;
+// later ones measure only their own analysis stage.
+var benchSuites = map[uint64]*Suite{}
+
+func suiteFor(seed uint64) *Suite {
+	if s, ok := benchSuites[seed]; ok {
+		return s
+	}
+	s := NewSuite(SuiteOptions{Scale: *benchScale, Seed: seed})
+	benchSuites[seed] = s
+	return s
+}
+
+// report parses a named cell of a table's aggregate row into a metric.
+func report(b *testing.B, t *Table, metric string, col int) {
+	b.Helper()
+	if len(t.Rows) == 0 {
+		return
+	}
+	last := t.Rows[len(t.Rows)-1]
+	if col >= len(last) {
+		return
+	}
+	if v, err := strconv.ParseFloat(last[col], 64); err == nil {
+		b.ReportMetric(v, metric)
+	}
+}
+
+func BenchmarkFig1a_StallUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		if s.Fig1a() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func BenchmarkFig1b_IdleCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		if s.Fig1b() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func BenchmarkFig1c_SMTScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		t, err := s.Fig1c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = t
+	}
+}
+
+func BenchmarkFig2a_InOvsOoO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		if _, err := s.Fig2a(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2b_ReadyThreads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		if s.Fig2b() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func BenchmarkTable1_Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		if s.Table1() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func BenchmarkTable2_AreaFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		if s.Table2() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func BenchmarkFig5a_CoreUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		t, err := s.Fig5a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, "util/duplexity", len(t.Columns)-1)
+		report(b, t, "util/baseline", 1)
+	}
+}
+
+func BenchmarkFig5b_PerfDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		t, err := s.Fig5b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, "density/duplexity", len(t.Columns)-1)
+	}
+}
+
+func BenchmarkFig5c_Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		t, err := s.Fig5c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, "energy/duplexity", len(t.Columns)-1)
+	}
+}
+
+func BenchmarkFig5d_TailLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		t, err := s.Fig5d()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, "p99/duplexity", len(t.Columns)-1)
+		report(b, t, "p99/smt", 2)
+	}
+}
+
+func BenchmarkFig5e_IsoThroughputTail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		t, err := s.Fig5e()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, "isoP99/duplexity", len(t.Columns)-1)
+	}
+}
+
+func BenchmarkFig5f_BatchSTP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		t, err := s.Fig5f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, "stp/duplexity", len(t.Columns)-1)
+	}
+}
+
+func BenchmarkFig6_NetworkIOPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		t, err := s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, "iops%/duplexity", len(t.Columns)-1)
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationVirtualContexts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		if _, err := s.AblationVirtualContexts(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRestartLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		if _, err := s.AblationRestartLatency(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationL0(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suiteFor(uint64(i + 1))
+		if _, err := s.AblationL0(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDyadCycleRate measures raw simulator speed (cycles/op is the
+// inverse of simulated cycles per wall second).
+func BenchmarkDyadCycleRate(b *testing.B) {
+	spec := McRouter()
+	master, err := spec.NewMaster(0.5, DesignDuplexity.FreqGHz(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := NewDyad(DyadConfig{
+		Design:       DesignDuplexity,
+		MasterStream: master,
+		BatchStreams: BatchSet(32, 5),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	d.Run(uint64(b.N))
+}

@@ -1,0 +1,102 @@
+// Command duplexity regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	duplexity [-scale f] [-seed n] <experiment>...
+//
+// Experiments: fig1a fig1b fig1c fig2a fig2b table1 table2 fig5a fig5b
+// fig5c fig5d fig5e fig5f fig6 workloads slowdowns all motivation
+//
+// -scale 1.0 reproduces the paper-scale campaign (minutes of CPU);
+// smaller values trade fidelity for time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"duplexity"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "simulation fidelity (1.0 = paper scale)")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: duplexity [-scale f] [-seed n] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig1a fig1b fig1c fig2a fig2b table1 table2\n")
+		fmt.Fprintf(os.Stderr, "             fig5a fig5b fig5c fig5d fig5e fig5f fig6\n")
+		fmt.Fprintf(os.Stderr, "             workloads slowdowns motivation all\n")
+		fmt.Fprintf(os.Stderr, "             ablation-contexts ablation-restart ablation-l0\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	s := duplexity.NewSuite(duplexity.SuiteOptions{Scale: *scale, Seed: *seed})
+
+	static := map[string]func() *duplexity.Table{
+		"fig1a":     s.Fig1a,
+		"fig1b":     s.Fig1b,
+		"fig2b":     s.Fig2b,
+		"table1":    s.Table1,
+		"table2":    s.Table2,
+		"workloads": s.Workloads,
+	}
+	dynamic := map[string]func() (*duplexity.Table, error){
+		"fig1c":     s.Fig1c,
+		"fig2a":     s.Fig2a,
+		"fig5a":     s.Fig5a,
+		"fig5b":     s.Fig5b,
+		"fig5c":     s.Fig5c,
+		"fig5d":     s.Fig5d,
+		"fig5e":     s.Fig5e,
+		"fig5f":     s.Fig5f,
+		"fig6":      s.Fig6,
+		"slowdowns": s.ServiceSlowdowns,
+		// Ablation studies of Duplexity's design choices (not paper figures).
+		"ablation-contexts": s.AblationVirtualContexts,
+		"ablation-restart":  s.AblationRestartLatency,
+		"ablation-l0":       s.AblationL0,
+	}
+	order := []string{
+		"table1", "table2", "workloads",
+		"fig1a", "fig1b", "fig1c", "fig2a", "fig2b",
+		"slowdowns", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig6",
+		"ablation-contexts", "ablation-restart", "ablation-l0",
+	}
+	motivation := []string{"fig1a", "fig1b", "fig1c", "fig2a", "fig2b"}
+
+	var names []string
+	for _, arg := range flag.Args() {
+		switch arg {
+		case "all":
+			names = append(names, order...)
+		case "motivation":
+			names = append(names, motivation...)
+		default:
+			names = append(names, arg)
+		}
+	}
+	for _, name := range names {
+		start := time.Now()
+		switch {
+		case static[name] != nil:
+			fmt.Println(static[name]())
+		case dynamic[name] != nil:
+			t, err := dynamic[name]()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "duplexity: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println(t)
+		default:
+			fmt.Fprintf(os.Stderr, "duplexity: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

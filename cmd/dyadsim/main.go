@@ -1,0 +1,103 @@
+// Command dyadsim runs one dyad simulation and prints its statistics:
+// a single design point under a single microservice at one load level,
+// with the Section V PageRank/SSSP filler threads.
+//
+// Usage:
+//
+//	dyadsim [-design name] [-workload name] [-load f] [-cycles n] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"duplexity"
+)
+
+func main() {
+	designName := flag.String("design", "duplexity",
+		"baseline|smt|smt+|morphcore|morphcore+|duplexity-repl|duplexity")
+	wlName := flag.String("workload", "mcrouter", "flann-ha|flann-ll|rsc|mcrouter|wordstem")
+	load := flag.Float64("load", 0.5, "offered load in (0,1)")
+	cycles := flag.Uint64("cycles", 5_000_000, "cycles to simulate")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	design, err := parseDesign(*designName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dyadsim:", err)
+		os.Exit(2)
+	}
+	spec, err := parseWorkload(*wlName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dyadsim:", err)
+		os.Exit(2)
+	}
+
+	master, err := spec.NewMaster(*load, design.FreqGHz(), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dyadsim:", err)
+		os.Exit(2)
+	}
+	g, err := duplexity.NewGraph(4096, 12, 0.5, *seed+3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dyadsim:", err)
+		os.Exit(1)
+	}
+	fillers, pr, ss, err := duplexity.FillerSet(g, 32, *seed+4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dyadsim:", err)
+		os.Exit(1)
+	}
+	d, err := duplexity.NewDyad(duplexity.DyadConfig{
+		Design:       design,
+		MasterStream: master,
+		BatchStreams: fillers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dyadsim:", err)
+		os.Exit(1)
+	}
+	d.Run(*cycles)
+
+	fmt.Printf("design      : %v (%.2f GHz)\n", design, design.FreqGHz())
+	fmt.Printf("workload    : %s @ %.0f%% load (%.0f QPS)\n", spec.Name, *load*100, spec.QPSAtLoad(*load))
+	fmt.Printf("cycles      : %d (%.2f ms)\n", d.Now(), d.Seconds()*1e3)
+	fmt.Printf("utilization : %.3f\n", d.MasterUtilization())
+	fmt.Printf("requests    : %d completed\n", d.MasterOoO.ThreadStats(0).RequestsCompleted)
+	if d.Latencies.Count() > 0 {
+		fmt.Printf("latency     : mean %.1fµs  p99 %.1fµs\n",
+			d.CyclesToUs(d.Latencies.Mean()), d.CyclesToUs(d.Latencies.P99()))
+	}
+	fmt.Printf("batch       : %d instructions (%.1f MIPS)\n",
+		d.BatchRetired(), float64(d.BatchRetired())/d.Seconds()/1e6)
+	fmt.Printf("remote ops  : %.2f M/s\n", float64(d.RemoteOps())/d.Seconds()/1e6)
+	if d.Master != nil {
+		ms := d.Master.Stats
+		fmt.Printf("morphs      : %d stall-triggered, %d idle-triggered\n", ms.Morphs, ms.IdleMorphs)
+		fmt.Printf("mode cycles : master %d, drain %d, filler %d\n",
+			ms.MasterCycles, ms.DrainCycles, ms.FillerCycles)
+	}
+	fmt.Printf("graph jobs  : pagerank %d runs, sssp %d runs\n", pr.Runs, ss.Runs)
+}
+
+func parseDesign(s string) (duplexity.Design, error) {
+	for _, d := range duplexity.AllDesigns {
+		if strings.EqualFold(strings.ReplaceAll(d.String(), "+repl", "-repl"), s) ||
+			strings.EqualFold(d.String(), s) {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown design %q", s)
+}
+
+func parseWorkload(s string) (*duplexity.Workload, error) {
+	for _, w := range duplexity.Microservices() {
+		if strings.EqualFold(w.Name, s) {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q", s)
+}

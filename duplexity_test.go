@@ -1,0 +1,98 @@
+package duplexity
+
+import (
+	"testing"
+
+	"duplexity/internal/workload"
+)
+
+// The public API integration test: build a Duplexity dyad against the
+// McRouter microservice with graph fillers, run it, and check the core
+// invariants end to end.
+func TestPublicAPIDuplexityDyad(t *testing.T) {
+	spec := McRouter()
+	master, err := spec.NewMaster(0.5, DesignDuplexity.FreqGHz(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(2048, 10, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillers, _, _, err := FillerSet(g, 32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDyad(DyadConfig{
+		Design:       DesignDuplexity,
+		MasterStream: master,
+		BatchStreams: fillers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(1_500_000)
+	if d.MasterUtilization() <= 0.05 {
+		t.Fatalf("utilization %v too low", d.MasterUtilization())
+	}
+	if d.Latencies.Count() == 0 {
+		t.Fatal("no request latencies recorded")
+	}
+	if d.BatchRetired() == 0 {
+		t.Fatal("fillers made no progress")
+	}
+}
+
+func TestPublicAPIQueueSim(t *testing.T) {
+	res, err := QueueSim(QueueConfig{
+		ArrivalQPS: 50_000,
+		ServiceUs:  Exponential{MeanVal: 10},
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P99Us <= res.MeanUs {
+		t.Fatal("p99 below mean")
+	}
+}
+
+func TestPublicAPIAnalytic(t *testing.T) {
+	if got := ClosedLoopUtilization(1, 1); got != 0.5 {
+		t.Fatalf("closed-loop utilization = %v", got)
+	}
+	p := IdlePeriods{QPS: 200_000, Load: 0.5}
+	if p.MeanUs() != 10 {
+		t.Fatalf("mean idle = %v", p.MeanUs())
+	}
+	r := ReadyThreads{Contexts: 21, PStall: 0.5}
+	if r.ProbAtLeast(8) < 0.85 {
+		t.Fatal("ready-thread model off")
+	}
+}
+
+func TestPublicAPISuiteAnalyticFigures(t *testing.T) {
+	s := NewSuite(SuiteOptions{Scale: 0.05, Seed: 2})
+	if s.Fig1a() == nil || s.Fig1b() == nil || s.Fig2b() == nil {
+		t.Fatal("analytic figures missing")
+	}
+	if s.Table1() == nil || s.Table2() == nil {
+		t.Fatal("tables missing")
+	}
+	if len(s.Table2().Rows) != 7 {
+		t.Fatal("Table II row count wrong")
+	}
+}
+
+func TestWorkloadSuiteExposed(t *testing.T) {
+	if len(Microservices()) != 5 {
+		t.Fatal("workload suite incomplete")
+	}
+	var _ *workload.Spec = FLANNHA() // aliases stay in sync
+	if len(BatchSet(4, 1)) != 4 {
+		t.Fatal("batch set sizing wrong")
+	}
+	if len(AllDesigns) != 7 {
+		t.Fatal("design list incomplete")
+	}
+}

@@ -1,0 +1,76 @@
+// Chip-level study: place four Duplexity dyads on one shared LLC (the
+// Figure 4(c) server-processor layout), provision their virtual-context
+// pools with the Section IV policy, and report per-dyad and chip-level
+// behaviour including inter-dyad LLC interference.
+//
+// Run with: go run ./examples/chip
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"duplexity"
+)
+
+func main() {
+	const dyads = 4
+
+	// Section IV provisioning: our batch threads stall ~40% of the time
+	// and the master borrows, so ask the policy how many contexts to give
+	// each dyad.
+	contexts, err := duplexity.ProvisionContexts(duplexity.ProvisionDemand{
+		BatchStallFrac: 0.4,
+		MasterBorrows:  true,
+		Target:         0.9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("provisioning policy: %d virtual contexts per dyad\n\n", contexts)
+
+	spec := duplexity.McRouter()
+	var masters []duplexity.Stream
+	var batches [][]duplexity.Stream
+	for i := 0; i < dyads; i++ {
+		m, err := spec.NewMaster(0.5, duplexity.DesignDuplexity.FreqGHz(), uint64(10+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		masters = append(masters, m)
+		g, err := duplexity.NewGraph(2048, 10, 0.5, uint64(30+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fillers, _, _, err := duplexity.FillerSet(g, contexts, uint64(100+i*64))
+		if err != nil {
+			log.Fatal(err)
+		}
+		batches = append(batches, fillers)
+	}
+	chip, err := duplexity.NewChip(duplexity.ChipConfig{
+		Design:  duplexity.DesignDuplexity,
+		Masters: masters,
+		Batches: batches,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip.Run(2_000_000)
+
+	fmt.Printf("chip: %d dyads, %d MB shared LLC, %.2f ms simulated\n\n",
+		dyads, chip.Shared.LLC.Config().SizeBytes>>20, chip.Dyads[0].Seconds()*1e3)
+	for i, d := range chip.Dyads {
+		fmt.Printf("dyad %d: utilization %.2f  requests %4d  p99 %6.1f µs\n",
+			i, d.MasterUtilization(),
+			d.MasterOoO.ThreadStats(0).RequestsCompleted,
+			d.CyclesToUs(d.Latencies.P99()))
+	}
+	lat := chip.Latencies()
+	fmt.Printf("\nchip-wide: utilization %.2f  batch %.0f MIPS  NIC %.2f Mops/s  p99 %.1f µs\n",
+		chip.MeanMasterUtilization(),
+		float64(chip.BatchRetired())/chip.Dyads[0].Seconds()/1e6,
+		chip.RemoteOpsPerSecond()/1e6,
+		chip.Dyads[0].CyclesToUs(lat.P99()))
+	fmt.Printf("shared-LLC evictions (inter-dyad contention): %d\n", chip.Shared.LLC.Stats.Evictions)
+}

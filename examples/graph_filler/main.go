@@ -1,0 +1,90 @@
+// Graph-filler study: run the Section V filler workloads (BSP PageRank
+// and SSSP with 1µs remote-vertex RDMA reads) on a lender-core's HSMT
+// datapath, showing how a virtual-context backlog hides µs-scale stalls,
+// and verify that the distributed execution computes the same answers as
+// serial reference implementations.
+//
+// Run with: go run ./examples/graph_filler
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"duplexity"
+	"duplexity/internal/bpred"
+	"duplexity/internal/cache"
+	"duplexity/internal/cpu"
+	"duplexity/internal/graphwl"
+	"duplexity/internal/hsmt"
+	"duplexity/internal/memsys"
+)
+
+// runLender executes the streams on an 8-slot lender-core backed by an
+// HSMT virtual-context pool and returns aggregate IPC.
+func runLender(streams []duplexity.Stream, cycles uint64) float64 {
+	cm := memsys.NewTableICoreMem("lender")
+	sh := memsys.NewTableIShared("chip", 3.4)
+	ip, dp := memsys.LocalPorts(cm, sh, cache.OwnerFiller)
+	core, err := cpu.NewInOCore(cpu.TableIConfig(), 8, ip, dp, bpred.NewLenderUnit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := hsmt.NewPool()
+	for i, s := range streams {
+		pool.Add(&hsmt.VirtualContext{ID: i, Stream: s})
+	}
+	sched, err := hsmt.NewScheduler(core, pool, hsmt.DefaultSwapLat, hsmt.QuantumCycles(3.4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for now := uint64(0); now < cycles; now++ {
+		sched.StepCore(now)
+	}
+	return core.Stats.IPC()
+}
+
+func main() {
+	g := graphwl.MustGenPowerLaw(4096, 12, 0.5, 21)
+	fmt.Printf("graph: %d vertices, %d edges (power-law, 50%% locality)\n\n", g.N, g.Edges())
+
+	// HSMT's value: 8 physical contexts alone vs backed by 32 contexts.
+	streams8, _, _, err := duplexity.FillerSet(g, 8, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ipc8 := runLender(streams8, 2_000_000)
+	streams32, pr, ss, err := duplexity.FillerSet(g, 32, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ipc32 := runLender(streams32, 2_000_000)
+	fmt.Printf("lender-core IPC, 8 contexts (no backlog) : %.2f\n", ipc8)
+	fmt.Printf("lender-core IPC, 32 virtual contexts     : %.2f  (%.1fx)\n\n", ipc32, ipc32/ipc8)
+	fmt.Printf("completed kernel runs: pagerank=%d sssp=%d\n\n", pr.Runs, ss.Runs)
+
+	// Correctness: drive a fresh PageRank job to 10 supersteps and compare
+	// with the serial reference.
+	job := graphwl.MustNewJob(graphwl.JobConfig{
+		Graph: g, Kernel: graphwl.KernelPageRank, Workers: 8, ItersPerRun: 1000, Seed: 5,
+	})
+	streams := job.Streams()
+	for job.Superstep() < 10 {
+		for _, s := range streams {
+			s.Next(0)
+		}
+	}
+	ref := graphwl.PageRankRef(g, 0.85, 10)
+	maxErr := 0.0
+	for v := 0; v < g.N; v++ {
+		if e := math.Abs(job.Rank()[v] - ref[v]); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("BSP PageRank vs serial reference after 10 supersteps: max |Δ| = %.2e\n", maxErr)
+	if maxErr > 1e-12 {
+		log.Fatal("distributed execution diverged from reference")
+	}
+	fmt.Println("distributed instruction-stream execution is numerically exact ✓")
+}

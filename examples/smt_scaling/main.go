@@ -1,0 +1,41 @@
+// SMT-scaling study (the Figure 1(c) motivation): how many SMT threads
+// does a 4-wide OoO core need before throughput saturates, and how do
+// µs-scale stalls change the answer? Demonstrates the experiment Suite
+// part of the public API.
+//
+// Run with: go run ./examples/smt_scaling [-scale 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"duplexity"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "simulation fidelity (1.0 = paper scale)")
+	flag.Parse()
+
+	s := duplexity.NewSuite(duplexity.SuiteOptions{Scale: *scale, Seed: 1})
+
+	t, err := s.Fig1c()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t)
+
+	t2, err := s.Fig2a()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t2)
+
+	fmt.Println(s.Fig2b())
+
+	fmt.Println("Takeaways (Section II-B): a stall-free mix saturates the 4-wide")
+	fmt.Println("core around 8 threads; workloads with µs-scale stalls need more")
+	fmt.Println("threads, and the InO/OoO issue gap vanishes at ~8 threads —")
+	fmt.Println("which is why the lender-core is an 8-way in-order HSMT.")
+}

@@ -1,0 +1,80 @@
+// Tail-latency study: reproduce the paper's central QoS result for one
+// workload — SMT co-location destroys the microservice's 99th-percentile
+// latency while Duplexity preserves it — using the two-stage methodology
+// of Section V: a cycle-level dyad simulation measures each design's
+// service-time inflation, and a BigHouse-style M/G/1 simulation turns it
+// into tail latency across load levels.
+//
+// Run with: go run ./examples/tail_latency
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"duplexity"
+	"duplexity/internal/workload"
+)
+
+// measureServiceCycles runs a saturated closed loop on one design and
+// returns cycles per completed request.
+func measureServiceCycles(design duplexity.Design, spec *duplexity.Workload) float64 {
+	closed := workload.NewClosedStream(spec.NewGen(11))
+	d, err := duplexity.NewDyad(duplexity.DyadConfig{
+		Design:       design,
+		MasterStream: closed,
+		BatchStreams: duplexity.BatchSet(32, 5),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := d.RunUntilRequests(150, 10_000_000)
+	if done == 0 {
+		log.Fatalf("%v: no requests completed", design)
+	}
+	return float64(d.Now()) / float64(done)
+}
+
+func main() {
+	spec := duplexity.FLANNLL()
+	designs := []duplexity.Design{
+		duplexity.DesignBaseline, duplexity.DesignSMT, duplexity.DesignDuplexity,
+	}
+
+	fmt.Printf("workload: %s (nominal service %.1fµs, capacity %.0f QPS)\n\n",
+		spec.Name, spec.NominalServiceUs, spec.CapacityQPS())
+
+	// Stage 1: measure per-design service-time slowdowns.
+	base := measureServiceCycles(duplexity.DesignBaseline, spec) / duplexity.DesignBaseline.FreqGHz()
+	slowdown := map[duplexity.Design]float64{}
+	for _, d := range designs {
+		svc := measureServiceCycles(d, spec) / d.FreqGHz()
+		slowdown[d] = svc / base
+		fmt.Printf("%-11s measured service slowdown: %.2fx\n", d.String()+":", slowdown[d])
+	}
+	fmt.Println()
+
+	// Stage 2: request-granularity M/G/1 tails at three load levels.
+	fmt.Printf("%-11s", "p99 (µs)")
+	for _, load := range []float64{0.3, 0.5, 0.7} {
+		fmt.Printf("  load=%.0f%%", load*100)
+	}
+	fmt.Println()
+	for _, d := range designs {
+		fmt.Printf("%-11s", d)
+		for _, load := range []float64{0.3, 0.5, 0.7} {
+			res, err := duplexity.QueueSim(duplexity.QueueConfig{
+				ArrivalQPS:    spec.QPSAtLoad(load),
+				ServiceUs:     duplexity.Lognormal{MeanVal: spec.NominalServiceUs * slowdown[d], CV: 1},
+				Seed:          3,
+				AllowUnstable: true,
+				MaxRequests:   300_000,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %8.1f", res.P99Us)
+		}
+		fmt.Println()
+	}
+}

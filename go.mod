@@ -1,0 +1,3 @@
+module duplexity
+
+go 1.22

@@ -1,0 +1,125 @@
+// Package analytic implements the paper's closed-form motivation models:
+// the closed-loop compute/stall utilization surface (Figure 1a), the
+// M/G/1 idle-period distribution (Figure 1b), and the binomial
+// ready-thread model for sizing virtual-context pools (Figure 2b).
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"duplexity/internal/stats"
+)
+
+// ClosedLoopUtilization models a single-job closed-loop system that
+// alternates between computeUs of execution and stallUs of stalling
+// (Section II-A): utilization = compute / (compute + stall).
+func ClosedLoopUtilization(computeUs, stallUs float64) float64 {
+	if computeUs < 0 || stallUs < 0 {
+		return math.NaN()
+	}
+	if computeUs == 0 && stallUs == 0 {
+		return 1
+	}
+	return computeUs / (computeUs + stallUs)
+}
+
+// UtilizationSurface evaluates Figure 1(a): utilization over a grid of
+// stall and compute durations (µs).
+func UtilizationSurface(stallsUs, computesUs []float64) [][]float64 {
+	out := make([][]float64, len(stallsUs))
+	for i, s := range stallsUs {
+		out[i] = make([]float64, len(computesUs))
+		for j, c := range computesUs {
+			out[i][j] = ClosedLoopUtilization(c, s)
+		}
+	}
+	return out
+}
+
+// IdlePeriods models the idle-period distribution of an M/G/1 queue.
+// By the memoryless property of Poisson arrivals, idle periods are
+// exponential with mean 1/λ regardless of the service distribution
+// (Section II-A): an idle period ends when the next arrival occurs.
+type IdlePeriods struct {
+	// QPS is the service rate µ (queries the server can serve per
+	// second at full utilization).
+	QPS float64
+	// Load is the offered load ρ in (0, 1).
+	Load float64
+}
+
+// Validate reports parameter errors.
+func (p IdlePeriods) Validate() error {
+	if p.QPS <= 0 {
+		return fmt.Errorf("analytic: QPS must be positive, got %v", p.QPS)
+	}
+	if p.Load <= 0 || p.Load >= 1 {
+		return fmt.Errorf("analytic: load must be in (0,1), got %v", p.Load)
+	}
+	return nil
+}
+
+// MeanUs returns the mean idle-period duration in µs: 1/λ = 1/(ρµ).
+func (p IdlePeriods) MeanUs() float64 {
+	lambda := p.QPS * p.Load // arrivals per second
+	return 1e6 / lambda
+}
+
+// CDF returns P(idle period <= xUs).
+func (p IdlePeriods) CDF(xUs float64) float64 {
+	if xUs <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-xUs/p.MeanUs())
+}
+
+// ReadyThreads is the Section III-A model for sizing virtual contexts:
+// with n virtual contexts each independently stalled with probability
+// pStall, the number of ready threads is Binomial(n, 1-pStall).
+type ReadyThreads struct {
+	// Contexts is the number of virtual contexts n.
+	Contexts int
+	// PStall is the probability a thread is stalled.
+	PStall float64
+}
+
+// ProbAtLeast returns P(ready >= k) — Figure 2(b) plots k = 8.
+func (r ReadyThreads) ProbAtLeast(k int) float64 {
+	return stats.BinomialTail(r.Contexts, 1-r.PStall, k)
+}
+
+// MinContextsFor returns the smallest n such that P(ready >= k) >= target,
+// searching up to maxN (returns maxN+1 if unsatisfiable within the range).
+func MinContextsFor(k int, pStall, target float64, maxN int) int {
+	for n := k; n <= maxN; n++ {
+		if (ReadyThreads{Contexts: n, PStall: pStall}).ProbAtLeast(k) >= target {
+			return n
+		}
+	}
+	return maxN + 1
+}
+
+// SimulateIdlePeriods cross-checks the analytic idle-period CDF with a
+// discrete-event M/G/1 simulation, returning the empirical idle-period
+// durations (µs). The service distribution only affects busy periods, not
+// idle-period durations — the memoryless property the paper leans on.
+func SimulateIdlePeriods(p IdlePeriods, service stats.Distribution, n int, seed uint64) []float64 {
+	rng := stats.NewRNG(seed)
+	lambda := p.QPS * p.Load // per second
+	meanGapUs := 1e6 / lambda
+	var (
+		clock   float64 // µs
+		freeAt  float64 // µs when server becomes free
+		periods []float64
+	)
+	for len(periods) < n {
+		clock += meanGapUs * rng.ExpFloat64() // next arrival
+		if clock > freeAt {
+			periods = append(periods, clock-freeAt)
+			freeAt = clock
+		}
+		freeAt += service.Sample(rng) // serve this request (FCFS)
+	}
+	return periods
+}

@@ -1,0 +1,164 @@
+package analytic
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"duplexity/internal/stats"
+)
+
+func TestClosedLoopUtilization(t *testing.T) {
+	cases := []struct{ c, s, want float64 }{
+		{10, 0, 1},
+		{0, 10, 0},
+		{5, 5, 0.5},
+		{9, 1, 0.9},
+		{1, 9, 0.1},
+	}
+	for _, c := range cases {
+		if got := ClosedLoopUtilization(c.c, c.s); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("U(%v,%v) = %v, want %v", c.c, c.s, got, c.want)
+		}
+	}
+	if !math.IsNaN(ClosedLoopUtilization(-1, 1)) {
+		t.Error("negative compute accepted")
+	}
+	if ClosedLoopUtilization(0, 0) != 1 {
+		t.Error("degenerate case should be fully utilized")
+	}
+}
+
+func TestUtilizationSurfaceShape(t *testing.T) {
+	stalls := []float64{0.1, 1, 10, 100}
+	computes := []float64{0.1, 1, 10, 100}
+	s := UtilizationSurface(stalls, computes)
+	// Monotone: longer stalls reduce utilization; longer compute raises it.
+	for i := range stalls {
+		for j := range computes {
+			if i > 0 && s[i][j] > s[i-1][j] {
+				t.Fatalf("utilization increased with stall length at (%d,%d)", i, j)
+			}
+			if j > 0 && s[i][j] < s[i][j-1] {
+				t.Fatalf("utilization decreased with compute length at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Paper's claims: DRAM-scale stalls (0.1µs) every 10µs ≈ full
+	// utilization; stall == compute gives exactly 50%.
+	if s[0][2] < 0.98 {
+		t.Fatalf("short-stall utilization = %v, want ~1", s[0][2])
+	}
+	if s[1][1] != 0.5 {
+		t.Fatalf("balanced utilization = %v, want 0.5", s[1][1])
+	}
+}
+
+func TestIdlePeriodsValidate(t *testing.T) {
+	if (IdlePeriods{QPS: 0, Load: 0.5}).Validate() == nil {
+		t.Error("zero QPS accepted")
+	}
+	if (IdlePeriods{QPS: 1000, Load: 0}).Validate() == nil {
+		t.Error("zero load accepted")
+	}
+	if (IdlePeriods{QPS: 1000, Load: 1}).Validate() == nil {
+		t.Error("unit load accepted")
+	}
+	if err := (IdlePeriods{QPS: 200_000, Load: 0.5}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's Figure 1(b) anchor points: a 200K QPS service at 50% load
+// has 10µs mean idle periods; 1M QPS at 50% load has 2µs.
+func TestIdlePeriodPaperNumbers(t *testing.T) {
+	p1 := IdlePeriods{QPS: 200_000, Load: 0.5}
+	if got := p1.MeanUs(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("200K @ 50%%: mean idle = %v µs, want 10", got)
+	}
+	p2 := IdlePeriods{QPS: 1_000_000, Load: 0.5}
+	if got := p2.MeanUs(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("1M @ 50%%: mean idle = %v µs, want 2", got)
+	}
+}
+
+func TestIdleCDFProperties(t *testing.T) {
+	p := IdlePeriods{QPS: 200_000, Load: 0.3}
+	if p.CDF(0) != 0 || p.CDF(-5) != 0 {
+		t.Fatal("CDF not zero at origin")
+	}
+	prev := 0.0
+	for x := 0.5; x < 200; x *= 2 {
+		v := p.CDF(x)
+		if v < prev || v > 1 {
+			t.Fatalf("CDF not monotone in [0,1] at %v", x)
+		}
+		prev = v
+	}
+	// CDF(mean) = 1 - 1/e.
+	if got := p.CDF(p.MeanUs()); math.Abs(got-(1-math.Exp(-1))) > 1e-12 {
+		t.Fatalf("CDF(mean) = %v", got)
+	}
+}
+
+// Idle periods are exponential regardless of the service distribution —
+// verify against discrete-event simulation with a heavy-tailed service.
+func TestIdlePeriodsMemoryless(t *testing.T) {
+	p := IdlePeriods{QPS: 200_000, Load: 0.5}
+	meanSvcUs := 1e6 / p.QPS
+	for _, svc := range []stats.Distribution{
+		stats.Deterministic{Value: meanSvcUs},
+		stats.Exponential{MeanVal: meanSvcUs},
+		stats.Lognormal{MeanVal: meanSvcUs, CV: 2},
+	} {
+		periods := SimulateIdlePeriods(p, svc, 40000, 11)
+		sort.Float64s(periods)
+		var sum float64
+		for _, v := range periods {
+			sum += v
+		}
+		mean := sum / float64(len(periods))
+		if math.Abs(mean-p.MeanUs())/p.MeanUs() > 0.05 {
+			t.Fatalf("%s: empirical mean idle %v, analytic %v", svc, mean, p.MeanUs())
+		}
+		// Compare empirical and analytic CDF at a few points.
+		for _, q := range []float64{0.25, 0.5, 0.9} {
+			x := stats.Quantile(periods, q)
+			if math.Abs(p.CDF(x)-q) > 0.03 {
+				t.Fatalf("%s: CDF mismatch at q=%v: analytic %v", svc, q, p.CDF(x))
+			}
+		}
+	}
+}
+
+func TestReadyThreadsPaperNumbers(t *testing.T) {
+	// 10% stall: 11 virtual contexts keep 8 physical contexts ~90% fed.
+	r := ReadyThreads{Contexts: 11, PStall: 0.1}
+	if got := r.ProbAtLeast(8); got < 0.88 {
+		t.Fatalf("P(>=8 | n=11, p=0.1) = %v", got)
+	}
+	// 50% stall: 21 virtual contexts needed.
+	if got := MinContextsFor(8, 0.5, 0.9, 64); got < 19 || got > 23 {
+		t.Fatalf("min contexts for 50%% stall = %v, want ~21", got)
+	}
+	if got := MinContextsFor(8, 0.1, 0.9, 64); got < 10 || got > 12 {
+		t.Fatalf("min contexts for 10%% stall = %v, want ~11", got)
+	}
+}
+
+func TestMinContextsUnsatisfiable(t *testing.T) {
+	if got := MinContextsFor(8, 0.99, 0.9, 32); got != 33 {
+		t.Fatalf("unsatisfiable search returned %v, want maxN+1", got)
+	}
+}
+
+func TestReadyThreadsMonotone(t *testing.T) {
+	prev := 0.0
+	for n := 8; n <= 40; n++ {
+		v := (ReadyThreads{Contexts: n, PStall: 0.5}).ProbAtLeast(8)
+		if v < prev {
+			t.Fatalf("P(>=8) not monotone in n at %d", n)
+		}
+		prev = v
+	}
+}

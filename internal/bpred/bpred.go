@@ -1,0 +1,188 @@
+// Package bpred implements the branch prediction structures from Table I
+// of the paper: a tournament predictor (16K-entry bimodal, 16K-entry
+// gshare, 16K-entry selector), a reduced 8K-entry gshare for lender-cores
+// and the master-core's filler mode, a 2K-entry BTB, and a 32-entry
+// return-address stack.
+package bpred
+
+import "fmt"
+
+// DirectionPredictor predicts conditional branch outcomes.
+type DirectionPredictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc uint64, taken bool)
+	// Reset clears all learned state (used to model a cold predictor).
+	Reset()
+	// StorageBits returns the predictor's state size for the area model.
+	StorageBits() int
+}
+
+// counter2 is a 2-bit saturating counter; >=2 predicts taken.
+type counter2 uint8
+
+func (c counter2) taken() bool { return c >= 2 }
+
+func (c counter2) update(taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []counter2
+	mask  uint64
+}
+
+// NewBimodal builds a bimodal predictor with entries slots (power of two).
+func NewBimodal(entries int) *Bimodal {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("bpred: bimodal entries %d not a positive power of two", entries))
+	}
+	b := &Bimodal{table: make([]counter2, entries), mask: uint64(entries - 1)}
+	b.Reset()
+	return b
+}
+
+func (b *Bimodal) idx(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict implements DirectionPredictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.idx(pc)].taken() }
+
+// Update implements DirectionPredictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.idx(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Reset implements DirectionPredictor, weakly-not-taken initial state.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 1
+	}
+}
+
+// StorageBits implements DirectionPredictor.
+func (b *Bimodal) StorageBits() int { return 2 * len(b.table) }
+
+// GShare XORs global branch history with the PC to index its counters.
+type GShare struct {
+	table   []counter2
+	mask    uint64
+	history uint64
+	histLen uint
+}
+
+// NewGShare builds a gshare predictor with entries slots (power of two);
+// history length is log2(entries).
+func NewGShare(entries int) *GShare {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("bpred: gshare entries %d not a positive power of two", entries))
+	}
+	hl := uint(0)
+	for 1<<hl < entries {
+		hl++
+	}
+	g := &GShare{table: make([]counter2, entries), mask: uint64(entries - 1), histLen: hl}
+	g.Reset()
+	return g
+}
+
+func (g *GShare) idx(pc uint64) uint64 { return ((pc >> 2) ^ g.history) & g.mask }
+
+// Predict implements DirectionPredictor.
+func (g *GShare) Predict(pc uint64) bool { return g.table[g.idx(pc)].taken() }
+
+// Update implements DirectionPredictor and shifts the outcome into the
+// global history register.
+func (g *GShare) Update(pc uint64, taken bool) {
+	i := g.idx(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+	g.history &= (1 << g.histLen) - 1
+}
+
+// Reset implements DirectionPredictor.
+func (g *GShare) Reset() {
+	for i := range g.table {
+		g.table[i] = 1
+	}
+	g.history = 0
+}
+
+// StorageBits implements DirectionPredictor.
+func (g *GShare) StorageBits() int { return 2*len(g.table) + int(g.histLen) }
+
+// Tournament combines a bimodal and a gshare component with a selector
+// table of 2-bit meta counters (>=2 selects gshare), per Table I.
+type Tournament struct {
+	bimodal  *Bimodal
+	gshare   *GShare
+	selector []counter2
+	selMask  uint64
+}
+
+// NewTournament builds the Table I configuration when called as
+// NewTournament(16384, 16384, 16384).
+func NewTournament(bimodalEntries, gshareEntries, selectorEntries int) *Tournament {
+	if selectorEntries <= 0 || selectorEntries&(selectorEntries-1) != 0 {
+		panic(fmt.Sprintf("bpred: selector entries %d not a positive power of two", selectorEntries))
+	}
+	t := &Tournament{
+		bimodal:  NewBimodal(bimodalEntries),
+		gshare:   NewGShare(gshareEntries),
+		selector: make([]counter2, selectorEntries),
+		selMask:  uint64(selectorEntries - 1),
+	}
+	t.Reset()
+	return t
+}
+
+func (t *Tournament) selIdx(pc uint64) uint64 { return (pc >> 2) & t.selMask }
+
+// Predict implements DirectionPredictor.
+func (t *Tournament) Predict(pc uint64) bool {
+	if t.selector[t.selIdx(pc)].taken() {
+		return t.gshare.Predict(pc)
+	}
+	return t.bimodal.Predict(pc)
+}
+
+// Update implements DirectionPredictor: both components train; the
+// selector moves toward whichever component was correct.
+func (t *Tournament) Update(pc uint64, taken bool) {
+	bp := t.bimodal.Predict(pc)
+	gp := t.gshare.Predict(pc)
+	if bp != gp {
+		i := t.selIdx(pc)
+		t.selector[i] = t.selector[i].update(gp == taken)
+	}
+	t.bimodal.Update(pc, taken)
+	t.gshare.Update(pc, taken)
+}
+
+// Reset implements DirectionPredictor.
+func (t *Tournament) Reset() {
+	t.bimodal.Reset()
+	t.gshare.Reset()
+	for i := range t.selector {
+		t.selector[i] = 1 // weakly prefer bimodal until gshare proves itself
+	}
+}
+
+// StorageBits implements DirectionPredictor.
+func (t *Tournament) StorageBits() int {
+	return t.bimodal.StorageBits() + t.gshare.StorageBits() + 2*len(t.selector)
+}

@@ -1,0 +1,303 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"duplexity/internal/isa"
+	"duplexity/internal/stats"
+)
+
+func TestCounter2Saturation(t *testing.T) {
+	c := counter2(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Fatalf("counter did not saturate at 3: %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Fatalf("counter did not saturate at 0: %d", c)
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(1024)
+	pc := uint64(0x400100)
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Fatal("bimodal failed to learn always-taken branch")
+	}
+	for i := 0; i < 10; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Fatal("bimodal failed to unlearn")
+	}
+}
+
+func TestBimodalPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two size accepted")
+		}
+	}()
+	NewBimodal(1000)
+}
+
+func TestGShareLearnsPattern(t *testing.T) {
+	// A strictly alternating branch is bimodal-hostile but trivially
+	// learnable from 1-bit history; gshare must converge on it.
+	g := NewGShare(4096)
+	pc := uint64(0x400200)
+	taken := false
+	// Train.
+	for i := 0; i < 2000; i++ {
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	// Measure.
+	correct := 0
+	for i := 0; i < 1000; i++ {
+		if g.Predict(pc) == taken {
+			correct++
+		}
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	if correct < 950 {
+		t.Fatalf("gshare correct on %d/1000 of alternating pattern", correct)
+	}
+}
+
+func TestTournamentBeatsComponentsOnMixedWorkload(t *testing.T) {
+	// Two branch populations: strongly biased (bimodal-friendly) and
+	// pattern-based (gshare-friendly). The tournament should approach the
+	// better component on each.
+	tour := NewTournament(4096, 4096, 4096)
+	r := stats.NewRNG(42)
+	biasedPC := uint64(0x1000)
+	patternPC := uint64(0x2000)
+	step := 0
+	next := func() (pc uint64, taken bool) {
+		step++
+		if step%2 == 0 {
+			return biasedPC, r.Bernoulli(0.95)
+		}
+		return patternPC, step%4 < 2
+	}
+	// Train.
+	for i := 0; i < 20000; i++ {
+		pc, taken := next()
+		tour.Update(pc, taken)
+	}
+	correct, total := 0, 0
+	for i := 0; i < 10000; i++ {
+		pc, taken := next()
+		if tour.Predict(pc) == taken {
+			correct++
+		}
+		total++
+		tour.Update(pc, taken)
+	}
+	rate := float64(correct) / float64(total)
+	if rate < 0.9 {
+		t.Fatalf("tournament accuracy %v on mixed workload, want >=0.9", rate)
+	}
+}
+
+func TestTournamentReset(t *testing.T) {
+	tour := NewTournament(1024, 1024, 1024)
+	pc := uint64(0x3000)
+	for i := 0; i < 100; i++ {
+		tour.Update(pc, true)
+	}
+	if !tour.Predict(pc) {
+		t.Fatal("did not learn")
+	}
+	tour.Reset()
+	if tour.Predict(pc) {
+		t.Fatal("reset did not clear learned taken bias")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	// Table I: tournament = 16K bimodal + 16K gshare + 16K selector,
+	// all 2-bit => ~96 Kbit + history.
+	tour := NewTournament(16384, 16384, 16384)
+	bits := tour.StorageBits()
+	if bits < 96*1024 || bits > 97*1024 {
+		t.Fatalf("tournament storage = %d bits, want ~98304", bits)
+	}
+	g := NewGShare(8192)
+	if g.StorageBits() < 2*8192 {
+		t.Fatal("gshare storage too small")
+	}
+	if NewBTB(2048).StorageBits() != 2048*97 {
+		t.Fatal("BTB storage formula changed unexpectedly")
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(256)
+	if _, hit := b.Lookup(0x100); hit {
+		t.Fatal("empty BTB hit")
+	}
+	b.Update(0x100, 0x900)
+	if tgt, hit := b.Lookup(0x100); !hit || tgt != 0x900 {
+		t.Fatalf("BTB lookup = %#x,%v", tgt, hit)
+	}
+	// Conflicting PC evicts (direct-mapped): same index, different tag.
+	conflict := uint64(0x100 + 256*4)
+	b.Update(conflict, 0xA00)
+	if _, hit := b.Lookup(0x100); hit {
+		t.Fatal("direct-mapped conflict did not evict")
+	}
+	b.Reset()
+	if _, hit := b.Lookup(conflict); hit {
+		t.Fatal("reset did not invalidate")
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("empty RAS popped")
+	}
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	for want := uint64(3); want >= 1; want-- {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("drained RAS popped")
+	}
+}
+
+func TestRASOverflowWrapsAround(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites oldest
+	if v, ok := r.Pop(); !ok || v != 3 {
+		t.Fatalf("pop = %d,%v", v, ok)
+	}
+	if v, ok := r.Pop(); !ok || v != 2 {
+		t.Fatalf("pop = %d,%v", v, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("depth tracking broken after wrap")
+	}
+}
+
+// Property: RAS behaves as a bounded LIFO for sequences shorter than its
+// capacity.
+func TestRASProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) > 32 {
+			vals = vals[:32]
+		}
+		r := NewRAS(32)
+		for _, v := range vals {
+			r.Push(v)
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			got, ok := r.Pop()
+			if !ok || got != vals[i] {
+				return false
+			}
+		}
+		_, ok := r.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitNonBranchIgnored(t *testing.T) {
+	u := NewTableIUnit()
+	if u.PredictAndTrain(isa.Instr{Op: isa.OpLoad, PC: 4}) {
+		t.Fatal("non-branch reported as mispredict")
+	}
+	if u.Stats.Branches != 0 {
+		t.Fatal("non-branch counted as branch")
+	}
+}
+
+func TestUnitLearnsLoopBranch(t *testing.T) {
+	u := NewTableIUnit()
+	in := isa.Instr{Op: isa.OpBranch, PC: 0x400000, Taken: true, Target: 0x400040}
+	// First encounter: BTB cold, counted as mispredict once trained taken.
+	for i := 0; i < 50; i++ {
+		u.PredictAndTrain(in)
+	}
+	before := u.Stats.Mispredicts
+	for i := 0; i < 100; i++ {
+		if u.PredictAndTrain(in) {
+			t.Fatalf("trained loop branch mispredicted at iter %d", i)
+		}
+	}
+	if u.Stats.Mispredicts != before {
+		t.Fatal("mispredict count grew on trained branch")
+	}
+}
+
+func TestUnitTargetMispredict(t *testing.T) {
+	u := NewTableIUnit()
+	a := isa.Instr{Op: isa.OpBranch, PC: 0x100, Taken: true, Target: 0x200}
+	for i := 0; i < 10; i++ {
+		u.PredictAndTrain(a)
+	}
+	// Same PC, different target: direction correct but target wrong.
+	b := a
+	b.Target = 0x300
+	if !u.PredictAndTrain(b) {
+		t.Fatal("changed target not flagged as mispredict")
+	}
+}
+
+func TestUnitCallReturn(t *testing.T) {
+	u := NewTableIUnit()
+	call := isa.Instr{Op: isa.OpBranch, PC: 0x100, Taken: true, Target: 0x800, IsCall: true}
+	ret := isa.Instr{Op: isa.OpBranch, PC: 0x880, Taken: true, Target: 0x104, IsReturn: true}
+	// Warm the BTB for the call.
+	u.PredictAndTrain(call)
+	u.PredictAndTrain(ret) // RAS has 0x104 pushed: correct return target
+	mis := u.Stats.Mispredicts
+	u.PredictAndTrain(call)
+	if u.PredictAndTrain(ret) {
+		t.Fatal("RAS-predicted return mispredicted")
+	}
+	_ = mis
+}
+
+func TestUnitResetClearsStats(t *testing.T) {
+	u := NewLenderUnit()
+	u.PredictAndTrain(isa.Instr{Op: isa.OpBranch, PC: 0x10, Taken: true, Target: 0x40})
+	u.Reset()
+	if u.Stats.Branches != 0 || u.Stats.Mispredicts != 0 {
+		t.Fatal("reset kept stats")
+	}
+}
+
+func TestMispredictRate(t *testing.T) {
+	var s Stats
+	if s.MispredictRate() != 0 {
+		t.Fatal("empty stats rate not 0")
+	}
+	s.Branches = 10
+	s.Mispredicts = 3
+	if s.MispredictRate() != 0.3 {
+		t.Fatalf("rate = %v", s.MispredictRate())
+	}
+}

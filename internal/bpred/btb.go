@@ -1,0 +1,198 @@
+package bpred
+
+import (
+	"fmt"
+
+	"duplexity/internal/isa"
+)
+
+// BTB is a direct-mapped branch target buffer with tags.
+type BTB struct {
+	tags    []uint64
+	targets []uint64
+	valid   []bool
+	mask    uint64
+}
+
+// NewBTB builds a BTB with entries slots (power of two); Table I uses 2048.
+func NewBTB(entries int) *BTB {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("bpred: BTB entries %d not a positive power of two", entries))
+	}
+	return &BTB{
+		tags:    make([]uint64, entries),
+		targets: make([]uint64, entries),
+		valid:   make([]bool, entries),
+		mask:    uint64(entries - 1),
+	}
+}
+
+func (b *BTB) idx(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Lookup returns the predicted target for pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	i := b.idx(pc)
+	if b.valid[i] && b.tags[i] == pc {
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target for pc.
+func (b *BTB) Update(pc, target uint64) {
+	i := b.idx(pc)
+	b.tags[i] = pc
+	b.targets[i] = target
+	b.valid[i] = true
+}
+
+// Reset invalidates all entries.
+func (b *BTB) Reset() {
+	for i := range b.valid {
+		b.valid[i] = false
+	}
+}
+
+// StorageBits returns BTB state size for the area model (tag ~ 48 bits,
+// target ~ 48 bits, valid 1 bit per entry).
+func (b *BTB) StorageBits() int { return len(b.tags) * (48 + 48 + 1) }
+
+// RAS is a circular return-address stack.
+type RAS struct {
+	stack []uint64
+	top   int
+	depth int
+}
+
+// NewRAS builds a return-address stack; Table I uses 32 entries.
+func NewRAS(entries int) *RAS {
+	if entries <= 0 {
+		panic("bpred: RAS needs at least one entry")
+	}
+	return &RAS{stack: make([]uint64, entries)}
+}
+
+// Push records a return address on a call.
+func (r *RAS) Push(addr uint64) {
+	r.top = (r.top + 1) % len(r.stack)
+	r.stack[r.top] = addr
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the return target. ok=false if the stack is empty.
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	addr = r.stack[r.top]
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return addr, true
+}
+
+// Reset empties the stack.
+func (r *RAS) Reset() { r.top, r.depth = 0, 0 }
+
+// StorageBits returns RAS state size for the area model.
+func (r *RAS) StorageBits() int { return len(r.stack) * 48 }
+
+// Stats counts front-end prediction events.
+type Stats struct {
+	Branches    uint64
+	Mispredicts uint64
+	BTBMisses   uint64
+}
+
+// MispredictRate returns mispredictions per branch (0 if no branches).
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// Unit bundles a direction predictor, BTB, and RAS into a front-end
+// prediction unit and provides the check-against-actual-outcome protocol
+// the pipeline uses.
+type Unit struct {
+	Dir   DirectionPredictor
+	BTB   *BTB
+	Ras   *RAS
+	Stats Stats
+}
+
+// NewTableIUnit builds the Baseline/SMT/master-core front end from
+// Table I: tournament 16K/16K/16K, 2K BTB, 32-entry RAS.
+func NewTableIUnit() *Unit {
+	return &Unit{Dir: NewTournament(16384, 16384, 16384), BTB: NewBTB(2048), Ras: NewRAS(32)}
+}
+
+// NewLenderUnit builds the lender-core / filler-mode front end from
+// Table I: gshare 8K, 2K BTB, 32-entry RAS.
+func NewLenderUnit() *Unit {
+	return &Unit{Dir: NewGShare(8192), BTB: NewBTB(2048), Ras: NewRAS(32)}
+}
+
+// PredictAndTrain predicts the branch in, trains on the actual outcome,
+// and reports whether the front end mispredicted (direction or target).
+// Non-branch instructions return false without touching any state.
+func (u *Unit) PredictAndTrain(in isa.Instr) bool {
+	if in.Op != isa.OpBranch {
+		return false
+	}
+	u.Stats.Branches++
+
+	var predTaken bool
+	var predTarget uint64
+	var haveTarget bool
+
+	switch {
+	case in.IsReturn:
+		predTaken = true
+		predTarget, haveTarget = u.Ras.Pop()
+	default:
+		predTaken = u.Dir.Predict(in.PC)
+		predTarget, haveTarget = u.BTB.Lookup(in.PC)
+		if in.IsCall {
+			predTaken = true
+			u.Ras.Push(in.PC + 4)
+		}
+	}
+
+	mispredict := predTaken != in.Taken
+	if in.Taken && !mispredict {
+		if !haveTarget {
+			u.Stats.BTBMisses++
+			mispredict = true
+		} else if predTarget != in.Target {
+			mispredict = true
+		}
+	}
+
+	// Train direction and BTB with the actual outcome.
+	if !in.IsReturn {
+		u.Dir.Update(in.PC, in.Taken)
+	}
+	if in.Taken {
+		u.BTB.Update(in.PC, in.Target)
+	}
+	if mispredict {
+		u.Stats.Mispredicts++
+	}
+	return mispredict
+}
+
+// Reset clears all predictor state and statistics.
+func (u *Unit) Reset() {
+	u.Dir.Reset()
+	u.BTB.Reset()
+	u.Ras.Reset()
+	u.Stats = Stats{}
+}
+
+// StorageBits totals the unit's state size for the area model.
+func (u *Unit) StorageBits() int {
+	return u.Dir.StorageBits() + u.BTB.StorageBits() + u.Ras.StorageBits()
+}

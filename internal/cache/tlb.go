@@ -1,0 +1,97 @@
+package cache
+
+import "fmt"
+
+// PageBytes is the simulated page size (4KB x86 pages).
+const PageBytes = 4096
+
+// TLB is a fully-associative, LRU translation lookaside buffer.
+// Table I provisions 64-entry I/D TLBs; Duplexity replicates a full-size
+// TLB for the filler-thread mode so fillers never disturb master-thread
+// translations.
+type TLB struct {
+	entries []tlbEntry
+	clock   uint64
+	// lastVPN/lastIdx form a one-entry micro-TLB: consecutive accesses to
+	// the same page skip the associative scan. The fast path refreshes
+	// the entry's LRU stamp, so hit/miss behaviour is unchanged.
+	lastVPN  uint64
+	lastIdx  int
+	haveLast bool
+
+	Accesses uint64
+	Misses   uint64
+}
+
+type tlbEntry struct {
+	vpn   uint64
+	valid bool
+	lru   uint64
+}
+
+// NewTLB builds a TLB with n entries.
+func NewTLB(n int) *TLB {
+	if n <= 0 {
+		panic(fmt.Sprintf("cache: TLB size %d must be positive", n))
+	}
+	return &TLB{entries: make([]tlbEntry, n)}
+}
+
+// Lookup translates addr, filling on miss, and reports whether it hit.
+func (t *TLB) Lookup(addr uint64) bool {
+	vpn := addr / PageBytes
+	t.clock++
+	t.Accesses++
+	if t.haveLast && vpn == t.lastVPN {
+		t.entries[t.lastIdx].lru = t.clock
+		return true
+	}
+	t.lastVPN = vpn
+	t.haveLast = true
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn {
+			e.lru = t.clock
+			t.lastIdx = i
+			return true
+		}
+	}
+	// Miss: find the LRU victim (or an invalid slot).
+	victim := 0
+	for i := 1; i < len(t.entries); i++ {
+		if !t.entries[victim].valid {
+			break
+		}
+		e := &t.entries[i]
+		if !e.valid || e.lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	t.Misses++
+	t.entries[victim] = tlbEntry{vpn: vpn, valid: true, lru: t.clock}
+	t.lastIdx = victim
+	return false
+}
+
+// Flush invalidates all translations (context switch without ASIDs).
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+	t.haveLast = false
+}
+
+// MissRate returns misses per access.
+func (t *TLB) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}
+
+// Size returns the number of entries.
+func (t *TLB) Size() int { return len(t.entries) }
+
+// StorageBits returns TLB state size for the area model (VPN ~36 bits,
+// PPN ~36 bits, flags).
+func (t *TLB) StorageBits() int { return len(t.entries) * 76 }

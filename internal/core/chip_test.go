@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"duplexity/internal/isa"
+	"duplexity/internal/workload"
+)
+
+func chipStreams(t *testing.T, dyads int) ([]isa.Stream, [][]isa.Stream) {
+	t.Helper()
+	var masters []isa.Stream
+	var batches [][]isa.Stream
+	for i := 0; i < dyads; i++ {
+		gen := masterGen(uint64(20+i), true)
+		m, err := workload.NewRequestStream(gen, 100_000, DesignDuplexity.FreqGHz(), uint64(i+3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		masters = append(masters, m)
+		batches = append(batches, batchStreams(32, uint64(200+i*40)))
+	}
+	return masters, batches
+}
+
+func TestChipValidation(t *testing.T) {
+	if _, err := NewChip(ChipConfig{Design: DesignDuplexity}); err == nil {
+		t.Fatal("chip without dyads accepted")
+	}
+	m, _ := chipStreams(t, 1)
+	if _, err := NewChip(ChipConfig{Design: DesignDuplexity, Masters: m, Batches: nil}); err == nil {
+		t.Fatal("mismatched batch populations accepted")
+	}
+}
+
+func TestChipRunsAllDyads(t *testing.T) {
+	masters, batches := chipStreams(t, 2)
+	c, err := NewChip(ChipConfig{
+		Design:  DesignDuplexity,
+		Masters: masters,
+		Batches: batches,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Shared.LLC.Config().SizeBytes; got != 4<<20 {
+		t.Fatalf("chip LLC %d bytes, want 4MB for 2 dyads", got)
+	}
+	c.Run(1_200_000)
+	if c.Now() != 1_200_000 {
+		t.Fatalf("chip clock %d", c.Now())
+	}
+	for i, d := range c.Dyads {
+		if d.MasterThreadRetired() == 0 {
+			t.Fatalf("dyad %d made no master progress", i)
+		}
+		if d.Shared != c.Shared {
+			t.Fatalf("dyad %d not on the chip LLC", i)
+		}
+	}
+	if c.MeanMasterUtilization() <= 0 {
+		t.Fatal("no chip utilization")
+	}
+	if c.BatchRetired() == 0 {
+		t.Fatal("no chip batch throughput")
+	}
+	if c.RemoteOpsPerSecond() <= 0 {
+		t.Fatal("no chip NIC activity")
+	}
+	if c.Latencies().Count() == 0 {
+		t.Fatal("no merged latencies")
+	}
+}
+
+// Sharing an LLC across dyads must produce inter-dyad interference:
+// cross-owner LLC evictions appear, which an isolated dyad of the same
+// aggregate capacity would not show for the master's working set.
+func TestChipLLCInterference(t *testing.T) {
+	masters, batches := chipStreams(t, 2)
+	c, err := NewChip(ChipConfig{
+		Design:  DesignDuplexity,
+		Masters: masters,
+		Batches: batches,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(1_000_000)
+	if c.Shared.LLC.Stats.CrossEvictions == 0 {
+		t.Fatal("no cross-owner evictions in the shared chip LLC")
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"duplexity/internal/isa"
+	"duplexity/internal/stats"
+	"duplexity/internal/workload"
+)
+
+// remoteStorm is a pathological master workload: nearly every instruction
+// is a µs-scale remote op, including zero- and near-zero-latency draws.
+// The morph state machine must keep making progress (no deadlock between
+// drain, filler, and resume).
+func TestDuplexityRemoteStormProgress(t *testing.T) {
+	gen := isa.MustSynthStream(isa.SynthConfig{
+		Seed: 3, CodeBytes: 4096, DataBytes: 4096, DepP: 0,
+		RemoteEvery:      3,
+		RemoteLat:        stats.Uniform{Lo: 0, Hi: 2000},
+		InstrsPerRequest: stats.Deterministic{Value: 40},
+	})
+	master, err := workload.NewRequestStream(gen, 200_000, 3.25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := MustNewDyad(Config{
+		Design:       DesignDuplexity,
+		MasterStream: master,
+		BatchStreams: batchStreams(32, 50),
+	})
+	d.Run(2_000_000)
+	if d.MasterThreadRetired() == 0 {
+		t.Fatal("no master progress under remote storm")
+	}
+	if d.MasterOoO.ThreadStats(0).RequestsCompleted == 0 {
+		t.Fatal("no requests completed under remote storm")
+	}
+	if d.Master.Stats.Morphs == 0 {
+		t.Fatal("remote storm triggered no morphs")
+	}
+}
+
+// Zero-latency remotes must resolve during the drain and resume without
+// entering filler mode at all.
+func TestZeroLatencyRemoteResumesDirectly(t *testing.T) {
+	gen := isa.MustSynthStream(isa.SynthConfig{
+		Seed: 4, CodeBytes: 4096, DataBytes: 4096, DepP: 0,
+		RemoteEvery:      100,
+		RemoteLat:        stats.Deterministic{Value: 1}, // ~4 cycles
+		InstrsPerRequest: stats.Deterministic{Value: 1000},
+	})
+	master := workload.NewClosedStream(gen)
+	d := MustNewDyad(Config{
+		Design:       DesignDuplexity,
+		MasterStream: master,
+		BatchStreams: batchStreams(32, 60),
+	})
+	d.Run(500_000)
+	if d.MasterThreadRetired() == 0 {
+		t.Fatal("no progress with near-zero remotes")
+	}
+	ms := d.Master.Stats
+	// Nearly every stall resolves mid-drain: filler cycles must be rare
+	// relative to master cycles.
+	if ms.FillerCycles > ms.MasterCycles/4 {
+		t.Fatalf("short stalls spent %d cycles in filler mode (master %d)",
+			ms.FillerCycles, ms.MasterCycles)
+	}
+}
+
+// A master stream that never produces work must leave the dyad parked in
+// filler mode with fillers productive.
+func TestAlwaysIdleMasterFills(t *testing.T) {
+	gen := isa.MustSynthStream(isa.SynthConfig{
+		Seed: 5, CodeBytes: 4096, DataBytes: 4096,
+		InstrsPerRequest: stats.Deterministic{Value: 100},
+	})
+	// 1 QPS: effectively no arrivals within the simulated window.
+	master, err := workload.NewRequestStream(gen, 1, 3.25, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := MustNewDyad(Config{
+		Design:       DesignDuplexity,
+		MasterStream: master,
+		BatchStreams: batchStreams(32, 70),
+	})
+	d.Run(1_000_000)
+	if d.Master.Mode() != ModeFiller {
+		t.Fatalf("idle master in mode %v, want filler", d.Master.Mode())
+	}
+	if d.Master.FillerCore().Stats.TotalRetired == 0 {
+		t.Fatal("fillers idle on an idle master-core")
+	}
+	if got := d.MasterUtilization(); got < 0.2 {
+		t.Fatalf("idle-master utilization %v; fillers should dominate", got)
+	}
+}
+
+// SetRestartLat must change resume cost visibly.
+func TestSetRestartLat(t *testing.T) {
+	run := func(restart uint64) uint64 {
+		gen := masterGen(9, true)
+		master := workload.NewClosedStream(gen)
+		d := MustNewDyad(Config{
+			Design:       DesignDuplexity,
+			MasterStream: master,
+			BatchStreams: batchStreams(32, 80),
+		})
+		d.Master.SetRestartLat(restart)
+		d.RunUntilRequests(60, 6_000_000)
+		return d.Now()
+	}
+	fast := run(0)
+	slow := run(20_000)
+	if slow <= fast {
+		t.Fatalf("20k-cycle restart (%d cycles total) not slower than free restart (%d)", slow, fast)
+	}
+}
+
+// NoL0 must remove the filter caches from the filler path.
+func TestNoL0Ablation(t *testing.T) {
+	gen := masterGen(10, true)
+	master := workload.NewClosedStream(gen)
+	d := MustNewDyad(Config{
+		Design:       DesignDuplexity,
+		MasterStream: master,
+		BatchStreams: batchStreams(32, 90),
+		NoL0:         true,
+	})
+	d.Run(300_000)
+	if d.MasterThreadRetired() == 0 {
+		t.Fatal("NoL0 dyad made no progress")
+	}
+}
+
+// MorphCore's fixed fillers must survive repeated evict/rebind cycles
+// without losing instructions (the pending-buffer plumbing).
+func TestMorphCoreEvictRebindChurn(t *testing.T) {
+	d := makeDyad(t, DesignMorphCore, 200_000) // high arrival rate: frequent churn
+	d.Run(2_000_000)
+	ms := d.Master.Stats
+	if ms.Morphs+ms.IdleMorphs < 10 {
+		t.Fatalf("only %d morphs; churn test needs more", ms.Morphs+ms.IdleMorphs)
+	}
+	if d.Master.FillerCore().Stats.TotalRetired == 0 {
+		t.Fatal("fixed fillers retired nothing")
+	}
+}

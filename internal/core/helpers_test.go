@@ -1,0 +1,6 @@
+package core
+
+import "duplexity/internal/cache"
+
+// cacheOwnerFiller avoids importing cache in every test file.
+func cacheOwnerFiller() cache.Owner { return cache.OwnerFiller }

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"duplexity/internal/cpu"
+	"duplexity/internal/hsmt"
+	"duplexity/internal/isa"
+)
+
+// Mode is the master-core's execution mode.
+type Mode int
+
+// Master-core modes (Section III-B).
+const (
+	// ModeMaster: single-threaded OoO execution of the master-thread.
+	ModeMaster Mode = iota
+	// ModeDraining: a µs-scale stall was demarcated; elder instructions
+	// drain while younger ones have been flushed.
+	ModeDraining
+	// ModeFiller: the datapath has morphed to in-order HSMT and executes
+	// borrowed filler-threads.
+	ModeFiller
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeMaster:
+		return "master"
+	case ModeDraining:
+		return "draining"
+	default:
+		return "filler"
+	}
+}
+
+// fillerEngine abstracts the filler-thread execution engine: either a
+// fixed 8-thread in-order SMT (MorphCore) or an HSMT scheduler over a
+// dyad-shared virtual-context pool (MorphCore+, Duplexity variants).
+type fillerEngine interface {
+	// Step advances the filler datapath one cycle.
+	Step(now uint64)
+	// EvictAll removes all filler contexts (master-thread restart).
+	EvictAll(now uint64)
+	// Core exposes the underlying datapath for statistics.
+	Core() *cpu.InOCore
+}
+
+// hsmtFiller adapts an hsmt.Scheduler to the fillerEngine interface.
+type hsmtFiller struct{ sched *hsmt.Scheduler }
+
+func (h hsmtFiller) Step(now uint64)     { h.sched.StepCore(now) }
+func (h hsmtFiller) EvictAll(now uint64) { h.sched.EvictAll(now) }
+func (h hsmtFiller) Core() *cpu.InOCore  { return h.sched.Core() }
+
+// fixedFiller runs a fixed set of filler streams (MorphCore's 8 filler
+// threads): no backing pool, threads block in place on µs-scale stalls.
+type fixedFiller struct {
+	core    *cpu.InOCore
+	streams []isa.Stream
+	pending [][]isa.Instr
+	bound   bool
+}
+
+func newFixedFiller(core *cpu.InOCore, streams []isa.Stream) *fixedFiller {
+	return &fixedFiller{core: core, streams: streams, pending: make([][]isa.Instr, len(streams))}
+}
+
+func (f *fixedFiller) Step(now uint64) {
+	if !f.bound {
+		for i, s := range f.streams {
+			if i >= f.core.Slots() {
+				break
+			}
+			f.core.Bind(i, s, now, 0) // swap cost charged via MorphInLat
+			if len(f.pending[i]) > 0 {
+				f.core.Preload(i, f.pending[i])
+				f.pending[i] = nil
+			}
+		}
+		f.bound = true
+	}
+	f.core.Step(now)
+}
+
+func (f *fixedFiller) EvictAll(uint64) {
+	if !f.bound {
+		return
+	}
+	for i := 0; i < f.core.Slots(); i++ {
+		if f.core.Slot(i).Active() {
+			_, f.pending[i] = f.core.Unbind(i)
+		}
+	}
+	f.bound = false
+}
+
+func (f *fixedFiller) Core() *cpu.InOCore { return f.core }
+
+// MasterStats summarizes master-core mode activity.
+type MasterStats struct {
+	Morphs        uint64 // stall-triggered transitions to filler mode
+	IdleMorphs    uint64 // idle-triggered transitions
+	MasterCycles  uint64 // cycles in ModeMaster
+	DrainCycles   uint64 // cycles draining
+	FillerCycles  uint64 // cycles in ModeFiller
+	RestartStalls uint64 // total master restart-latency cycles charged
+}
+
+// MasterCore is the morphable core of Section III-B: it executes its
+// latency-critical master-thread on a 4-wide OoO engine and, whenever the
+// master-thread stalls on a demarcated µs-scale operation or runs out of
+// requests, drains, morphs into an in-order HSMT engine, and executes
+// filler-threads until the master-thread becomes ready again.
+type MasterCore struct {
+	design     Design
+	restartLat uint64
+	ooo        *cpu.OoOCore
+	filler     fillerEngine
+	// signaler reports master-thread work availability without consuming
+	// instructions; nil disables idle-triggered morphing.
+	signaler cpu.WorkSignaler
+
+	mode            Mode
+	modeReadyAt     uint64 // cycle when the in-progress morph completes
+	stalledOnRemote bool
+	remoteReadyAt   uint64
+
+	Stats MasterStats
+}
+
+// NewMasterCore assembles a master-core from its two engines. The ooo
+// engine must have exactly one thread (the master-thread); its OnRemote
+// hook is installed by the master-core.
+func NewMasterCore(design Design, ooo *cpu.OoOCore, filler fillerEngine, signaler cpu.WorkSignaler) *MasterCore {
+	m := &MasterCore{
+		design: design, restartLat: design.RestartLat(),
+		ooo: ooo, filler: filler, signaler: signaler,
+	}
+	ooo.OnRemote = m.onRemote
+	return m
+}
+
+// SetRestartLat overrides the design's master-thread restart latency
+// (used by the restart-latency ablation study).
+func (m *MasterCore) SetRestartLat(cycles uint64) { m.restartLat = cycles }
+
+// Mode returns the current execution mode.
+func (m *MasterCore) Mode() Mode { return m.mode }
+
+// OoO exposes the master-thread engine.
+func (m *MasterCore) OoO() *cpu.OoOCore { return m.ooo }
+
+// FillerCore exposes the filler-thread datapath.
+func (m *MasterCore) FillerCore() *cpu.InOCore { return m.filler.Core() }
+
+// onRemote fires when the master-thread issues a µs-scale operation:
+// demarcate the stall, flush younger work, and begin draining.
+func (m *MasterCore) onRemote(tid int, _ isa.Instr, completeAt uint64) cpu.RemoteAction {
+	if m.mode != ModeMaster {
+		return cpu.RemoteBlock
+	}
+	m.stalledOnRemote = true
+	m.remoteReadyAt = completeAt
+	m.ooo.HaltFetch(tid)
+	m.ooo.SquashYoungerThanRemote(tid)
+	m.mode = ModeDraining
+	m.Stats.Morphs++
+	return cpu.RemoteHandled
+}
+
+// masterReady reports whether the master-thread can resume at now.
+func (m *MasterCore) masterReady(now uint64) bool {
+	if m.stalledOnRemote {
+		return now >= m.remoteReadyAt
+	}
+	return m.signaler != nil && m.signaler.HasWork(now)
+}
+
+// Step advances the master-core one cycle.
+func (m *MasterCore) Step(now uint64) {
+	switch m.mode {
+	case ModeMaster:
+		m.Stats.MasterCycles++
+		m.ooo.Step(now)
+		// Idle-triggered morph: no in-flight work and no pending request.
+		if m.mode == ModeMaster && m.signaler != nil &&
+			m.ooo.Drained(0) && !m.signaler.HasWork(now) {
+			m.stalledOnRemote = false
+			m.ooo.HaltFetch(0)
+			m.mode = ModeDraining
+			m.Stats.IdleMorphs++
+		}
+
+	case ModeDraining:
+		m.Stats.DrainCycles++
+		m.ooo.Step(now)
+		switch {
+		case m.stalledOnRemote && m.ooo.DrainedToRemote(0):
+			// Refresh the wake-up time from the actual head remote (the
+			// oldest remote may differ from the one that triggered).
+			if ca, ok := m.ooo.HeadRemoteCompletion(0); ok {
+				m.remoteReadyAt = ca
+			}
+			if now >= m.remoteReadyAt {
+				// The stall resolved while draining: resume immediately;
+				// no fillers ran, so no eviction or restart penalty.
+				m.resumeWithoutFillers(now)
+				return
+			}
+			m.mode = ModeFiller
+			m.modeReadyAt = now + MorphInLat
+		case m.stalledOnRemote && m.ooo.Drained(0):
+			// The remote completed and committed before the drain
+			// finished (short stall): resume directly.
+			m.resumeWithoutFillers(now)
+		case !m.stalledOnRemote && m.ooo.Drained(0):
+			m.mode = ModeFiller
+			m.modeReadyAt = now + MorphInLat
+		}
+
+	case ModeFiller:
+		if m.masterReady(now) {
+			m.resumeMaster(now)
+			// The restart window counts as master cycles; the OoO engine
+			// steps again from the next cycle.
+			m.Stats.MasterCycles++
+			m.ooo.Step(now)
+			return
+		}
+		m.Stats.FillerCycles++
+		if now >= m.modeReadyAt {
+			m.filler.Step(now)
+		}
+	}
+}
+
+// resumeWithoutFillers returns to master mode from a drain whose stall
+// resolved before any filler-thread ran: master state is fully intact.
+func (m *MasterCore) resumeWithoutFillers(now uint64) {
+	m.ooo.ResumeFetch(0, now)
+	m.stalledOnRemote = false
+	m.mode = ModeMaster
+}
+
+// resumeMaster evicts filler-threads and restarts the master-thread.
+// Pending filler instructions are squashed immediately; filler register
+// state spills through the L0 (Duplexity) or via microcode (MorphCore),
+// which is charged as the design's restart latency before fetch resumes.
+func (m *MasterCore) resumeMaster(now uint64) {
+	m.filler.EvictAll(now)
+	m.Stats.RestartStalls += m.restartLat
+	m.ooo.ResumeFetch(0, now+m.restartLat)
+	m.stalledOnRemote = false
+	m.mode = ModeMaster
+}

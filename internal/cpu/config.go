@@ -1,0 +1,130 @@
+// Package cpu implements the cycle-level pipeline models used throughout
+// the evaluation: a 4-wide out-of-order superscalar engine with SMT
+// (Baseline, SMT, SMT+ and the master-core's master-thread mode), and an
+// in-order SMT engine (the lender-core's datapath and the master-core's
+// filler-thread mode).
+//
+// The models are cycle-level rather than cycle-accurate: each simulated
+// cycle runs commit → complete → issue → dispatch → fetch phases over
+// explicit ROB/IQ/LSQ/PRF structures, with latencies fed by the real
+// simulated cache, TLB, and branch-predictor state. Branch mispredictions
+// are modelled as fetch stalls until the branch resolves plus a redirect
+// penalty (no wrong-path execution), which captures the first-order cost
+// while keeping the simulator fast enough to sweep the paper's full
+// design × workload × load matrix.
+package cpu
+
+import "fmt"
+
+// PipelineConfig sizes one core's pipeline. The defaults mirror Table I.
+type PipelineConfig struct {
+	// Width is fetch/issue/commit width (Table I: 4-wide).
+	Width int
+	// ROBEntries is reorder-buffer capacity (144), partitioned equally
+	// among active threads unless PriorityThread is set.
+	ROBEntries int
+	// PhysRegs is physical register file capacity (144).
+	PhysRegs int
+	// IQEntries is the unified issue-queue capacity.
+	IQEntries int
+	// LQEntries and SQEntries size the load and store queues (48/32).
+	LQEntries, SQEntries int
+	// Functional-unit counts per cycle.
+	IntALUs, LdStPorts, FPUs, Muls int
+	// MispredictPenalty is the front-end redirect latency in cycles after
+	// a mispredicted branch resolves.
+	MispredictPenalty int
+	// FetchBufEntries is the per-thread decoupling buffer depth.
+	FetchBufEntries int
+	// PriorityThread, if >= 0, enables SMT+ policies: that thread gets
+	// fetch/issue priority, and other threads are limited to
+	// StorageCapFrac of ROB/IQ/LQ/SQ capacity (Section V: 30%).
+	PriorityThread int
+	// StorageCapFrac caps non-priority threads' storage share.
+	StorageCapFrac float64
+	// FreqGHz is the core clock, used to convert device ns to cycles.
+	FreqGHz float64
+}
+
+// TableIConfig returns the Baseline/SMT/master-core configuration:
+// 4-wide OoO, 144-entry ROB/PRF, 48-entry LQ, 32-entry SQ.
+func TableIConfig() PipelineConfig {
+	return PipelineConfig{
+		Width:             4,
+		ROBEntries:        144,
+		PhysRegs:          144,
+		IQEntries:         60,
+		LQEntries:         48,
+		SQEntries:         32,
+		IntALUs:           4,
+		LdStPorts:         2,
+		FPUs:              2,
+		Muls:              1,
+		MispredictPenalty: 12,
+		FetchBufEntries:   16,
+		PriorityThread:    -1,
+		StorageCapFrac:    1.0,
+		FreqGHz:           3.4,
+	}
+}
+
+// SMTPlusConfig returns the SMT+ design point: thread 0 (the
+// latency-critical microservice) is prioritized for bandwidth resources
+// and co-runners are limited to 30% of storage resources.
+func SMTPlusConfig() PipelineConfig {
+	c := TableIConfig()
+	c.FreqGHz = 3.35
+	c.PriorityThread = 0
+	c.StorageCapFrac = 0.30
+	return c
+}
+
+// Validate reports sizing errors.
+func (c PipelineConfig) Validate() error {
+	if c.Width <= 0 || c.ROBEntries <= 0 || c.PhysRegs <= 0 || c.IQEntries <= 0 {
+		return fmt.Errorf("cpu: non-positive core structure size: %+v", c)
+	}
+	if c.LQEntries <= 0 || c.SQEntries <= 0 || c.FetchBufEntries <= 0 {
+		return fmt.Errorf("cpu: non-positive queue size: %+v", c)
+	}
+	if c.IntALUs <= 0 || c.LdStPorts <= 0 || c.FPUs <= 0 || c.Muls <= 0 {
+		return fmt.Errorf("cpu: need at least one of each functional unit")
+	}
+	if c.MispredictPenalty < 0 {
+		return fmt.Errorf("cpu: negative mispredict penalty")
+	}
+	if c.PriorityThread >= 0 && (c.StorageCapFrac <= 0 || c.StorageCapFrac > 1) {
+		return fmt.Errorf("cpu: storage cap %v outside (0,1]", c.StorageCapFrac)
+	}
+	if c.FreqGHz <= 0 {
+		return fmt.Errorf("cpu: non-positive frequency")
+	}
+	return nil
+}
+
+// CyclesFromNs converts a nanosecond latency to cycles at freqGHz,
+// rounding up (a stall cannot complete mid-cycle).
+func CyclesFromNs(ns, freqGHz float64) uint64 {
+	c := ns * freqGHz
+	u := uint64(c)
+	if float64(u) < c {
+		u++
+	}
+	return u
+}
+
+// Execution latencies in cycles per op class.
+const (
+	LatIntAlu = 1
+	LatIntMul = 3
+	LatFPAlu  = 4
+	LatBranch = 1
+	LatStore  = 1
+)
+
+// WorkSignaler is implemented by request-driven streams that can report
+// whether work is available without consuming an instruction. The
+// master-core controller uses it to detect idleness and wake-up.
+type WorkSignaler interface {
+	HasWork(nowCycle uint64) bool
+}

@@ -1,0 +1,351 @@
+package cpu
+
+import (
+	"fmt"
+
+	"duplexity/internal/bpred"
+	"duplexity/internal/isa"
+	"duplexity/internal/memsys"
+)
+
+// RemoteAction tells the engine how an issued remote operation will be
+// handled.
+type RemoteAction int
+
+const (
+	// RemoteBlock leaves the thread resident and blocked until the
+	// remote operation completes (Baseline/SMT behaviour).
+	RemoteBlock RemoteAction = iota
+	// RemoteHandled means an external scheduler (HSMT pool or morph
+	// controller) takes over: the engine takes no further action for the
+	// slot, and the scheduler will typically swap the context out.
+	RemoteHandled
+)
+
+// InOSlot is one physical context of the in-order SMT datapath.
+type InOSlot struct {
+	stream isa.Stream
+	active bool
+
+	buf        []isa.Instr
+	regReadyAt [isa.NumArchRegs]uint64
+	// headWakeAt caches the cycle at which the head instruction's sources
+	// become ready; the issue loop skips the slot until then. Reset to 0
+	// whenever the head changes.
+	headWakeAt    uint64
+	fetchResumeAt uint64
+	// fetchBlocked latches fetch off between a mispredicted branch's
+	// fetch and its issue (resolution); the redirect penalty is charged
+	// when the branch issues.
+	fetchBlocked bool
+	// unavailableUntil models context swap-in latency.
+	unavailableUntil uint64
+	// blockedUntil is the completion time of an engine-managed remote op.
+	blockedUntil uint64
+	lastLine     uint64
+
+	Stats ThreadStats
+}
+
+// Active reports whether a context is bound to the slot.
+func (s *InOSlot) Active() bool { return s.active }
+
+// Blocked reports whether the slot is blocked on a remote op at now.
+func (s *InOSlot) Blocked(now uint64) bool { return s.blockedUntil > now }
+
+// InOCore is the in-order SMT datapath of Table I's lender-core: 8
+// physical contexts, 4-wide issue, round-robin fetch, shared gshare
+// predictor and shared L1 ports. It is also the master-core's
+// filler-thread engine (with dyad remote ports substituted).
+type InOCore struct {
+	cfg   PipelineConfig
+	iport *memsys.Port
+	dport *memsys.Port
+	pred  *bpred.Unit
+
+	slots   []*InOSlot
+	fetchRR int
+	issueRR int
+
+	Stats CoreStats
+
+	// OnRemote, if set, is consulted when a slot issues a remote op.
+	OnRemote func(slot int, in isa.Instr, completeAt uint64) RemoteAction
+	// OnRequestEnd, if set, is called when a slot issues an
+	// EndOfRequest-marked instruction.
+	OnRequestEnd func(slot int, now uint64)
+}
+
+// NewInOCore builds an in-order SMT core with nSlots physical contexts.
+func NewInOCore(cfg PipelineConfig, nSlots int, iport, dport *memsys.Port, pred *bpred.Unit) (*InOCore, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if nSlots <= 0 {
+		return nil, fmt.Errorf("cpu: need at least one InO slot")
+	}
+	if err := iport.Validate(); err != nil {
+		return nil, err
+	}
+	if err := dport.Validate(); err != nil {
+		return nil, err
+	}
+	c := &InOCore{cfg: cfg, iport: iport, dport: dport, pred: pred}
+	c.slots = make([]*InOSlot, nSlots)
+	for i := range c.slots {
+		c.slots[i] = &InOSlot{buf: make([]isa.Instr, 0, cfg.FetchBufEntries)}
+	}
+	return c, nil
+}
+
+// Config returns the core's pipeline configuration.
+func (c *InOCore) Config() PipelineConfig { return c.cfg }
+
+// Slots returns the number of physical contexts.
+func (c *InOCore) Slots() int { return len(c.slots) }
+
+// Slot returns physical context i.
+func (c *InOCore) Slot(i int) *InOSlot { return c.slots[i] }
+
+// Bind attaches a context's stream to slot i, charging swapLat cycles of
+// unavailability (loading architectural registers from the run queue).
+// The slot's scoreboard resets: all registers become ready at now+swapLat.
+func (c *InOCore) Bind(slot int, stream isa.Stream, now, swapLat uint64) {
+	s := c.slots[slot]
+	s.stream = stream
+	s.active = true
+	s.buf = s.buf[:0]
+	s.unavailableUntil = now + swapLat
+	s.blockedUntil = 0
+	s.fetchResumeAt = 0
+	s.headWakeAt = 0
+	s.fetchBlocked = false
+	s.lastLine = ^uint64(0)
+	for r := range s.regReadyAt {
+		s.regReadyAt[r] = now + swapLat
+	}
+}
+
+// Unbind detaches slot i, returning its stream and any fetched-but-not-
+// issued instructions (which belong to the context and must be replayed
+// when it is next bound — streams are consuming generators). Statistics
+// remain with the slot (per-physical-context, matching hardware counters).
+func (c *InOCore) Unbind(slot int) (isa.Stream, []isa.Instr) {
+	s := c.slots[slot]
+	st := s.stream
+	var pending []isa.Instr
+	if len(s.buf) > 0 {
+		pending = append(pending, s.buf...)
+	}
+	s.stream = nil
+	s.active = false
+	s.buf = s.buf[:0]
+	return st, pending
+}
+
+// Preload seeds slot i's fetch buffer with a previously unbound context's
+// pending instructions. Call immediately after Bind.
+func (c *InOCore) Preload(slot int, instrs []isa.Instr) {
+	s := c.slots[slot]
+	s.buf = s.buf[:0]
+	s.buf = append(s.buf, instrs...)
+	s.headWakeAt = 0
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Step simulates one cycle at global time now. Phases: issue first (using
+// last cycle's buffers), then fetch — so an instruction cannot be fetched
+// and issued in the same cycle.
+func (c *InOCore) Step(now uint64) {
+	c.Stats.Cycles++
+	c.issue(now)
+	c.fetch(now)
+}
+
+func (c *InOCore) issue(now uint64) {
+	total := c.cfg.Width
+	ldst, fp, mul, ialu := c.cfg.LdStPorts, c.cfg.FPUs, c.cfg.Muls, c.cfg.IntALUs
+	n := len(c.slots)
+	start := c.issueRR
+	c.issueRR = (c.issueRR + 1) % n
+	for k := 0; k < n && total > 0; k++ {
+		s := c.slots[(start+k)%n]
+		if !s.active || s.unavailableUntil > now || s.blockedUntil > now {
+			continue
+		}
+		if s.headWakeAt > now {
+			continue
+		}
+		for total > 0 && len(s.buf) > 0 {
+			in := s.buf[0]
+			if wake := max64(s.regReadyAt[in.Src1], s.regReadyAt[in.Src2]); wake > now {
+				s.headWakeAt = wake
+				break // in-order: head not ready blocks the slot
+			}
+			// Structural hazards (OpPark needs no functional unit).
+			switch in.Op {
+			case isa.OpLoad, isa.OpStore, isa.OpRemote:
+				if ldst == 0 {
+					goto nextSlot
+				}
+			case isa.OpPark:
+			case isa.OpFPAlu:
+				if fp == 0 {
+					goto nextSlot
+				}
+			case isa.OpIntMul:
+				if mul == 0 {
+					goto nextSlot
+				}
+			default:
+				if ialu == 0 {
+					goto nextSlot
+				}
+			}
+			s.buf = s.buf[1:]
+			s.headWakeAt = 0
+			total--
+			c.Stats.IssueSlotsUsed++
+			switch in.Op {
+			case isa.OpLoad:
+				ldst--
+				lat := uint64(c.dport.Access(now, in.Addr, false))
+				if in.Dst != isa.RegNone {
+					s.regReadyAt[in.Dst] = now + lat
+				}
+			case isa.OpStore:
+				ldst--
+				c.dport.Access(now, in.Addr, true)
+			case isa.OpRemote, isa.OpPark:
+				if in.Op == isa.OpRemote {
+					ldst--
+					s.Stats.Remotes++
+				}
+				completeAt := now + CyclesFromNs(in.RemoteNs, c.cfg.FreqGHz)
+				action := RemoteBlock
+				if c.OnRemote != nil {
+					action = c.OnRemote(c.slotIndex(s), in, completeAt)
+				}
+				if action == RemoteBlock {
+					s.blockedUntil = completeAt
+					if in.Dst != isa.RegNone {
+						s.regReadyAt[in.Dst] = completeAt
+					}
+				}
+			case isa.OpFPAlu:
+				fp--
+				if in.Dst != isa.RegNone {
+					s.regReadyAt[in.Dst] = now + LatFPAlu
+				}
+			case isa.OpIntMul:
+				mul--
+				if in.Dst != isa.RegNone {
+					s.regReadyAt[in.Dst] = now + LatIntMul
+				}
+			default:
+				ialu--
+				if in.Dst != isa.RegNone {
+					s.regReadyAt[in.Dst] = now + LatIntAlu
+				}
+			}
+			s.Stats.Retired++
+			c.Stats.TotalRetired++
+			if in.EndOfRequest {
+				s.Stats.RequestsCompleted++
+				if c.OnRequestEnd != nil {
+					c.OnRequestEnd(c.slotIndex(s), now)
+				}
+			}
+			if in.Op == isa.OpBranch && s.fetchBlocked && len(s.buf) == 0 {
+				// The mispredicted branch (always the last fetched) just
+				// resolved: charge the front-end redirect from here.
+				s.fetchBlocked = false
+				s.fetchResumeAt = now + uint64(c.cfg.MispredictPenalty)
+			}
+			if (in.Op == isa.OpRemote || in.Op == isa.OpPark) && s.blockedUntil > now {
+				goto nextSlot // blocked: stop issuing from this slot
+			}
+		}
+	nextSlot:
+	}
+}
+
+func (c *InOCore) slotIndex(s *InOSlot) int {
+	for i, x := range c.slots {
+		if x == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *InOCore) fetch(now uint64) {
+	budget := c.cfg.Width
+	n := len(c.slots)
+	start := c.fetchRR
+	c.fetchRR = (c.fetchRR + 1) % n
+	fetchedAny := false
+	for k := 0; k < n && budget > 0; k++ {
+		s := c.slots[(start+k)%n]
+		if !s.active || s.unavailableUntil > now || s.blockedUntil > now ||
+			s.fetchResumeAt > now || s.fetchBlocked {
+			continue
+		}
+		for budget > 0 && len(s.buf) < c.cfg.FetchBufEntries {
+			in, ok := s.stream.Next(now)
+			if !ok {
+				if len(s.buf) == 0 {
+					s.Stats.IdleCycles++
+				}
+				break
+			}
+			// Instruction-cache access on line crossing.
+			line := in.PC >> 6
+			if line != s.lastLine {
+				s.lastLine = line
+				ilat := uint64(c.iport.Access(now, in.PC, false))
+				if ilat > uint64(c.iport.L1.HitLatency()) {
+					s.fetchResumeAt = now + ilat
+				}
+			}
+			if len(s.buf) == 0 {
+				s.headWakeAt = 0 // head is changing
+			}
+			s.buf = append(s.buf, in)
+			budget--
+			fetchedAny = true
+			if in.Op == isa.OpBranch {
+				if c.pred.PredictAndTrain(in) {
+					// Fetch stalls until the branch issues (resolution);
+					// the redirect penalty is charged there.
+					s.fetchBlocked = true
+					break
+				}
+				if in.Taken {
+					break // taken-branch fetch break
+				}
+			}
+			if s.fetchResumeAt > now {
+				break // I-cache miss stalls further fetch
+			}
+		}
+	}
+	if !fetchedAny {
+		c.Stats.FetchStallCycles++
+	}
+}
+
+// Run steps the core for n cycles starting at cycle start and returns the
+// next cycle value (start+n).
+func (c *InOCore) Run(start, n uint64) uint64 {
+	for i := uint64(0); i < n; i++ {
+		c.Step(start + i)
+	}
+	return start + n
+}

@@ -1,0 +1,116 @@
+package cpu
+
+import "duplexity/internal/isa"
+
+// This file is the controller surface the master-core's morph state
+// machine (internal/core) uses to drive an OoOCore through the
+// drain/flush/restart protocol of Section III-B1.
+
+// HaltFetch stops instruction fetch for thread tid (start of a morph:
+// the master-thread stalled or went idle).
+func (c *OoOCore) HaltFetch(tid int) { c.threads[tid].fetchHalted = true }
+
+// ResumeFetch re-enables fetch for thread tid no earlier than cycle at
+// (master-thread restart after filler eviction).
+func (c *OoOCore) ResumeFetch(tid int, at uint64) {
+	t := c.threads[tid]
+	t.fetchHalted = false
+	if t.fetchResumeAt < at {
+		t.fetchResumeAt = at
+	}
+}
+
+// Inflight returns the number of in-flight instructions (ROB + fetch
+// buffer) for thread tid.
+func (c *OoOCore) Inflight(tid int) int { return c.threads[tid].inflight() }
+
+// SquashYoungerThanRemote flushes all of tid's in-flight state younger
+// than its oldest in-flight remote operation, returning whether a remote
+// was found. Elder instructions continue draining; the remote itself
+// remains, waiting for its device latency to elapse. This implements
+// "we drain instructions elder than the stalling instruction and flush
+// younger" (Section III-B1).
+func (c *OoOCore) SquashYoungerThanRemote(tid int) bool {
+	t := c.threads[tid]
+	remoteIdx := -1
+	for i := 0; i < t.size; i++ {
+		if t.robAt(i).in.Op == isa.OpRemote && t.robAt(i).state != robDone {
+			remoteIdx = i
+			break
+		}
+	}
+	if remoteIdx < 0 {
+		return false
+	}
+	// Squash entries younger than the remote, youngest first, collecting
+	// them for replay: a stream is a consuming generator, so squashed
+	// instructions must be re-fetched after the master-thread resumes.
+	var squashed []isa.Instr
+	for t.size > remoteIdx+1 {
+		e := t.robAt(t.size - 1)
+		c.refund(t, e)
+		if e.mispredicted {
+			t.fetchBlocked = false
+		}
+		// Invalidate rename-map entries pointing at the squashed slot.
+		if e.hasPhysDst() && t.regProducer[e.in.Dst].seq == e.seq {
+			t.regProducer[e.in.Dst] = prodLink{}
+		}
+		squashed = append(squashed, e.in)
+		e.seq = 0 // liveness guard: dependents see a dead producer
+		t.size--
+	}
+	// Rebuild the replay queue in program order: squashed ROB entries
+	// (collected youngest-first), then the flushed fetch buffer, then any
+	// prior replay content.
+	for i, j := 0, len(squashed)-1; i < j; i, j = i+1, j-1 {
+		squashed[i], squashed[j] = squashed[j], squashed[i]
+	}
+	squashed = append(squashed, t.fetchBuf...)
+	t.replay = append(squashed, t.replay...)
+	t.fetchBuf = t.fetchBuf[:0]
+	// If the buffer still held an undispatched mispredicted branch, the
+	// fetch-blocked latch must be released here — its ROB entry will
+	// never exist to release it at completion.
+	if t.pendingMispredict {
+		t.fetchBlocked = false
+		t.pendingMispredict = false
+	}
+	return true
+}
+
+// hasPhysDst reports whether the entry allocated a rename mapping.
+// (A squashed entry may already have had its physical register refunded;
+// the rename-map check uses the destination register regardless.)
+func (e *robEntry) hasPhysDst() bool { return e.in.Dst != isa.RegNone }
+
+// DrainedToRemote reports whether thread tid's only in-flight instruction
+// is a pending remote operation — the morph's "drained" condition.
+func (c *OoOCore) DrainedToRemote(tid int) bool {
+	t := c.threads[tid]
+	return len(t.fetchBuf) == 0 && t.size == 1 && t.robAt(0).in.Op == isa.OpRemote
+}
+
+// Drained reports whether thread tid has no in-flight work at all
+// (idle-triggered morphs drain to empty).
+func (c *OoOCore) Drained(tid int) bool { return c.threads[tid].inflight() == 0 }
+
+// HeadRemoteCompletion returns the completion cycle of tid's ROB-head
+// remote operation, if the head is an issued remote.
+func (c *OoOCore) HeadRemoteCompletion(tid int) (uint64, bool) {
+	t := c.threads[tid]
+	if t.size == 0 {
+		return 0, false
+	}
+	e := t.robAt(0)
+	if e.in.Op != isa.OpRemote || e.state == robWaiting {
+		return 0, false
+	}
+	return e.completeAt, true
+}
+
+// AddRemoteStall charges n cycles of remote-stall time to thread tid's
+// statistics (the controller accounts stall windows it manages itself).
+func (c *OoOCore) AddRemoteStall(tid int, n uint64) {
+	c.threads[tid].Stats.RemoteStallCycles += n
+}

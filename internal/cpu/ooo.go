@@ -1,0 +1,549 @@
+package cpu
+
+import (
+	"fmt"
+
+	"duplexity/internal/bpred"
+	"duplexity/internal/isa"
+	"duplexity/internal/memsys"
+)
+
+// FetchPolicy selects which thread fetches each cycle on an SMT core.
+type FetchPolicy int
+
+// Fetch policies.
+const (
+	// FetchICount picks the thread with the fewest in-flight instructions
+	// (Tullsen's ICOUNT, used by the SMT design point).
+	FetchICount FetchPolicy = iota
+	// FetchRoundRobin rotates threads.
+	FetchRoundRobin
+)
+
+type robState uint8
+
+const (
+	robWaiting robState = iota
+	robIssued
+	robDone
+)
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	seq        uint64
+	in         isa.Instr
+	state      robState
+	completeAt uint64
+	// producer links: the ROB positions (and seqs, for liveness checks)
+	// of the instructions producing this entry's sources.
+	prod [2]prodLink
+	// resource flags for refunds.
+	hasPhys, inLQ, inSQ bool
+	mispredicted        bool
+}
+
+type prodLink struct {
+	valid bool
+	pos   int // ring index within the same thread's ROB
+	seq   uint64
+}
+
+// oooThread is one hardware context of the OoO engine.
+type oooThread struct {
+	stream isa.Stream
+
+	// rob is a ring buffer; head is the oldest entry.
+	rob        []robEntry
+	head, size int
+	nextSeq    uint64
+
+	// regProducer maps each architectural register to the ROB position of
+	// its latest in-flight writer.
+	regProducer [isa.NumArchRegs]prodLink
+
+	fetchBuf []isa.Instr
+	// replay holds squashed-but-not-retired instructions that must be
+	// re-fetched in program order before pulling from the stream again
+	// (a stream is a consuming generator, so squashed work would
+	// otherwise be silently lost).
+	replay        []isa.Instr
+	fetchResumeAt uint64
+	fetchBlocked  bool // fetch disabled until mispredicted branch resolves
+	// pendingMispredict marks that the last fetch-buffer entry is a
+	// mispredicted branch whose ROB entry must carry the flag.
+	pendingMispredict bool
+	lastLine          uint64
+	fetchHalted       bool // controller-requested fetch stop (morphing)
+
+	iqCount, lqCount, sqCount, physCount int
+
+	Stats ThreadStats
+}
+
+func (t *oooThread) inflight() int { return t.size + len(t.fetchBuf) }
+
+// robAt returns the entry at ring offset i from head (0 = oldest).
+func (t *oooThread) robAt(i int) *robEntry { return &t.rob[(t.head+i)%len(t.rob)] }
+
+// OoOCore is the 4-wide out-of-order superscalar engine from Table I,
+// supporting one or more SMT threads with ICOUNT fetch, optional SMT+
+// prioritization/partitioning, and the controller hooks the master-core
+// uses for morphing (fetch halt, squash-younger, drain detection).
+type OoOCore struct {
+	cfg   PipelineConfig
+	iport *memsys.Port
+	dport *memsys.Port
+	pred  *bpred.Unit
+
+	threads []*oooThread
+	rrPtr   int
+
+	Stats CoreStats
+
+	// OnRemote is consulted when a remote op issues. RemoteBlock keeps
+	// the thread resident (default); RemoteHandled leaves handling to the
+	// controller, which typically squashes younger work and morphs.
+	OnRemote func(tid int, in isa.Instr, completeAt uint64) RemoteAction
+	// OnRequestEnd fires when an EndOfRequest instruction commits.
+	OnRequestEnd func(tid int, now uint64)
+}
+
+// NewOoOCore builds an out-of-order core running the given streams as SMT
+// threads (len(streams) == 1 gives the single-threaded Baseline).
+func NewOoOCore(cfg PipelineConfig, streams []isa.Stream, iport, dport *memsys.Port, pred *bpred.Unit) (*OoOCore, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("cpu: OoO core needs at least one thread")
+	}
+	if err := iport.Validate(); err != nil {
+		return nil, err
+	}
+	if err := dport.Validate(); err != nil {
+		return nil, err
+	}
+	c := &OoOCore{cfg: cfg, iport: iport, dport: dport, pred: pred}
+	// Partition the ROB among threads. SMT+ gives the priority thread the
+	// complement of the co-runner cap.
+	n := len(streams)
+	for i, s := range streams {
+		share := cfg.ROBEntries / n
+		if cfg.PriorityThread >= 0 && n > 1 {
+			if i == cfg.PriorityThread {
+				share = int(float64(cfg.ROBEntries) * (1 - cfg.StorageCapFrac))
+			} else {
+				share = int(float64(cfg.ROBEntries) * cfg.StorageCapFrac / float64(n-1))
+			}
+		}
+		if share < 4 {
+			share = 4
+		}
+		c.threads = append(c.threads, &oooThread{
+			stream:   s,
+			rob:      make([]robEntry, share),
+			fetchBuf: make([]isa.Instr, 0, cfg.FetchBufEntries),
+			lastLine: ^uint64(0),
+		})
+	}
+	return c, nil
+}
+
+// Config returns the core's configuration.
+func (c *OoOCore) Config() PipelineConfig { return c.cfg }
+
+// Threads returns the number of hardware threads.
+func (c *OoOCore) Threads() int { return len(c.threads) }
+
+// ThreadStats returns thread t's statistics.
+func (c *OoOCore) ThreadStats(t int) *ThreadStats { return &c.threads[t].Stats }
+
+// storage caps for shared structures (IQ/LQ/SQ) under SMT+.
+func (c *OoOCore) capFor(tid, capacity int) int {
+	if c.cfg.PriorityThread < 0 || len(c.threads) == 1 {
+		return capacity
+	}
+	if tid == c.cfg.PriorityThread {
+		return capacity
+	}
+	cap30 := int(float64(capacity) * c.cfg.StorageCapFrac)
+	if cap30 < 1 {
+		cap30 = 1
+	}
+	return cap30
+}
+
+func (c *OoOCore) sharedIQ() int {
+	n := 0
+	for _, t := range c.threads {
+		n += t.iqCount
+	}
+	return n
+}
+
+func (c *OoOCore) sharedLQ() int {
+	n := 0
+	for _, t := range c.threads {
+		n += t.lqCount
+	}
+	return n
+}
+
+func (c *OoOCore) sharedSQ() int {
+	n := 0
+	for _, t := range c.threads {
+		n += t.sqCount
+	}
+	return n
+}
+
+func (c *OoOCore) sharedPhys() int {
+	n := 0
+	for _, t := range c.threads {
+		n += t.physCount
+	}
+	return n
+}
+
+// Step simulates one cycle at global time now.
+func (c *OoOCore) Step(now uint64) {
+	c.Stats.Cycles++
+	c.commit(now)
+	c.complete(now)
+	c.issue(now)
+	c.dispatch(now)
+	c.fetch(now)
+}
+
+// commit retires up to Width done instructions, round-robin over threads,
+// in order within each thread.
+func (c *OoOCore) commit(now uint64) {
+	budget := c.cfg.Width
+	n := len(c.threads)
+	start := c.rrPtr
+	for k := 0; k < n && budget > 0; k++ {
+		tid := (start + k) % n
+		t := c.threads[tid]
+		for budget > 0 && t.size > 0 {
+			e := t.robAt(0)
+			if e.state != robDone || e.completeAt > now {
+				break
+			}
+			c.refund(t, e)
+			t.head = (t.head + 1) % len(t.rob)
+			t.size--
+			t.Stats.Retired++
+			c.Stats.TotalRetired++
+			budget--
+			if e.in.EndOfRequest {
+				t.Stats.RequestsCompleted++
+				if c.OnRequestEnd != nil {
+					c.OnRequestEnd(tid, now)
+				}
+			}
+		}
+	}
+}
+
+func (c *OoOCore) refund(t *oooThread, e *robEntry) {
+	if e.hasPhys {
+		t.physCount--
+		e.hasPhys = false
+	}
+	if e.inLQ {
+		t.lqCount--
+		e.inLQ = false
+	}
+	if e.inSQ {
+		t.sqCount--
+		e.inSQ = false
+	}
+	if e.state == robWaiting {
+		t.iqCount--
+	}
+}
+
+// complete marks issued instructions whose latency elapsed as done and
+// resumes fetch after mispredicted branches resolve.
+func (c *OoOCore) complete(now uint64) {
+	for _, t := range c.threads {
+		for i := 0; i < t.size; i++ {
+			e := t.robAt(i)
+			if e.state == robIssued && e.completeAt <= now {
+				e.state = robDone
+				if e.mispredicted && t.fetchBlocked {
+					t.fetchBlocked = false
+					t.fetchResumeAt = now + uint64(c.cfg.MispredictPenalty)
+				}
+			}
+		}
+	}
+}
+
+// ready reports whether entry e's sources are produced.
+func (c *OoOCore) ready(t *oooThread, e *robEntry) bool {
+	for _, p := range e.prod {
+		if !p.valid {
+			continue
+		}
+		pe := &t.rob[p.pos]
+		if pe.seq == p.seq && pe.state != robDone {
+			return false
+		}
+	}
+	return true
+}
+
+// issue selects up to Width ready waiting instructions, oldest first, with
+// per-FU structural limits. SMT+ issues the priority thread's ready
+// instructions first.
+func (c *OoOCore) issue(now uint64) {
+	total := c.cfg.Width
+	ldst, fp, mul, ialu := c.cfg.LdStPorts, c.cfg.FPUs, c.cfg.Muls, c.cfg.IntALUs
+
+	order := make([]int, 0, len(c.threads))
+	if c.cfg.PriorityThread >= 0 && c.cfg.PriorityThread < len(c.threads) {
+		order = append(order, c.cfg.PriorityThread)
+		for i := range c.threads {
+			if i != c.cfg.PriorityThread {
+				order = append(order, i)
+			}
+		}
+	} else {
+		start := c.rrPtr
+		c.rrPtr = (c.rrPtr + 1) % len(c.threads)
+		for k := range c.threads {
+			order = append(order, (start+k)%len(c.threads))
+		}
+	}
+
+	for _, tid := range order {
+		t := c.threads[tid]
+		if total == 0 {
+			break
+		}
+		for i := 0; i < t.size && total > 0; i++ {
+			e := t.robAt(i)
+			if e.state != robWaiting || !c.ready(t, e) {
+				continue
+			}
+			switch e.in.Op {
+			case isa.OpLoad, isa.OpStore, isa.OpRemote:
+				if ldst == 0 {
+					continue
+				}
+			case isa.OpPark:
+				// Parking needs no functional unit.
+			case isa.OpFPAlu:
+				if fp == 0 {
+					continue
+				}
+			case isa.OpIntMul:
+				if mul == 0 {
+					continue
+				}
+			default:
+				if ialu == 0 {
+					continue
+				}
+			}
+			// Issue.
+			e.state = robIssued
+			t.iqCount--
+			total--
+			c.Stats.IssueSlotsUsed++
+			switch e.in.Op {
+			case isa.OpLoad:
+				ldst--
+				e.completeAt = now + uint64(c.dport.Access(now, e.in.Addr, false))
+			case isa.OpStore:
+				ldst--
+				c.dport.Access(now, e.in.Addr, true)
+				e.completeAt = now + LatStore
+			case isa.OpRemote:
+				ldst--
+				t.Stats.Remotes++
+				completeAt := now + CyclesFromNs(e.in.RemoteNs, c.cfg.FreqGHz)
+				e.completeAt = completeAt
+				action := RemoteBlock
+				if c.OnRemote != nil {
+					action = c.OnRemote(tid, e.in, completeAt)
+				}
+				_ = action // both actions leave the entry waiting for completeAt
+			case isa.OpPark:
+				// Wait in place until the poll interval elapses.
+				e.completeAt = now + CyclesFromNs(e.in.RemoteNs, c.cfg.FreqGHz)
+			case isa.OpFPAlu:
+				fp--
+				e.completeAt = now + LatFPAlu
+			case isa.OpIntMul:
+				mul--
+				e.completeAt = now + LatIntMul
+			case isa.OpBranch:
+				ialu--
+				e.completeAt = now + LatBranch
+			default:
+				ialu--
+				e.completeAt = now + LatIntAlu
+			}
+		}
+	}
+}
+
+// dispatch renames and inserts fetched instructions into the ROB/IQ.
+func (c *OoOCore) dispatch(now uint64) {
+	budget := c.cfg.Width
+	n := len(c.threads)
+	start := c.rrPtr
+	for k := 0; k < n && budget > 0; k++ {
+		tid := (start + k) % n
+		t := c.threads[tid]
+		for budget > 0 && len(t.fetchBuf) > 0 {
+			in := t.fetchBuf[0]
+			if t.size == len(t.rob) {
+				break // per-thread ROB full
+			}
+			if c.sharedIQ() >= c.cfg.IQEntries || t.iqCount >= c.capFor(tid, c.cfg.IQEntries) {
+				break
+			}
+			needPhys := in.Dst != isa.RegNone
+			if needPhys && c.sharedPhys() >= c.cfg.PhysRegs {
+				break
+			}
+			if in.Op == isa.OpLoad || in.Op == isa.OpRemote {
+				if c.sharedLQ() >= c.cfg.LQEntries || t.lqCount >= c.capFor(tid, c.cfg.LQEntries) {
+					break
+				}
+			}
+			if in.Op == isa.OpStore {
+				if c.sharedSQ() >= c.cfg.SQEntries || t.sqCount >= c.capFor(tid, c.cfg.SQEntries) {
+					break
+				}
+			}
+			t.fetchBuf = t.fetchBuf[1:]
+			pos := (t.head + t.size) % len(t.rob)
+			t.nextSeq++
+			e := &t.rob[pos]
+			*e = robEntry{seq: t.nextSeq, in: in, state: robWaiting}
+			if t.pendingMispredict && len(t.fetchBuf) == 0 {
+				e.mispredicted = true
+				t.pendingMispredict = false
+			}
+			// Record producer links before updating the rename map.
+			if in.Src1 != isa.RegNone {
+				e.prod[0] = t.regProducer[in.Src1]
+			}
+			if in.Src2 != isa.RegNone {
+				e.prod[1] = t.regProducer[in.Src2]
+			}
+			if needPhys {
+				e.hasPhys = true
+				t.physCount++
+				t.regProducer[in.Dst] = prodLink{valid: true, pos: pos, seq: e.seq}
+			}
+			if in.Op == isa.OpLoad || in.Op == isa.OpRemote {
+				e.inLQ = true
+				t.lqCount++
+			}
+			if in.Op == isa.OpStore {
+				e.inSQ = true
+				t.sqCount++
+			}
+			t.iqCount++
+			t.size++
+			budget--
+		}
+	}
+}
+
+// fetch brings instructions into the fetch buffer of the thread selected
+// by the fetch policy (ICOUNT by default; priority thread first for SMT+).
+func (c *OoOCore) fetch(now uint64) {
+	// Select thread order.
+	order := make([]int, 0, len(c.threads))
+	switch {
+	case c.cfg.PriorityThread >= 0 && c.cfg.PriorityThread < len(c.threads):
+		order = append(order, c.cfg.PriorityThread)
+		for i := range c.threads {
+			if i != c.cfg.PriorityThread {
+				order = append(order, i)
+			}
+		}
+	default:
+		// ICOUNT: ascending in-flight count.
+		for i := range c.threads {
+			order = append(order, i)
+		}
+		for a := 1; a < len(order); a++ {
+			for b := a; b > 0 && c.threads[order[b]].inflight() < c.threads[order[b-1]].inflight(); b-- {
+				order[b], order[b-1] = order[b-1], order[b]
+			}
+		}
+	}
+
+	budget := c.cfg.Width
+	fetchedAny := false
+	for _, tid := range order {
+		t := c.threads[tid]
+		if budget == 0 {
+			break
+		}
+		if t.fetchHalted || t.fetchBlocked || t.fetchResumeAt > now {
+			continue
+		}
+		for budget > 0 && len(t.fetchBuf) < c.cfg.FetchBufEntries {
+			var in isa.Instr
+			var ok bool
+			if len(t.replay) > 0 {
+				in, ok = t.replay[0], true
+				t.replay = t.replay[1:]
+			} else {
+				in, ok = t.stream.Next(now)
+			}
+			if !ok {
+				if t.inflight() == 0 {
+					t.Stats.IdleCycles++
+				}
+				break
+			}
+			line := in.PC >> 6
+			if line != t.lastLine {
+				t.lastLine = line
+				ilat := uint64(c.iport.Access(now, in.PC, false))
+				if ilat > uint64(c.iport.L1.HitLatency()) {
+					t.fetchResumeAt = now + ilat
+				}
+			}
+			t.fetchBuf = append(t.fetchBuf, in)
+			budget--
+			fetchedAny = true
+			if in.Op == isa.OpBranch {
+				if c.pred.PredictAndTrain(in) {
+					// Stall fetch until this branch resolves (plus the
+					// redirect penalty applied in complete()).
+					t.fetchBlocked = true
+					t.pendingMispredict = true
+					break
+				}
+				if in.Taken {
+					break // taken-branch fetch break
+				}
+			}
+			if t.fetchResumeAt > now {
+				break
+			}
+		}
+	}
+	if !fetchedAny {
+		c.Stats.FetchStallCycles++
+	}
+}
+
+// Run steps the core for n cycles starting at cycle start and returns the
+// next cycle value (start+n).
+func (c *OoOCore) Run(start, n uint64) uint64 {
+	for i := uint64(0); i < n; i++ {
+		c.Step(start + i)
+	}
+	return start + n
+}

@@ -1,0 +1,44 @@
+package cpu
+
+// ThreadStats accumulates per-hardware-thread execution statistics.
+type ThreadStats struct {
+	// Retired counts committed (OoO) or issued-in-order (InO) instructions.
+	Retired uint64
+	// Remotes counts demarcated µs-scale remote operations.
+	Remotes uint64
+	// RemoteStallCycles accumulates cycles the thread spent blocked on
+	// remote operations (OoO engine, where the thread stays resident).
+	RemoteStallCycles uint64
+	// IdleCycles accumulates cycles with no work available.
+	IdleCycles uint64
+	// RequestsCompleted counts committed EndOfRequest markers.
+	RequestsCompleted uint64
+}
+
+// CoreStats aggregates per-core counters.
+type CoreStats struct {
+	Cycles       uint64
+	TotalRetired uint64
+	// FetchStallCycles counts cycles the front end fetched nothing.
+	FetchStallCycles uint64
+	// IssueSlotsUsed counts issue slots filled (utilization numerator is
+	// retired instructions; this tracks raw issue activity).
+	IssueSlotsUsed uint64
+}
+
+// IPC returns total retired instructions per cycle.
+func (s CoreStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.TotalRetired) / float64(s.Cycles)
+}
+
+// Utilization returns retired instructions per peak retire slot — the
+// paper's core-utilization metric (retired IPC divided by width 4).
+func (s CoreStats) Utilization(width int) float64 {
+	if s.Cycles == 0 || width == 0 {
+		return 0
+	}
+	return float64(s.TotalRetired) / float64(s.Cycles*uint64(width))
+}

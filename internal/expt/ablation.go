@@ -1,0 +1,119 @@
+package expt
+
+import (
+	"fmt"
+
+	"duplexity/internal/core"
+	"duplexity/internal/workload"
+)
+
+// This file implements the ablation studies DESIGN.md calls out: each
+// isolates one Duplexity design choice and measures its effect on the
+// McRouter dyad (the workload with the paper's highest stall ratio).
+
+// ablationDyad builds a Duplexity dyad with nContexts virtual contexts.
+func (s *Suite) ablationDyad(nContexts int, noL0 bool, restart int64) (*core.Dyad, error) {
+	spec := workload.McRouter()
+	master, err := spec.NewMaster(0.5, core.DesignDuplexity.FreqGHz(), s.opts.Seed+5)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := s.fillerStreams(core.DesignDuplexity, s.opts.Seed+11)
+	if err != nil {
+		return nil, err
+	}
+	if nContexts < len(batch) {
+		batch = batch[:nContexts]
+	}
+	d, err := core.NewDyad(core.Config{
+		Design:       core.DesignDuplexity,
+		MasterStream: master,
+		BatchStreams: batch,
+		NoL0:         noL0,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if restart >= 0 {
+		d.Master.SetRestartLat(uint64(restart))
+	}
+	return d, nil
+}
+
+// AblationVirtualContexts reproduces the Section IV sizing discussion:
+// dyad utilization as the virtual-context pool shrinks from 32 (the
+// paper's recommendation) down to the 16 physical contexts.
+func (s *Suite) AblationVirtualContexts() (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: virtual contexts per dyad (Duplexity, McRouter@50%)",
+		Columns: []string{"virtual contexts", "master-core utilization", "batch MIPS"},
+		Notes: []string{
+			"16 contexts only fill the two cores' physical contexts; a backlog is needed to hide µs-scale stalls (Section IV)",
+		},
+	}
+	budget := s.opts.cycles(2_500_000)
+	for _, n := range []int{8, 16, 24, 32} {
+		d, err := s.ablationDyad(n, false, -1)
+		if err != nil {
+			return nil, err
+		}
+		d.Run(budget)
+		t.AddRow(fmt.Sprintf("%d", n), f3(d.MasterUtilization()),
+			fmt.Sprintf("%.0f", float64(d.BatchRetired())/d.Seconds()/1e6))
+	}
+	return t, nil
+}
+
+// AblationRestartLatency varies the master-thread restart cost, isolating
+// the value of Duplexity's ~50-cycle L0-based filler eviction
+// (Section III-B4) against MorphCore-style microcode spills.
+func (s *Suite) AblationRestartLatency() (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: master-thread restart latency (Duplexity, McRouter@50%)",
+		Columns: []string{"restart (cycles)", "p99 latency (µs)", "master-core utilization"},
+		Notes: []string{
+			"50 cycles is the paper's L0-spill fast eviction; 300 approximates a microcode spill; 2000 an OS-assisted switch",
+		},
+	}
+	budget := s.opts.cycles(4_000_000)
+	for _, restart := range []int64{0, 50, 300, 2000} {
+		d, err := s.ablationDyad(32, false, restart)
+		if err != nil {
+			return nil, err
+		}
+		d.Run(budget)
+		p99 := 0.0
+		if d.Latencies.Count() > 0 {
+			p99 = d.CyclesToUs(d.Latencies.P99())
+		}
+		t.AddRow(fmt.Sprintf("%d", restart), f1(p99), f3(d.MasterUtilization()))
+	}
+	return t, nil
+}
+
+// AblationL0 removes the L0 filter caches: every filler reference then
+// crosses the dyad to the lender's L1s, paying the remote hop and
+// doubling pressure on the lender's cache ports (Section III-B3).
+func (s *Suite) AblationL0() (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: L0 filter caches (Duplexity, McRouter@50%)",
+		Columns: []string{"configuration", "master-core utilization", "batch MIPS", "lender L1D accesses/kcycle"},
+	}
+	budget := s.opts.cycles(2_500_000)
+	for _, noL0 := range []bool{false, true} {
+		d, err := s.ablationDyad(32, noL0, -1)
+		if err != nil {
+			return nil, err
+		}
+		d.Run(budget)
+		name := "with L0 (2KB I / 4KB D)"
+		if noL0 {
+			name = "without L0"
+		}
+		accesses := d.LenderMem.L1D.Stats.TotalAccesses()
+		t.AddRow(name, f3(d.MasterUtilization()),
+			fmt.Sprintf("%.0f", float64(d.BatchRetired())/d.Seconds()/1e6),
+			f1(float64(accesses)/float64(d.Now())*1000))
+	}
+	return t, nil
+}

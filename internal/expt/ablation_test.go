@@ -1,0 +1,65 @@
+package expt
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblationVirtualContexts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-level experiment")
+	}
+	s := NewSuite(Options{Scale: 0.15, Seed: 2})
+	tb, err := s.AblationVirtualContexts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// More virtual contexts must not reduce utilization materially; the
+	// backlog (32) should clearly beat bare physical contexts (8).
+	u8 := parse(t, tb.Rows[0][1])
+	u32 := parse(t, tb.Rows[3][1])
+	if u32 < u8*1.1 {
+		t.Errorf("32 contexts (%v) not clearly better than 8 (%v)", u32, u8)
+	}
+}
+
+func TestAblationRestartLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-level experiment")
+	}
+	s := NewSuite(Options{Scale: 0.15, Seed: 2})
+	tb, err := s.AblationRestartLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2000-cycle restart must visibly hurt tail latency vs 50 cycles.
+	p50c, err1 := strconv.ParseFloat(tb.Rows[1][1], 64)
+	p2000, err2 := strconv.ParseFloat(tb.Rows[3][1], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparseable p99 cells: %v %v", tb.Rows[1][1], tb.Rows[3][1])
+	}
+	if p2000 <= p50c {
+		t.Errorf("slow restart p99 %v not above fast restart %v", p2000, p50c)
+	}
+}
+
+func TestAblationL0(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-level experiment")
+	}
+	s := NewSuite(Options{Scale: 0.15, Seed: 2})
+	tb, err := s.AblationL0()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The L0s are bandwidth filters: removing them must raise lender L1D
+	// traffic per cycle.
+	with := parse(t, tb.Rows[0][3])
+	without := parse(t, tb.Rows[1][3])
+	if without <= with {
+		t.Errorf("lender L1D traffic without L0 (%v) not above with L0 (%v)", without, with)
+	}
+}

@@ -1,0 +1,37 @@
+package expt
+
+import (
+	"fmt"
+	"testing"
+
+	"duplexity/internal/core"
+	"duplexity/internal/workload"
+)
+
+// TestServiceCalibration checks that the simulated baseline service time
+// of each microservice lands near the paper's nominal service time
+// (the per-workload instruction densities in the workload package are
+// calibrated against this).
+func TestServiceCalibration(t *testing.T) {
+	for _, spec := range workload.Microservices() {
+		closed := workload.NewClosedStream(spec.NewGen(1013))
+		d, err := core.NewDyad(core.Config{
+			Design:       core.DesignBaseline,
+			MasterStream: closed,
+			BatchStreams: workload.BatchSet(32, 5),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := d.RunUntilRequests(120, 12_000_000)
+		if done == 0 {
+			t.Fatalf("%s: no requests", spec.Name)
+		}
+		us := float64(d.Now()) / float64(done) / (d.Freq * 1e3)
+		fmt.Printf("%-9s measured %.1fµs nominal %.1fµs (ratio %.2f)\n",
+			spec.Name, us, spec.NominalServiceUs, us/spec.NominalServiceUs)
+		if r := us / spec.NominalServiceUs; r < 0.7 || r > 1.4 {
+			t.Errorf("%s: measured service %.1fµs vs nominal %.1fµs", spec.Name, us, spec.NominalServiceUs)
+		}
+	}
+}

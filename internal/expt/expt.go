@@ -1,0 +1,138 @@
+// Package expt is the experiment harness: one entry point per table and
+// figure of the paper, each returning a printable Table whose rows mirror
+// what the paper reports. The cycle-level design × workload × load matrix
+// is simulated once per Suite and shared by the Figure 5 and Figure 6
+// experiments, exactly as one gem5 campaign feeds several plots.
+package expt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Options scales experiment fidelity.
+type Options struct {
+	// Scale multiplies simulation budgets; 1.0 reproduces the paper-scale
+	// run, ~0.1 is a smoke test. Default 1.0.
+	Scale float64
+	// Seed makes the whole campaign reproducible. Default 1.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 1.0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// cycles scales a full-fidelity cycle budget, with a floor that keeps
+// even smoke runs meaningful.
+func (o Options) cycles(full uint64) uint64 {
+	c := uint64(float64(full) * o.Scale)
+	if c < 200_000 {
+		c = 200_000
+	}
+	return c
+}
+
+// requests scales a request-count budget.
+func (o Options) requests(full uint64) uint64 {
+	r := uint64(float64(full) * o.Scale)
+	if r < 20 {
+		r = 20
+	}
+	return r
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(cell)
+			}
+			if i == 0 {
+				b.WriteString(cell)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	b.WriteString(strings.Repeat("-", sum(widths)+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// f2, f3, f4 format floats at fixed precision for table cells.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// Suite memoizes the shared cycle-level simulation campaign.
+type Suite struct {
+	opts Options
+
+	matrix    []cell
+	matrixErr error
+	matrixRun bool
+
+	slowdowns    map[slowKey]float64
+	serviceBase  map[string]float64
+	slowdownsRun bool
+	slowdownsErr error
+}
+
+// NewSuite builds a harness with the given fidelity options.
+func NewSuite(opts Options) *Suite {
+	return &Suite{opts: opts.withDefaults()}
+}

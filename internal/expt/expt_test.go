@@ -1,0 +1,184 @@
+package expt
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{Title: "x", Columns: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.Notes = append(tb.Notes, "n")
+	s := tb.String()
+	for _, want := range []string{"== x ==", "a", "bb", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1.0 || o.Seed != 1 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if got := (Options{Scale: 0.0001}).withDefaults().cycles(3_000_000); got != 200_000 {
+		t.Fatalf("cycle floor = %d", got)
+	}
+	if got := (Options{Scale: 0.0001}).withDefaults().requests(100); got != 20 {
+		t.Fatalf("request floor = %d", got)
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.05})
+	tb := s.Fig1a()
+	if len(tb.Rows) != 7 || len(tb.Columns) != 8 {
+		t.Fatalf("Fig1a dims %dx%d", len(tb.Rows), len(tb.Columns))
+	}
+	// Diagonal (stall == compute) is always 0.5.
+	for i, row := range tb.Rows {
+		if v := parse(t, row[i+1]); v != 0.5 {
+			t.Fatalf("diagonal cell %d = %v", i, v)
+		}
+	}
+	// Monotone down the stall axis.
+	for j := 1; j < len(tb.Columns); j++ {
+		for i := 1; i < len(tb.Rows); i++ {
+			if parse(t, tb.Rows[i][j]) > parse(t, tb.Rows[i-1][j]) {
+				t.Fatal("utilization increased with longer stalls")
+			}
+		}
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	tb := NewSuite(Options{Scale: 0.05}).Fig1b()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("Fig1b rows = %d", len(tb.Rows))
+	}
+	// CDFs are monotone in x and bounded by 1.
+	for _, row := range tb.Rows {
+		prev := -1.0
+		for _, cell := range row[1:] {
+			v := parse(t, cell)
+			if v < prev || v > 1 {
+				t.Fatalf("CDF row %q not monotone in [0,1]", row[0])
+			}
+			prev = v
+		}
+	}
+	// Paper anchors appear in the row labels.
+	if !strings.Contains(tb.Rows[1][0], "mean 10.0µs") {
+		t.Fatalf("200K@50%% mean idle label wrong: %q", tb.Rows[1][0])
+	}
+}
+
+func TestFig2bShape(t *testing.T) {
+	tb := NewSuite(Options{Scale: 0.05}).Fig2b()
+	// Monotone in contexts for both stall rates; endpoint values sane.
+	for col := 1; col <= 2; col++ {
+		prev := -1.0
+		for _, row := range tb.Rows {
+			v := parse(t, row[col])
+			if v < prev {
+				t.Fatal("P(>=8 ready) not monotone in contexts")
+			}
+			prev = v
+		}
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if parse(t, last[1]) < 0.999 {
+		t.Fatal("32 contexts at 10% stall should be ~certain")
+	}
+	if !strings.Contains(tb.Notes[0], "p=0.5 -> 21") {
+		t.Fatalf("min-context note wrong: %q", tb.Notes[0])
+	}
+}
+
+func TestTable1And2(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.05})
+	if got := len(s.Table1().Rows); got != 8 {
+		t.Fatalf("Table I rows = %d", got)
+	}
+	t2 := s.Table2()
+	if got := len(t2.Rows); got != 7 {
+		t.Fatalf("Table II rows = %d", got)
+	}
+	// Spot-check the calibrated areas against the paper.
+	if v := parse(t, t2.Rows[0][1]); v < 11.8 || v > 12.4 {
+		t.Fatalf("baseline area %v, want ~12.1", v)
+	}
+	if v := parse(t, t2.Rows[5][1]); v < 5.2 || v > 5.8 {
+		t.Fatalf("lender area %v, want ~5.5", v)
+	}
+}
+
+func TestWorkloadsTable(t *testing.T) {
+	tb := NewSuite(Options{Scale: 0.05}).Workloads()
+	if len(tb.Rows) != 5 {
+		t.Fatalf("workloads rows = %d", len(tb.Rows))
+	}
+}
+
+// TestFig1cShape runs the cycle-level SMT scaling study at smoke scale
+// and checks the paper's qualitative claims.
+func TestFig1cShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-level experiment")
+	}
+	s := NewSuite(Options{Scale: 0.2, Seed: 3})
+	tb, err := s.Fig1c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	last := len(tb.Columns) - 1
+	for _, row := range tb.Rows {
+		one := parse(t, row[1])
+		sixteen := parse(t, row[last])
+		if sixteen < 2*one {
+			t.Fatalf("%s: no SMT scaling (%v -> %v)", row[0], one, sixteen)
+		}
+	}
+	// µs-scale stalls demand more threads: at 8 threads FLANN-1-1 must
+	// trail the stall-free baseline.
+	base8 := parse(t, tb.Rows[0][5])
+	f11at8 := parse(t, tb.Rows[3][5])
+	if f11at8 >= base8 {
+		t.Fatalf("FLANN-1-1 at 8t (%v) not below baseline (%v)", f11at8, base8)
+	}
+}
+
+// TestFig2aShape checks the InO/OoO convergence claim.
+func TestFig2aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cycle-level experiment")
+	}
+	s := NewSuite(Options{Scale: 0.2, Seed: 3})
+	tb, err := s.Fig2a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oooRow, inoRow := tb.Rows[0], tb.Rows[1]
+	gap1 := parse(t, oooRow[1]) / parse(t, inoRow[1])
+	gap8 := parse(t, oooRow[len(oooRow)-1]) / parse(t, inoRow[len(inoRow)-1])
+	if gap1 < 1.3 {
+		t.Fatalf("single-thread OoO/InO gap %v too small", gap1)
+	}
+	if gap8 > 1.25 {
+		t.Fatalf("8-thread OoO/InO gap %v did not vanish", gap8)
+	}
+}

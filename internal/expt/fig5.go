@@ -1,0 +1,375 @@
+package expt
+
+import (
+	"fmt"
+
+	"duplexity/internal/core"
+	"duplexity/internal/metrics"
+	"duplexity/internal/netmodel"
+	"duplexity/internal/power"
+	"duplexity/internal/queueing"
+	"duplexity/internal/stats"
+	"duplexity/internal/workload"
+)
+
+// designColumns returns the Figure 5 column header set.
+func designColumns(first string) []string {
+	cols := []string{first}
+	for _, d := range core.AllDesigns {
+		cols = append(cols, d.String())
+	}
+	return cols
+}
+
+// perCellTable builds a workload@load × design table from a cell metric,
+// with an aggregate row (arithmetic mean of the metric, or geometric mean
+// when normalizing ratios).
+func (s *Suite) perCellTable(title string, value func(cell) float64, format func(float64) string, geomeanRow bool) (*Table, error) {
+	if _, err := s.Matrix(); err != nil {
+		return nil, err
+	}
+	t := &Table{Title: title, Columns: designColumns("workload@load")}
+	perDesign := make(map[core.Design][]float64)
+	for _, spec := range workload.Microservices() {
+		for _, load := range Loads {
+			row := []string{fmt.Sprintf("%s@%d%%", spec.Name, int(load*100))}
+			for _, d := range core.AllDesigns {
+				v := 0.0
+				for _, c := range s.matrix {
+					if c.design == d && c.workload == spec.Name && c.load == load {
+						v = value(c)
+						break
+					}
+				}
+				perDesign[d] = append(perDesign[d], v)
+				row = append(row, format(v))
+			}
+			t.AddRow(row...)
+		}
+	}
+	mean := []string{"mean"}
+	for _, d := range core.AllDesigns {
+		var m float64
+		var err error
+		if geomeanRow {
+			m, err = metrics.GeoMean(perDesign[d])
+		} else {
+			m, err = metrics.Mean(perDesign[d])
+		}
+		if err != nil {
+			m = 0
+		}
+		mean = append(mean, format(m))
+	}
+	t.AddRow(mean...)
+	return t, nil
+}
+
+// Fig5a regenerates Figure 5(a): master-core utilization (instructions
+// retired on the master-core — including borrowed filler-threads, but
+// not the lender-core — over peak retire slots).
+func (s *Suite) Fig5a() (*Table, error) {
+	return s.perCellTable(
+		"Figure 5(a): core utilization",
+		func(c cell) float64 { return c.utilization },
+		f3, false)
+}
+
+// Fig5b regenerates Figure 5(b): performance density (instructions per
+// second per mm² of the evaluated unit), normalized to Baseline.
+func (s *Suite) Fig5b() (*Table, error) {
+	density := func(c cell) float64 {
+		d, err := power.PerfDensity(c.design, power.Activity{
+			Seconds: c.seconds, OoOInstrs: c.oooRetired, InOInstrs: c.inoRetired,
+		})
+		if err != nil {
+			return 0
+		}
+		return d
+	}
+	if _, err := s.Matrix(); err != nil {
+		return nil, err
+	}
+	baseline := make(map[string]float64)
+	for _, c := range s.matrix {
+		if c.design == core.DesignBaseline {
+			baseline[fmt.Sprintf("%s@%v", c.workload, c.load)] = density(c)
+		}
+	}
+	t, err := s.perCellTable(
+		"Figure 5(b): normalized performance density",
+		func(c cell) float64 {
+			b := baseline[fmt.Sprintf("%s@%v", c.workload, c.load)]
+			if b == 0 {
+				return 0
+			}
+			return density(c) / b
+		},
+		f2, true)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "instructions/s/mm² over core+lender+2MB LLC, normalized to Baseline")
+	return t, nil
+}
+
+// Fig5c regenerates Figure 5(c): energy per instruction normalized to
+// Baseline (lower is better).
+func (s *Suite) Fig5c() (*Table, error) {
+	energy := func(c cell) float64 {
+		e, err := power.EnergyPerInstrNJ(c.design, power.Activity{
+			Seconds: c.seconds, OoOInstrs: c.oooRetired, InOInstrs: c.inoRetired,
+		})
+		if err != nil {
+			return 0
+		}
+		return e
+	}
+	if _, err := s.Matrix(); err != nil {
+		return nil, err
+	}
+	baseline := make(map[string]float64)
+	for _, c := range s.matrix {
+		if c.design == core.DesignBaseline {
+			baseline[fmt.Sprintf("%s@%v", c.workload, c.load)] = energy(c)
+		}
+	}
+	t, err := s.perCellTable(
+		"Figure 5(c): normalized energy per instruction (lower is better)",
+		func(c cell) float64 {
+			b := baseline[fmt.Sprintf("%s@%v", c.workload, c.load)]
+			if b == 0 {
+				return 0
+			}
+			return energy(c) / b
+		},
+		f2, true)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, "leakage over chip area plus per-instruction dynamic energy, normalized to Baseline")
+	return t, nil
+}
+
+// tailP99 runs the BigHouse-style queueing stage for one design point.
+func (s *Suite) tailP99(design core.Design, spec *workload.Spec, load, lambdaQPS float64) (float64, error) {
+	slow := s.slowdowns[slowKey{design, spec.Name}]
+	if slow == 0 {
+		return 0, fmt.Errorf("expt: no slowdown for %v/%s", design, spec.Name)
+	}
+	// Per-request master restart overhead applies to requests that arrive
+	// while the core is morphed (approximately the idle fraction).
+	var extra stats.Distribution
+	if r := design.RestartLat(); r > 0 {
+		restartUs := float64(r) / (design.FreqGHz() * 1e3)
+		extra = stats.Deterministic{Value: restartUs * (1 - load)}
+	}
+	rho := lambdaQPS * spec.NominalServiceUs * slow / 1e6
+	// Common random numbers: all designs at one (workload, load) point
+	// share a seed, so normalized tail ratios difference out sampling
+	// noise. Sojourn times are autocorrelated at high load, so the CI
+	// stopping rule alone is optimistic; a large floor keeps p99 stable.
+	cfg := queueing.Config{
+		ArrivalQPS:  lambdaQPS,
+		ServiceUs:   stats.Scaled{Base: spec.ServiceDist(), Factor: slow},
+		ExtraUs:     extra,
+		Seed:        s.opts.Seed*131 + uint64(len(spec.Name))*977 + uint64(load*1000),
+		MinRequests: 400_000,
+		MaxRequests: 3_000_000,
+	}
+	if rho >= 0.95 {
+		// Saturated design point: measure the tail over a finite window,
+		// as on real hardware.
+		cfg.AllowUnstable = true
+		cfg.MaxRequests = int(s.opts.Scale * 400_000)
+		if cfg.MaxRequests < 50_000 {
+			cfg.MaxRequests = 50_000
+		}
+	}
+	res, err := queueing.Simulate(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.P99Us, nil
+}
+
+// Fig5d regenerates Figure 5(d): 99th-percentile tail latency of the
+// microservice, normalized to Baseline, at equal offered load.
+func (s *Suite) Fig5d() (*Table, error) {
+	if _, err := s.Slowdowns(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 5(d): normalized 99th-percentile tail latency",
+		Columns: designColumns("workload@load"),
+		Notes: []string{
+			"BigHouse methodology: M/G/1 at request granularity, service scaled by measured IPC slowdown",
+			"values >> 1 indicate QoS violation; saturated points measured over a finite window",
+		},
+	}
+	perDesign := make(map[core.Design][]float64)
+	for _, spec := range workload.Microservices() {
+		for _, load := range Loads {
+			lambda := spec.QPSAtLoad(load)
+			base, err := s.tailP99(core.DesignBaseline, spec, load, lambda)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{fmt.Sprintf("%s@%d%%", spec.Name, int(load*100))}
+			for _, d := range core.AllDesigns {
+				p, err := s.tailP99(d, spec, load, lambda)
+				if err != nil {
+					return nil, err
+				}
+				norm := p / base
+				perDesign[d] = append(perDesign[d], norm)
+				row = append(row, f2(norm))
+			}
+			t.AddRow(row...)
+		}
+	}
+	mean := []string{"geomean"}
+	for _, d := range core.AllDesigns {
+		m, err := metrics.GeoMean(perDesign[d])
+		if err != nil {
+			m = 0
+		}
+		mean = append(mean, f2(m))
+	}
+	t.AddRow(mean...)
+	return t, nil
+}
+
+// Fig5e regenerates Figure 5(e): iso-throughput 99th-percentile tail
+// latency — load scaled per design in proportion to its performance
+// density, normalized to Baseline.
+func (s *Suite) Fig5e() (*Table, error) {
+	if _, err := s.Slowdowns(); err != nil {
+		return nil, err
+	}
+	if _, err := s.Matrix(); err != nil {
+		return nil, err
+	}
+	density := func(d core.Design, wl string, load float64) float64 {
+		for _, c := range s.matrix {
+			if c.design == d && c.workload == wl && c.load == load {
+				pd, err := power.PerfDensity(d, power.Activity{
+					Seconds: c.seconds, OoOInstrs: c.oooRetired, InOInstrs: c.inoRetired,
+				})
+				if err != nil {
+					return 0
+				}
+				return pd
+			}
+		}
+		return 0
+	}
+	t := &Table{
+		Title:   "Figure 5(e): normalized iso-throughput 99th-percentile tail latency",
+		Columns: designColumns("workload@load"),
+		Notes: []string{
+			"arrival rate scaled per design by its performance density (equal cost comparison)",
+		},
+	}
+	perDesign := make(map[core.Design][]float64)
+	for _, spec := range workload.Microservices() {
+		for _, load := range Loads {
+			lambdaBase := spec.QPSAtLoad(load)
+			dBase := density(core.DesignBaseline, spec.Name, load)
+			base, err := s.tailP99(core.DesignBaseline, spec, load, lambdaBase)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{fmt.Sprintf("%s@%d%%", spec.Name, int(load*100))}
+			for _, d := range core.AllDesigns {
+				lambda := lambdaBase
+				if dd := density(d, spec.Name, load); dd > 0 && dBase > 0 {
+					lambda = lambdaBase * dd / dBase
+				}
+				p, err := s.tailP99(d, spec, load, lambda)
+				if err != nil {
+					return nil, err
+				}
+				norm := p / base
+				perDesign[d] = append(perDesign[d], norm)
+				row = append(row, f2(norm))
+			}
+			t.AddRow(row...)
+		}
+	}
+	mean := []string{"geomean"}
+	for _, d := range core.AllDesigns {
+		m, err := metrics.GeoMean(perDesign[d])
+		if err != nil {
+			m = 0
+		}
+		mean = append(mean, f2(m))
+	}
+	t.AddRow(mean...)
+	return t, nil
+}
+
+// Fig5f regenerates Figure 5(f): batch-thread system throughput (STP),
+// normalized to Baseline. With homogeneous batch threads, STP is
+// proportional to aggregate batch instruction throughput, so the
+// normalization is exact.
+func (s *Suite) Fig5f() (*Table, error) {
+	if _, err := s.Matrix(); err != nil {
+		return nil, err
+	}
+	baseline := make(map[string]float64)
+	for _, c := range s.matrix {
+		if c.design == core.DesignBaseline {
+			baseline[fmt.Sprintf("%s@%v", c.workload, c.load)] = float64(c.batchRetired) / c.seconds
+		}
+	}
+	t, err := s.perCellTable(
+		"Figure 5(f): normalized batch system throughput (STP)",
+		func(c cell) float64 {
+			b := baseline[fmt.Sprintf("%s@%v", c.workload, c.load)]
+			if b == 0 {
+				return 0
+			}
+			return float64(c.batchRetired) / c.seconds / b
+		},
+		f2, true)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"batch = lender-core + borrowed fillers + SMT co-runner; PageRank/SSSP BSP filler threads")
+	return t, nil
+}
+
+// Fig6 regenerates Figure 6: network IOPS utilization per dyad on an
+// FDR 4x InfiniBand link.
+func (s *Suite) Fig6() (*Table, error) {
+	if _, err := s.Matrix(); err != nil {
+		return nil, err
+	}
+	nic := netmodel.FDR4x()
+	maxU := 0.0
+	t, err := s.perCellTable(
+		"Figure 6: network IOPS utilization per dyad (%)",
+		func(c cell) float64 {
+			u, _, err := nic.Utilization(c.remotesPerS, 64)
+			if err != nil {
+				return 0
+			}
+			if u > maxU {
+				maxU = u
+			}
+			return u * 100
+		},
+		f2, false)
+	if err != nil {
+		return nil, err
+	}
+	dyads := 0
+	if maxU > 0 {
+		dyads = int(1 / maxU)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("max per-dyad utilization %.2f%%: %d dyads can share one FDR port", maxU*100, dyads))
+	return t, nil
+}

@@ -1,0 +1,148 @@
+package expt
+
+import (
+	"strconv"
+	"testing"
+
+	"duplexity/internal/core"
+)
+
+// colOf returns the column index for a design in a Figure 5 table.
+func colOf(tb *Table, d core.Design) int {
+	for i, c := range tb.Columns {
+		if c == d.String() {
+			return i
+		}
+	}
+	return -1
+}
+
+// meanOf parses the aggregate row value for a design.
+func meanOf(t *testing.T, tb *Table, d core.Design) float64 {
+	t.Helper()
+	col := colOf(tb, d)
+	if col < 0 {
+		t.Fatalf("design %v not in table %q", d, tb.Title)
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	v, err := strconv.ParseFloat(last[col], 64)
+	if err != nil {
+		t.Fatalf("aggregate cell %q: %v", last[col], err)
+	}
+	return v
+}
+
+// TestFig5Headlines runs the whole Figure 5 + Figure 6 pipeline at smoke
+// scale and asserts the paper's qualitative findings. This is the
+// repository's main integration test (~2-4 minutes).
+func TestFig5Headlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	s := NewSuite(Options{Scale: 0.08, Seed: 1})
+
+	// Figure 5(a): HSMT-based designs dominate utilization.
+	fa, err := s.Fig5a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := meanOf(t, fa, core.DesignBaseline)
+	smt := meanOf(t, fa, core.DesignSMT)
+	dup := meanOf(t, fa, core.DesignDuplexity)
+	repl := meanOf(t, fa, core.DesignDuplexityRepl)
+	if dup < 2*base {
+		t.Errorf("Fig5a: Duplexity %v not >> baseline %v", dup, base)
+	}
+	if dup < 1.5*smt {
+		t.Errorf("Fig5a: Duplexity %v not clearly above SMT %v", dup, smt)
+	}
+	if repl < dup*0.9 {
+		t.Errorf("Fig5a: replication variant %v should be at or above Duplexity %v", repl, dup)
+	}
+
+	// Figure 5(b): replication pays a density penalty vs Duplexity.
+	fb, err := s.Fig5b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOf(t, fb, core.DesignDuplexityRepl) >= meanOf(t, fb, core.DesignDuplexity) {
+		t.Errorf("Fig5b: replication density not below Duplexity")
+	}
+
+	// Figure 5(c): Duplexity at or below baseline energy per instruction.
+	fc, err := s.Fig5c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOf(t, fc, core.DesignDuplexity) > 1.05 {
+		t.Errorf("Fig5c: Duplexity energy %v above baseline", meanOf(t, fc, core.DesignDuplexity))
+	}
+	if meanOf(t, fc, core.DesignSMT) < 1.0 {
+		t.Errorf("Fig5c: SMT energy %v unexpectedly below baseline", meanOf(t, fc, core.DesignSMT))
+	}
+
+	// Figure 5(d): SMT blows up the tail; Duplexity stays near baseline.
+	fd, err := s.Fig5d()
+	if err != nil {
+		t.Fatal(err)
+	}
+	smtTail := meanOf(t, fd, core.DesignSMT)
+	dupTail := meanOf(t, fd, core.DesignDuplexity)
+	if smtTail < 1.15 {
+		t.Errorf("Fig5d: SMT tail %v not inflated", smtTail)
+	}
+	if dupTail > 1.25 {
+		t.Errorf("Fig5d: Duplexity tail %v too far above baseline", dupTail)
+	}
+	if dupTail > smtTail {
+		t.Errorf("Fig5d: Duplexity tail %v above SMT %v", dupTail, smtTail)
+	}
+
+	// Figure 5(e): at equal cost, Duplexity's tail beats SMT's by a wide
+	// margin (the paper's headline 2.7x average win over SMT).
+	fe, err := s.Fig5e()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOf(t, fe, core.DesignSMT) < 1.5*meanOf(t, fe, core.DesignDuplexity) {
+		t.Errorf("Fig5e: iso-throughput SMT %v not clearly worse than Duplexity %v",
+			meanOf(t, fe, core.DesignSMT), meanOf(t, fe, core.DesignDuplexity))
+	}
+
+	// Figure 5(f): Duplexity improves batch STP over baseline.
+	ff, err := s.Fig5f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanOf(t, ff, core.DesignDuplexity) < 1.02 {
+		t.Errorf("Fig5f: Duplexity batch STP %v not above baseline", meanOf(t, ff, core.DesignDuplexity))
+	}
+
+	// Figure 6: per-dyad IOPS utilization small enough to share a port.
+	f6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range f6.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("Fig6 cell %q: %v", cell, err)
+			}
+			if v > 25 {
+				t.Errorf("Fig6: dyad uses %v%% of FDR IOPS — implausible", v)
+			}
+		}
+	}
+
+	// Slowdowns table is available and baseline is exactly 1.
+	sl, err := s.ServiceSlowdowns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range sl.Rows {
+		if v, _ := strconv.ParseFloat(row[1], 64); v != 1.0 {
+			t.Errorf("baseline slowdown %v != 1", v)
+		}
+	}
+}

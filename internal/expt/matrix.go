@@ -1,0 +1,188 @@
+package expt
+
+import (
+	"fmt"
+
+	"duplexity/internal/core"
+	"duplexity/internal/graphwl"
+	"duplexity/internal/isa"
+	"duplexity/internal/workload"
+)
+
+// Loads are the offered-load levels of the Figure 5 experiments.
+var Loads = []float64{0.3, 0.5, 0.7}
+
+// cell is one point of the design × workload × load campaign.
+type cell struct {
+	design   core.Design
+	workload string
+	load     float64
+
+	utilization  float64
+	seconds      float64
+	oooRetired   uint64
+	inoRetired   uint64
+	batchRetired uint64
+	remotesPerS  float64
+	requests     uint64
+	microP99Us   float64
+}
+
+type slowKey struct {
+	design   core.Design
+	workload string
+}
+
+// fillerStreams builds the Section V filler set for one design: 32 BSP
+// threads split between PageRank and SSSP over a power-law graph. SMT
+// designs additionally get an independent batch thread prepended as the
+// co-runner (a tightly barrier-coupled BSP worker pinned to an SMT
+// context would spend its life waiting for pool-scheduled job-mates,
+// which is a scheduling pathology rather than the co-location the paper
+// evaluates).
+func (s *Suite) fillerStreams(design core.Design, seed uint64) ([]isa.Stream, error) {
+	g, err := graphwl.GenPowerLaw(4096, 12, 0.5, seed)
+	if err != nil {
+		return nil, err
+	}
+	streams, _, _, err := graphwl.NewFillerSet(g, 32, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	switch design {
+	case core.DesignSMT, core.DesignSMTPlus:
+		streams = append([]isa.Stream{workload.Batch(seed + 5)}, streams...)
+	}
+	return streams, nil
+}
+
+// runCell simulates one open-loop matrix point.
+func (s *Suite) runCell(design core.Design, spec *workload.Spec, load float64) (cell, error) {
+	freq := design.FreqGHz()
+	master, err := spec.NewMaster(load, freq, s.opts.Seed+uint64(design)*7+uint64(load*100))
+	if err != nil {
+		return cell{}, err
+	}
+	batch, err := s.fillerStreams(design, s.opts.Seed+31*uint64(design))
+	if err != nil {
+		return cell{}, err
+	}
+	d, err := core.NewDyad(core.Config{
+		Design:       design,
+		MasterStream: master,
+		BatchStreams: batch,
+	})
+	if err != nil {
+		return cell{}, err
+	}
+	// Budget: enough cycles to observe the idle/stall structure at the
+	// lowest load; bounded for smoke runs by Options.Scale.
+	budget := s.opts.cycles(3_000_000)
+	minRequests := s.opts.requests(60)
+	d.Run(budget)
+	for d.MasterOoO.ThreadStats(0).RequestsCompleted < minRequests && d.Now() < 4*budget {
+		d.Run(budget / 4)
+	}
+
+	c := cell{
+		design:       design,
+		workload:     spec.Name,
+		load:         load,
+		utilization:  d.MasterUtilization(),
+		seconds:      d.Seconds(),
+		oooRetired:   d.MasterOoO.Stats.TotalRetired,
+		batchRetired: d.BatchRetired(),
+		remotesPerS:  float64(d.RemoteOps()) / d.Seconds(),
+		requests:     d.MasterOoO.ThreadStats(0).RequestsCompleted,
+	}
+	c.inoRetired = d.LenderCore.Stats.TotalRetired
+	if d.Master != nil {
+		c.inoRetired += d.Master.FillerCore().Stats.TotalRetired
+	}
+	if d.Latencies.Count() > 0 {
+		c.microP99Us = d.CyclesToUs(d.Latencies.P99())
+	}
+	return c, nil
+}
+
+// Matrix runs (or returns the memoized) full campaign.
+func (s *Suite) Matrix() ([]cell, error) {
+	if s.matrixRun {
+		return s.matrix, s.matrixErr
+	}
+	s.matrixRun = true
+	for _, design := range core.AllDesigns {
+		for _, spec := range workload.Microservices() {
+			for _, load := range Loads {
+				c, err := s.runCell(design, spec, load)
+				if err != nil {
+					s.matrixErr = fmt.Errorf("cell %v/%s/%v: %w", design, spec.Name, load, err)
+					return nil, s.matrixErr
+				}
+				s.matrix = append(s.matrix, c)
+			}
+		}
+	}
+	return s.matrix, nil
+}
+
+// Slowdowns measures each design's service-time inflation per workload
+// with a saturated closed-loop run (the Section V methodology: IPC
+// slowdowns measured in the cycle-level simulator scale the service
+// distribution used by the request-granularity queueing simulation).
+func (s *Suite) Slowdowns() (map[slowKey]float64, error) {
+	if s.slowdownsRun {
+		return s.slowdowns, s.slowdownsErr
+	}
+	s.slowdownsRun = true
+	s.slowdowns = make(map[slowKey]float64)
+	s.serviceBase = make(map[string]float64)
+
+	reqTarget := s.opts.requests(150)
+	cap := s.opts.cycles(8_000_000)
+
+	measure := func(design core.Design, spec *workload.Spec) (float64, error) {
+		closed := workload.NewClosedStream(spec.NewGen(s.opts.Seed + 1013))
+		batch, err := s.fillerStreams(design, s.opts.Seed+97*uint64(design))
+		if err != nil {
+			return 0, err
+		}
+		d, err := core.NewDyad(core.Config{
+			Design:       design,
+			MasterStream: closed,
+			BatchStreams: batch,
+		})
+		if err != nil {
+			return 0, err
+		}
+		done := d.RunUntilRequests(reqTarget, cap)
+		if done == 0 {
+			return 0, fmt.Errorf("no requests completed for %v/%s", design, spec.Name)
+		}
+		return float64(d.Now()) / float64(done), nil
+	}
+
+	for _, spec := range workload.Microservices() {
+		base, err := measure(core.DesignBaseline, spec)
+		if err != nil {
+			s.slowdownsErr = err
+			return nil, err
+		}
+		s.serviceBase[spec.Name] = base
+		s.slowdowns[slowKey{core.DesignBaseline, spec.Name}] = 1.0
+		for _, design := range core.AllDesigns {
+			if design == core.DesignBaseline {
+				continue
+			}
+			svc, err := measure(design, spec)
+			if err != nil {
+				s.slowdownsErr = err
+				return nil, err
+			}
+			// Frequency-adjust: cycles per request at different clocks.
+			slow := (svc / design.FreqGHz()) / (base / core.DesignBaseline.FreqGHz())
+			s.slowdowns[slowKey{design, spec.Name}] = slow
+		}
+	}
+	return s.slowdowns, nil
+}

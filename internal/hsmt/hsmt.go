@@ -1,0 +1,255 @@
+// Package hsmt implements Hierarchical Simultaneous Multithreading
+// (Section III-A): a pool of latency-insensitive virtual contexts that
+// time-multiplex the physical contexts of an in-order SMT datapath
+// through a FIFO run queue held in dedicated memory.
+//
+// When a bound context issues a µs-scale remote operation, its state is
+// dumped to the tail of the run queue and a ready context is swapped in.
+// A 100µs round-robin quantum prevents starvation. A dyad's master-core
+// borrows filler-threads by attaching a second Scheduler (its filler
+// engine) to the same Pool: contexts are stolen from the head of the
+// shared run queue, exactly as in Section III-A.
+package hsmt
+
+import (
+	"fmt"
+
+	"duplexity/internal/cpu"
+	"duplexity/internal/isa"
+)
+
+// VirtualContext is one latency-insensitive software thread's schedulable
+// state.
+type VirtualContext struct {
+	// ID identifies the context for statistics.
+	ID int
+	// Stream supplies the context's instruction stream.
+	Stream isa.Stream
+	// ReadyAt is the cycle at which the context's pending remote
+	// operation completes (0 when ready).
+	ReadyAt uint64
+	// Pending holds fetched-but-unissued instructions saved at swap-out,
+	// replayed at the next bind.
+	Pending []isa.Instr
+
+	// Binds counts how many times the context was scheduled.
+	Binds uint64
+}
+
+// Ready reports whether the context can execute at cycle now.
+func (v *VirtualContext) Ready(now uint64) bool { return v.ReadyAt <= now }
+
+// Pool is the dyad-shared run queue of virtual contexts.
+type Pool struct {
+	queue []*VirtualContext
+	// earliest is a lower bound on the next cycle at which any queued
+	// context becomes ready; it lets schedulers skip queue scans.
+	earliest uint64
+
+	// Steals counts head-of-queue grabs; Returns counts re-enqueues.
+	Steals, Returns uint64
+}
+
+// NewPool builds an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Add enqueues a new context at the tail.
+func (p *Pool) Add(vc *VirtualContext) {
+	if vc.ReadyAt < p.earliest {
+		p.earliest = vc.ReadyAt
+	}
+	p.queue = append(p.queue, vc)
+}
+
+// EarliestReady returns a lower bound on the cycle at which the pool next
+// has a ready context (0 when a context may already be ready).
+func (p *Pool) EarliestReady() uint64 { return p.earliest }
+
+// Len returns the number of queued (unbound) contexts.
+func (p *Pool) Len() int { return len(p.queue) }
+
+// ReadyCount returns how many queued contexts are ready at now.
+func (p *Pool) ReadyCount(now uint64) int {
+	n := 0
+	for _, vc := range p.queue {
+		if vc.Ready(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// PopReady removes and returns the first ready context in FIFO order,
+// or nil if none is ready.
+func (p *Pool) PopReady(now uint64) *VirtualContext {
+	if p.earliest > now {
+		return nil
+	}
+	for i, vc := range p.queue {
+		if vc.Ready(now) {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			p.Steals++
+			return vc
+		}
+	}
+	// Nothing ready: tighten the bound so callers skip future scans.
+	p.earliest = ^uint64(0)
+	for _, vc := range p.queue {
+		if vc.ReadyAt < p.earliest {
+			p.earliest = vc.ReadyAt
+		}
+	}
+	return nil
+}
+
+// Push returns a context to the tail of the run queue; readyAt records
+// when its pending stall (if any) resolves.
+func (p *Pool) Push(vc *VirtualContext, readyAt uint64) {
+	vc.ReadyAt = readyAt
+	if readyAt < p.earliest {
+		p.earliest = readyAt
+	}
+	p.queue = append(p.queue, vc)
+	p.Returns++
+}
+
+// Scheduler time-multiplexes a Pool onto an InOCore's physical contexts.
+type Scheduler struct {
+	core *cpu.InOCore
+	pool *Pool
+
+	// SwapLat is the context swap cost in cycles (dump + load of 32
+	// architectural registers through the dedicated run-queue memory).
+	SwapLat uint64
+	// Quantum is the round-robin preemption interval in cycles
+	// (Section IV: 100µs).
+	Quantum uint64
+
+	bound   []*VirtualContext
+	boundAt []uint64
+
+	// Swaps counts stall-triggered context switches; Preempts counts
+	// quantum-expiry switches.
+	Swaps, Preempts uint64
+}
+
+// DefaultSwapLat is the modelled swap cost: spilling and filling 32
+// architectural registers at 4 per cycle through the run-queue memory.
+const DefaultSwapLat = 16
+
+// QuantumCycles returns the 100µs quantum at freqGHz.
+func QuantumCycles(freqGHz float64) uint64 {
+	return cpu.CyclesFromNs(100_000, freqGHz)
+}
+
+// NewScheduler attaches a scheduler to core and pool. It installs the
+// core's OnRemote hook; the caller must not overwrite it.
+func NewScheduler(core *cpu.InOCore, pool *Pool, swapLat, quantum uint64) (*Scheduler, error) {
+	if core == nil || pool == nil {
+		return nil, fmt.Errorf("hsmt: scheduler needs a core and a pool")
+	}
+	if quantum == 0 {
+		return nil, fmt.Errorf("hsmt: zero quantum would starve queued contexts")
+	}
+	s := &Scheduler{
+		core: core, pool: pool, SwapLat: swapLat, Quantum: quantum,
+		bound:   make([]*VirtualContext, core.Slots()),
+		boundAt: make([]uint64, core.Slots()),
+	}
+	core.OnRemote = s.handleRemote
+	return s, nil
+}
+
+// Core returns the scheduled datapath.
+func (s *Scheduler) Core() *cpu.InOCore { return s.core }
+
+// Bound returns the context bound to slot i (nil if none).
+func (s *Scheduler) Bound(i int) *VirtualContext { return s.bound[i] }
+
+// BoundCount returns the number of occupied physical contexts.
+func (s *Scheduler) BoundCount() int {
+	n := 0
+	for _, vc := range s.bound {
+		if vc != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// handleRemote swaps out a context that issued a µs-scale remote op,
+// returning it to the run-queue tail, and binds a ready replacement.
+func (s *Scheduler) handleRemote(slot int, _ isa.Instr, completeAt uint64) cpu.RemoteAction {
+	vc := s.bound[slot]
+	if vc == nil {
+		return cpu.RemoteBlock
+	}
+	_, vc.Pending = s.core.Unbind(slot)
+	s.pool.Push(vc, completeAt)
+	s.bound[slot] = nil
+	s.Swaps++
+	// A replacement is bound on the next Step; physical context pays the
+	// swap cost there.
+	return cpu.RemoteHandled
+}
+
+// Step performs scheduling decisions for cycle now. Call once per cycle,
+// before the core's Step.
+func (s *Scheduler) Step(now uint64) {
+	for i := range s.bound {
+		vc := s.bound[i]
+		if vc == nil {
+			if next := s.pool.PopReady(now); next != nil {
+				s.bind(i, next, now)
+			}
+			continue
+		}
+		// Quantum preemption, only if someone ready is waiting.
+		if now-s.boundAt[i] >= s.Quantum && s.pool.EarliestReady() <= now && s.pool.ReadyCount(now) > 0 {
+			_, vc.Pending = s.core.Unbind(i)
+			s.pool.Push(vc, now)
+			s.bound[i] = nil
+			s.Preempts++
+			if next := s.pool.PopReady(now); next != nil {
+				s.bind(i, next, now)
+			}
+		}
+	}
+}
+
+func (s *Scheduler) bind(slot int, vc *VirtualContext, now uint64) {
+	s.core.Bind(slot, vc.Stream, now, s.SwapLat)
+	if len(vc.Pending) > 0 {
+		s.core.Preload(slot, vc.Pending)
+		vc.Pending = nil
+	}
+	s.bound[slot] = vc
+	s.boundAt[slot] = now
+	vc.Binds++
+}
+
+// EvictAll unbinds every context back to the run queue (the master-core
+// evicting filler-threads when the master-thread becomes ready). Contexts
+// remain ready; their register state is spilled via the L0 by the caller,
+// which charges the restart latency.
+func (s *Scheduler) EvictAll(now uint64) int {
+	n := 0
+	for i := range s.bound {
+		if s.bound[i] == nil {
+			continue
+		}
+		vc := s.bound[i]
+		_, vc.Pending = s.core.Unbind(i)
+		s.pool.Push(vc, now)
+		s.bound[i] = nil
+		n++
+	}
+	return n
+}
+
+// StepCore runs one scheduled cycle: scheduling decisions then the
+// datapath cycle.
+func (s *Scheduler) StepCore(now uint64) {
+	s.Step(now)
+	s.core.Step(now)
+}

@@ -1,0 +1,257 @@
+package hsmt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"duplexity/internal/bpred"
+	"duplexity/internal/cache"
+	"duplexity/internal/cpu"
+	"duplexity/internal/isa"
+	"duplexity/internal/memsys"
+	"duplexity/internal/stats"
+)
+
+func testCore(t *testing.T, slots int) *cpu.InOCore {
+	t.Helper()
+	cm := memsys.NewTableICoreMem("lender")
+	sh := memsys.NewTableIShared("chip", 3.4)
+	i, d := memsys.LocalPorts(cm, sh, cache.OwnerFiller)
+	c, err := cpu.NewInOCore(cpu.TableIConfig(), slots, i, d, bpred.NewLenderUnit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func batch(seed uint64, remote bool) isa.Stream {
+	cfg := isa.SynthConfig{
+		Seed: seed, LoadFrac: 0.2, StoreFrac: 0.07, BranchFrac: 0.12,
+		CodeBytes: 4096, DataBytes: 1 << 16, HotFrac: 0.95, HotBytes: 2 * 1024,
+		StreamFrac: 0.25, DepP: 0.2, BranchRandomFrac: 0.04,
+	}
+	if remote {
+		cfg.RemoteEvery = 300
+		cfg.RemoteLat = stats.Exponential{MeanVal: 1000}
+	}
+	return isa.MustSynthStream(cfg)
+}
+
+func TestPoolFIFO(t *testing.T) {
+	p := NewPool()
+	for i := 0; i < 5; i++ {
+		p.Add(&VirtualContext{ID: i})
+	}
+	for i := 0; i < 5; i++ {
+		vc := p.PopReady(0)
+		if vc == nil || vc.ID != i {
+			t.Fatalf("pop %d returned %v", i, vc)
+		}
+	}
+	if p.PopReady(0) != nil {
+		t.Fatal("empty pool popped a context")
+	}
+}
+
+func TestPoolSkipsBlocked(t *testing.T) {
+	p := NewPool()
+	p.Add(&VirtualContext{ID: 0, ReadyAt: 100})
+	p.Add(&VirtualContext{ID: 1})
+	vc := p.PopReady(50)
+	if vc == nil || vc.ID != 1 {
+		t.Fatalf("expected ready context 1, got %v", vc)
+	}
+	if got := p.ReadyCount(50); got != 0 {
+		t.Fatalf("ready count = %d", got)
+	}
+	if got := p.ReadyCount(100); got != 1 {
+		t.Fatalf("ready count at 100 = %d", got)
+	}
+	if vc0 := p.PopReady(100); vc0 == nil || vc0.ID != 0 {
+		t.Fatalf("blocked context not ready at its ReadyAt: %v", vc0)
+	}
+}
+
+// Property: pool preserves FIFO order among always-ready contexts through
+// arbitrary interleavings of pushes and pops.
+func TestPoolFIFOProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		p := NewPool()
+		next := 0
+		var expect []int
+		for _, push := range ops {
+			if push || p.Len() == 0 {
+				p.Add(&VirtualContext{ID: next})
+				expect = append(expect, next)
+				next++
+			} else {
+				vc := p.PopReady(0)
+				if vc == nil || vc.ID != expect[0] {
+					return false
+				}
+				expect = expect[1:]
+			}
+		}
+		return p.Len() == len(expect)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	if _, err := NewScheduler(nil, NewPool(), 16, 100); err == nil {
+		t.Fatal("nil core accepted")
+	}
+	c := testCore(t, 2)
+	if _, err := NewScheduler(c, NewPool(), 16, 0); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+}
+
+func TestSchedulerBindsReadyContexts(t *testing.T) {
+	core := testCore(t, 4)
+	pool := NewPool()
+	for i := 0; i < 6; i++ {
+		pool.Add(&VirtualContext{ID: i, Stream: batch(uint64(i), false)})
+	}
+	s, err := NewScheduler(core, pool, DefaultSwapLat, QuantumCycles(3.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StepCore(0)
+	if s.BoundCount() != 4 {
+		t.Fatalf("bound %d contexts, want 4", s.BoundCount())
+	}
+	if pool.Len() != 2 {
+		t.Fatalf("pool holds %d, want 2", pool.Len())
+	}
+}
+
+func TestSchedulerSwapsOnRemote(t *testing.T) {
+	core := testCore(t, 2)
+	pool := NewPool()
+	for i := 0; i < 8; i++ {
+		pool.Add(&VirtualContext{ID: i, Stream: batch(uint64(i), true)})
+	}
+	s, err := NewScheduler(core, pool, DefaultSwapLat, QuantumCycles(3.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := uint64(0); now < 200000; now++ {
+		s.StepCore(now)
+	}
+	if s.Swaps == 0 {
+		t.Fatal("no stall-triggered context swaps")
+	}
+	// With 8 contexts over 2 slots and frequent stalls, every context
+	// should have run at least once.
+	ran := 0
+	for _, vc := range pool.queue {
+		if vc.Binds > 0 {
+			ran++
+		}
+	}
+	ran += s.BoundCount()
+	if ran < 6 {
+		t.Fatalf("only %d contexts ever ran", ran)
+	}
+}
+
+// HSMT's reason for existence: with µs-scale stalls, 8 physical contexts
+// backed by 24 virtual contexts must clearly out-throughput 8 contexts
+// with no backing (which block in place).
+func TestHSMTHidesStallsVsPlainSMT(t *testing.T) {
+	run := func(virtual int) float64 {
+		core := testCore(t, 8)
+		pool := NewPool()
+		for i := 0; i < virtual; i++ {
+			pool.Add(&VirtualContext{ID: i, Stream: batch(uint64(40+i), true)})
+		}
+		s, err := NewScheduler(core, pool, DefaultSwapLat, QuantumCycles(3.4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for now := uint64(0); now < 300000; now++ {
+			s.StepCore(now)
+		}
+		return core.Stats.IPC()
+	}
+	plain := run(8) // 8 contexts, nothing to swap in: stalls block slots
+	hsmt := run(24) // backlog hides stalls
+	if hsmt < plain*1.5 {
+		t.Fatalf("HSMT IPC %v not clearly above plain-SMT IPC %v", hsmt, plain)
+	}
+}
+
+func TestQuantumPreemption(t *testing.T) {
+	core := testCore(t, 1)
+	pool := NewPool()
+	// Two stall-free contexts on one slot: only the quantum rotates them.
+	a := &VirtualContext{ID: 0, Stream: batch(1, false)}
+	b := &VirtualContext{ID: 1, Stream: batch(2, false)}
+	pool.Add(a)
+	pool.Add(b)
+	s, err := NewScheduler(core, pool, DefaultSwapLat, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := uint64(0); now < 10000; now++ {
+		s.StepCore(now)
+	}
+	if s.Preempts < 8 {
+		t.Fatalf("preempts = %d, want ~9 with quantum 1000 over 10000 cycles", s.Preempts)
+	}
+	if a.Binds == 0 || b.Binds == 0 {
+		t.Fatal("round-robin did not rotate both contexts")
+	}
+	if a.Binds < 3 || b.Binds < 3 {
+		t.Fatalf("unbalanced rotation: a=%d b=%d", a.Binds, b.Binds)
+	}
+}
+
+func TestNoPreemptionWithoutWaiters(t *testing.T) {
+	core := testCore(t, 2)
+	pool := NewPool()
+	pool.Add(&VirtualContext{ID: 0, Stream: batch(1, false)})
+	pool.Add(&VirtualContext{ID: 1, Stream: batch(2, false)})
+	s, err := NewScheduler(core, pool, DefaultSwapLat, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := uint64(0); now < 5000; now++ {
+		s.StepCore(now)
+	}
+	if s.Preempts != 0 {
+		t.Fatalf("preempted %d times with an empty run queue", s.Preempts)
+	}
+}
+
+func TestEvictAll(t *testing.T) {
+	core := testCore(t, 4)
+	pool := NewPool()
+	for i := 0; i < 4; i++ {
+		pool.Add(&VirtualContext{ID: i, Stream: batch(uint64(i), false)})
+	}
+	s, err := NewScheduler(core, pool, DefaultSwapLat, QuantumCycles(3.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StepCore(0)
+	if n := s.EvictAll(1); n != 4 {
+		t.Fatalf("evicted %d, want 4", n)
+	}
+	if s.BoundCount() != 0 || pool.Len() != 4 {
+		t.Fatalf("eviction left bound=%d pool=%d", s.BoundCount(), pool.Len())
+	}
+	// All evicted contexts are immediately ready (no pending stalls).
+	if pool.ReadyCount(1) != 4 {
+		t.Fatal("evicted contexts not ready")
+	}
+}
+
+func TestQuantumCycles(t *testing.T) {
+	if got := QuantumCycles(3.4); got != 340000 {
+		t.Fatalf("100µs at 3.4GHz = %d, want 340000", got)
+	}
+}

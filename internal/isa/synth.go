@@ -1,0 +1,291 @@
+package isa
+
+import (
+	"fmt"
+
+	"duplexity/internal/stats"
+)
+
+// SynthConfig parameterizes a synthetic instruction stream. The defaults
+// chosen by workloads approximate the behaviour of the paper's
+// microservices: op mix, code/data footprints (which determine cache and
+// TLB behaviour), branch predictability (which determines predictor
+// behaviour), register dependence distance (which determines exploitable
+// ILP), and the rate/latency of demarcated µs-scale remote operations.
+type SynthConfig struct {
+	Seed uint64
+
+	// Op mix: fractions of the dynamic stream; the remainder is OpIntAlu.
+	LoadFrac, StoreFrac, BranchFrac, FPFrac, MulFrac float64
+
+	// CodeBytes is the instruction footprint (a synthetic loop body);
+	// instructions are 4 bytes. Exercises I-cache and I-TLB.
+	CodeBytes uint64
+	// CodeBase offsets the code region so different threads may share or
+	// segregate code (zero defaults to a per-seed region).
+	CodeBase uint64
+
+	// DataBytes is the data working set; exercises D-cache and D-TLB.
+	DataBytes uint64
+	// DataBase offsets the data region (zero defaults to a per-seed region).
+	DataBase uint64
+	// HotFrac of random accesses hit a HotBytes-sized hot region (90/10
+	// locality by default in workloads).
+	HotFrac  float64
+	HotBytes uint64
+	// StreamFrac of memory accesses are sequential (next cache line).
+	StreamFrac float64
+
+	// BranchRandomFrac of branch executions are data-dependent
+	// (unpredictable); the rest follow a strong per-PC bias.
+	BranchRandomFrac float64
+
+	// DepP is the per-source probability of reading a recently written
+	// register (geometric dependence distance). Higher means less ILP.
+	DepP float64
+
+	// RemoteEvery is the mean number of instructions between OpRemote
+	// operations (exponentially distributed gap); zero disables them.
+	RemoteEvery float64
+	// RemoteLat is the remote-device latency distribution in nanoseconds.
+	RemoteLat stats.Distribution
+
+	// InstrsPerRequest, when non-nil, marks EndOfRequest after a number
+	// of instructions drawn from this distribution (per request).
+	InstrsPerRequest stats.Distribution
+}
+
+// Validate reports configuration errors.
+func (c *SynthConfig) Validate() error {
+	mix := c.LoadFrac + c.StoreFrac + c.BranchFrac + c.FPFrac + c.MulFrac
+	if mix > 1 {
+		return fmt.Errorf("isa: op-mix fractions sum to %v > 1", mix)
+	}
+	for _, f := range []float64{c.LoadFrac, c.StoreFrac, c.BranchFrac, c.FPFrac, c.MulFrac,
+		c.HotFrac, c.StreamFrac, c.BranchRandomFrac, c.DepP} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("isa: fraction %v outside [0,1]", f)
+		}
+	}
+	if c.RemoteEvery > 0 && c.RemoteLat == nil {
+		return fmt.Errorf("isa: RemoteEvery set but RemoteLat is nil")
+	}
+	if c.CodeBytes == 0 {
+		return fmt.Errorf("isa: CodeBytes must be positive")
+	}
+	if c.DataBytes == 0 && (c.LoadFrac > 0 || c.StoreFrac > 0) {
+		return fmt.Errorf("isa: DataBytes must be positive when memory ops are generated")
+	}
+	return nil
+}
+
+// SynthStream generates an infinite synthetic instruction stream.
+// It implements Stream and never goes idle; request-arrival gating is
+// layered on top by the workload package.
+type SynthStream struct {
+	cfg SynthConfig
+	rng *stats.RNG
+
+	codeBase, dataBase uint64
+	bodyLen            uint64 // instructions in the loop body
+	idx                uint64 // current instruction index within body
+
+	streamCursor uint64 // sequential access cursor
+
+	lastWritten [8]RegID // ring of recently written registers
+	lwPos       int
+
+	toNextRemote  float64
+	toEndOfReq    float64
+	reqLenPending bool
+}
+
+// NewSynthStream validates cfg and builds a generator.
+func NewSynthStream(cfg SynthConfig) (*SynthStream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &SynthStream{cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+	// Default per-seed regions are staggered by a stride that is not a
+	// multiple of any cache's set span, so co-scheduled threads do not
+	// pathologically alias to the same cache sets.
+	s.codeBase = cfg.CodeBase
+	if s.codeBase == 0 {
+		s.codeBase = 0x400000 + (cfg.Seed%256)*0x1011040
+	}
+	s.dataBase = cfg.DataBase
+	if s.dataBase == 0 {
+		s.dataBase = 0x100000000 + (cfg.Seed%256)*0x10022840
+	}
+	s.bodyLen = cfg.CodeBytes / 4
+	if s.bodyLen < 4 {
+		s.bodyLen = 4
+	}
+	for i := range s.lastWritten {
+		s.lastWritten[i] = RegID(1 + i)
+	}
+	if cfg.RemoteEvery > 0 {
+		s.toNextRemote = cfg.RemoteEvery * s.rng.ExpFloat64()
+	}
+	if cfg.InstrsPerRequest != nil {
+		s.toEndOfReq = cfg.InstrsPerRequest.Sample(s.rng)
+		s.reqLenPending = true
+	}
+	return s, nil
+}
+
+// MustSynthStream is NewSynthStream that panics on config errors; for use
+// with statically known-good configurations.
+func MustSynthStream(cfg SynthConfig) *SynthStream {
+	s, err := NewSynthStream(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// pcHash derives deterministic per-PC properties (branch bias, targets).
+func pcHash(pc uint64) uint64 {
+	x := pc
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func (s *SynthStream) pickSrc() RegID {
+	if s.rng.Bernoulli(s.cfg.DepP) {
+		// Geometric-ish recent dependence: mostly the last 1-3 writes.
+		d := 0
+		for d < len(s.lastWritten)-1 && s.rng.Bernoulli(0.5) {
+			d++
+		}
+		return s.lastWritten[(s.lwPos-1-d+2*len(s.lastWritten))%len(s.lastWritten)]
+	}
+	return RegID(1 + s.rng.Intn(NumArchRegs-1))
+}
+
+func (s *SynthStream) pickDst() RegID {
+	r := RegID(1 + s.rng.Intn(NumArchRegs-1))
+	s.lastWritten[s.lwPos] = r
+	s.lwPos = (s.lwPos + 1) % len(s.lastWritten)
+	return r
+}
+
+func (s *SynthStream) dataAddr() uint64 {
+	if s.rng.Bernoulli(s.cfg.StreamFrac) {
+		s.streamCursor = (s.streamCursor + 64) % s.cfg.DataBytes
+		return s.dataBase + s.streamCursor
+	}
+	if s.cfg.HotBytes > 0 && s.rng.Bernoulli(s.cfg.HotFrac) {
+		return s.dataBase + uint64(s.rng.Int63())%s.cfg.HotBytes
+	}
+	return s.dataBase + uint64(s.rng.Int63())%s.cfg.DataBytes
+}
+
+// Next implements Stream. It never returns ok=false.
+func (s *SynthStream) Next(uint64) (Instr, bool) {
+	pc := s.codeBase + s.idx*4
+	in := Instr{PC: pc, Op: OpIntAlu}
+
+	// End-of-body: an always-taken backward branch (highly predictable).
+	if s.idx == s.bodyLen-1 {
+		s.idx = 0
+		in.Op = OpBranch
+		in.Taken = true
+		in.Target = s.codeBase
+		in.Src1 = s.pickSrc()
+		s.finishInstr(&in)
+		return in, true
+	}
+
+	// Remote operations are scheduled by instruction count.
+	if s.cfg.RemoteEvery > 0 {
+		s.toNextRemote--
+		if s.toNextRemote <= 0 {
+			s.toNextRemote = s.cfg.RemoteEvery * s.rng.ExpFloat64()
+			in.Op = OpRemote
+			in.Dst = s.pickDst()
+			in.Src1 = s.pickSrc()
+			in.RemoteNs = s.cfg.RemoteLat.Sample(s.rng)
+			in.Addr = s.dataAddr()
+			s.idx++
+			s.finishInstr(&in)
+			return in, true
+		}
+	}
+
+	u := s.rng.Float64()
+	c := s.cfg
+	switch {
+	case u < c.LoadFrac:
+		in.Op = OpLoad
+		in.Addr = s.dataAddr()
+		in.Dst = s.pickDst()
+		in.Src1 = s.pickSrc()
+	case u < c.LoadFrac+c.StoreFrac:
+		in.Op = OpStore
+		in.Addr = s.dataAddr()
+		in.Src1 = s.pickSrc()
+		in.Src2 = s.pickSrc()
+	case u < c.LoadFrac+c.StoreFrac+c.BranchFrac:
+		in.Op = OpBranch
+		in.Src1 = s.pickSrc()
+		h := pcHash(pc)
+		if s.rng.Bernoulli(c.BranchRandomFrac) {
+			// Data-dependent branch: unpredictable outcome.
+			in.Taken = s.rng.Bernoulli(0.5)
+		} else {
+			// Strongly biased per-PC outcome (bias in [0.93, 1.0)),
+			// giving realistic low-MPKI behaviour for loop-heavy service
+			// code; unpredictability is added via BranchRandomFrac.
+			bias := 0.93 + float64(h%64)/64*0.07
+			in.Taken = s.rng.Bernoulli(bias)
+		}
+		if in.Taken {
+			// Per-PC fixed forward skip of 1-8 instructions, wrapping
+			// inside the body to keep the loop structure.
+			skip := 1 + h%8
+			next := (s.idx + skip) % (s.bodyLen - 1)
+			in.Target = s.codeBase + next*4
+			s.idx = next
+			s.finishInstr(&in)
+			return in, true
+		}
+	case u < c.LoadFrac+c.StoreFrac+c.BranchFrac+c.FPFrac:
+		in.Op = OpFPAlu
+		in.Dst = s.pickDst()
+		in.Src1 = s.pickSrc()
+		in.Src2 = s.pickSrc()
+	case u < c.LoadFrac+c.StoreFrac+c.BranchFrac+c.FPFrac+c.MulFrac:
+		in.Op = OpIntMul
+		in.Dst = s.pickDst()
+		in.Src1 = s.pickSrc()
+		in.Src2 = s.pickSrc()
+	default:
+		in.Op = OpIntAlu
+		in.Dst = s.pickDst()
+		in.Src1 = s.pickSrc()
+		in.Src2 = s.pickSrc()
+	}
+	s.idx++
+	s.finishInstr(&in)
+	return in, true
+}
+
+// finishInstr applies request-boundary accounting.
+func (s *SynthStream) finishInstr(in *Instr) {
+	if !s.reqLenPending {
+		return
+	}
+	s.toEndOfReq--
+	if s.toEndOfReq <= 0 {
+		in.EndOfRequest = true
+		s.toEndOfReq = s.cfg.InstrsPerRequest.Sample(s.rng)
+		if s.toEndOfReq < 1 {
+			s.toEndOfReq = 1
+		}
+	}
+}

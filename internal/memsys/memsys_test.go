@@ -1,0 +1,167 @@
+package memsys
+
+import (
+	"testing"
+
+	"duplexity/internal/cache"
+)
+
+func TestMemLatCycles(t *testing.T) {
+	if got := MemLatCycles(3.4); got != 170 {
+		t.Fatalf("50ns at 3.4GHz = %d cycles, want 170", got)
+	}
+	if got := MemLatCycles(3.25); got != 162 {
+		t.Fatalf("50ns at 3.25GHz = %d cycles, want 162", got)
+	}
+}
+
+func TestPortValidate(t *testing.T) {
+	if err := (&Port{Name: "x"}).Validate(); err == nil {
+		t.Fatal("empty port validated")
+	}
+	cm := NewTableICoreMem("c0")
+	sh := NewTableIShared("chip", 3.4)
+	i, d := LocalPorts(cm, sh, cache.OwnerMaster)
+	if err := i.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalAccessLatencies(t *testing.T) {
+	cm := NewTableICoreMem("c0")
+	sh := NewTableIShared("chip", 3.4)
+	_, d := LocalPorts(cm, sh, cache.OwnerMaster)
+
+	addr := uint64(0x1000)
+	// Cold: TLB miss (page walk) + L1 miss + LLC miss + memory.
+	cold := d.Access(tick(), addr, false)
+	want := PageWalkLat + L1HitLat + LLCHitLat + sh.MemLat
+	if cold != want {
+		t.Fatalf("cold access = %d cycles, want %d", cold, want)
+	}
+	// Warm: L1 hit only.
+	if got := d.Access(tick(), addr, false); got != L1HitLat {
+		t.Fatalf("warm access = %d cycles, want %d", got, L1HitLat)
+	}
+	// Evict from L1 but not LLC: L1 miss + LLC hit. Force eviction by
+	// filling the set (2-way, 512 sets, stride = 512*64).
+	d.Access(tick(), addr+512*64, false)
+	d.Access(tick(), addr+2*512*64, false)
+	got := d.Access(tick(), addr, false)
+	if got != L1HitLat+LLCHitLat {
+		t.Fatalf("LLC-hit access = %d cycles, want %d", got, L1HitLat+LLCHitLat)
+	}
+}
+
+func TestDyadPortLatencies(t *testing.T) {
+	lender := NewTableICoreMem("lender")
+	sh := NewTableIShared("chip", 3.4)
+	l0 := NewL0Pair("m0")
+	itlb, dtlb := cache.NewTLB(64), cache.NewTLB(64)
+	_, d := DyadPorts(l0, lender, sh, itlb, dtlb)
+
+	addr := uint64(0x2000)
+	// Cold read: page walk + L0 lookup + remote hop + L1 + LLC + mem.
+	cold := d.Access(tick(), addr, false)
+	want := PageWalkLat + L0HitLat + RemoteHopLat + L1HitLat + LLCHitLat + sh.MemLat
+	if cold != want {
+		t.Fatalf("cold remote access = %d, want %d", cold, want)
+	}
+	// Second access: L0 hit, 1 cycle.
+	if got := d.Access(tick(), addr, false); got != L0HitLat {
+		t.Fatalf("L0 hit = %d, want %d", got, L0HitLat)
+	}
+	// A write is write-through: L0 latency + remote hop, and lands in L1.
+	wlat := d.Access(tick(), addr, true)
+	if wlat != L0HitLat+RemoteHopLat {
+		t.Fatalf("write-through latency = %d, want %d", wlat, L0HitLat+RemoteHopLat)
+	}
+	if !lender.L1D.Contains(addr) {
+		t.Fatal("write-through did not reach lender L1")
+	}
+}
+
+func TestDyadBackInvalidation(t *testing.T) {
+	lender := NewTableICoreMem("lender")
+	sh := NewTableIShared("chip", 3.4)
+	l0 := NewL0Pair("m0")
+	_, d := DyadPorts(l0, lender, sh, cache.NewTLB(64), cache.NewTLB(64))
+
+	addr := uint64(0x3000)
+	d.Access(tick(), addr, false)
+	if !l0.D.Contains(addr) {
+		t.Fatal("L0 not filled")
+	}
+	// Force the lender L1 to evict addr's line: fill its set.
+	// L1D: 64KB/64B/2-way = 512 sets; stride 512*64 = 32768.
+	lender.L1D.Access(addr+32768, false, cache.OwnerFiller)
+	lender.L1D.Access(addr+2*32768, false, cache.OwnerFiller)
+	if lender.L1D.Contains(addr) {
+		t.Fatal("L1 line not evicted by set fill")
+	}
+	if l0.D.Contains(addr) {
+		t.Fatal("L0 kept line after lender L1 eviction (inclusion broken)")
+	}
+}
+
+func TestFillerDoesNotTouchMasterCaches(t *testing.T) {
+	// The Duplexity wiring must leave a master-core's own CoreMem
+	// untouched when fillers access the lender path.
+	master := NewTableICoreMem("master")
+	lender := NewTableICoreMem("lender")
+	sh := NewTableIShared("chip", 3.4)
+	l0 := NewL0Pair("m0")
+	_, d := DyadPorts(l0, lender, sh, cache.NewTLB(64), cache.NewTLB(64))
+
+	for a := uint64(0); a < 1<<16; a += 64 {
+		d.Access(tick(), a, false)
+	}
+	if master.L1D.Stats.TotalAccesses() != 0 {
+		t.Fatal("filler path touched master L1D")
+	}
+	if master.DTLB.Accesses != 0 {
+		t.Fatal("filler path touched master DTLB")
+	}
+	if lender.L1D.Stats.Accesses[cache.OwnerFiller] == 0 {
+		t.Fatal("filler path did not reach lender L1D")
+	}
+}
+
+func TestSharedLLCPollution(t *testing.T) {
+	// Master and filler share the LLC; filler streaming must evict master
+	// lines — the residual interference Duplexity tolerates (it protects
+	// L1/TLB/predictor, not the LLC).
+	cm := NewTableICoreMem("c0")
+	sh := NewTableIShared("chip", 3.4)
+	_, dm := LocalPorts(cm, sh, cache.OwnerMaster)
+	lender := NewTableICoreMem("lender")
+	l0 := NewL0Pair("m0")
+	_, df := DyadPorts(l0, lender, sh, cache.NewTLB(64), cache.NewTLB(64))
+
+	dm.Access(tick(), 0x100, false)
+	if !sh.LLC.Contains(0x100) {
+		t.Fatal("master line not in LLC")
+	}
+	// Stream 4MB of filler data through the LLC.
+	for a := uint64(1 << 22); a < 5<<22; a += 64 {
+		df.Access(tick(), a, false)
+	}
+	if sh.LLC.Contains(0x100) {
+		t.Fatal("LLC line survived 4MB streaming — LLC model broken")
+	}
+	if sh.LLC.Stats.CrossEvictions == 0 {
+		t.Fatal("no cross-owner evictions recorded in LLC")
+	}
+}
+
+// tnow provides monotonically increasing access timestamps so the miss-
+// bandwidth model does not queue unrelated test accesses.
+var tnow uint64
+
+func tick() uint64 {
+	tnow += 1000
+	return tnow
+}

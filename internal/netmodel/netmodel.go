@@ -1,0 +1,60 @@
+// Package netmodel models the dyad's NIC for the Section VIII
+// interconnect-utilization case study: an FDR 4x InfiniBand link with two
+// independent capability limits, a data rate of 56 Gbit/s and 90M I/O
+// operations per second. Single-cache-line remote accesses are
+// IOPS-limited, as the paper observes.
+package netmodel
+
+import "fmt"
+
+// NIC describes one network port's capability envelope.
+type NIC struct {
+	// MaxGbps is the data-rate limit in gigabits per second.
+	MaxGbps float64
+	// MaxIOPS is the operation-rate limit in operations per second.
+	MaxIOPS float64
+}
+
+// FDR4x returns the paper's FDR 4x InfiniBand configuration.
+func FDR4x() NIC { return NIC{MaxGbps: 56, MaxIOPS: 90e6} }
+
+// Limit names the binding constraint.
+type Limit string
+
+// Binding constraints.
+const (
+	LimitIOPS Limit = "iops"
+	LimitData Limit = "data"
+)
+
+// Utilization returns the link utilization fraction for a workload
+// issuing opsPerSec operations of bytesPerOp each, along with which
+// capability binds. Utilization above 1 means the offered load exceeds
+// the link.
+func (n NIC) Utilization(opsPerSec, bytesPerOp float64) (float64, Limit, error) {
+	if n.MaxGbps <= 0 || n.MaxIOPS <= 0 {
+		return 0, "", fmt.Errorf("netmodel: invalid NIC capabilities %+v", n)
+	}
+	if opsPerSec < 0 || bytesPerOp < 0 {
+		return 0, "", fmt.Errorf("netmodel: negative offered load")
+	}
+	iops := opsPerSec / n.MaxIOPS
+	data := opsPerSec * bytesPerOp * 8 / (n.MaxGbps * 1e9)
+	if iops >= data {
+		return iops, LimitIOPS, nil
+	}
+	return data, LimitData, nil
+}
+
+// DyadsPerPort returns how many dyads with the given per-dyad operation
+// rate can share one port before it saturates (at least 1 if any fit).
+func (n NIC) DyadsPerPort(opsPerSecPerDyad, bytesPerOp float64) (int, error) {
+	u, _, err := n.Utilization(opsPerSecPerDyad, bytesPerOp)
+	if err != nil {
+		return 0, err
+	}
+	if u <= 0 {
+		return 0, fmt.Errorf("netmodel: dyad offers no load")
+	}
+	return int(1 / u), nil
+}

@@ -1,0 +1,66 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFDR4x(t *testing.T) {
+	n := FDR4x()
+	if n.MaxGbps != 56 || n.MaxIOPS != 90e6 {
+		t.Fatalf("FDR capabilities %+v", n)
+	}
+}
+
+func TestSingleLineIsIOPSLimited(t *testing.T) {
+	// 64B operations: data limit is 56e9/8/64 = 109M ops/s > 90M IOPS,
+	// so the paper's workloads are IOPS-limited.
+	n := FDR4x()
+	u, lim, err := n.Utilization(9e6, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim != LimitIOPS {
+		t.Fatalf("64B ops limited by %v, want iops", lim)
+	}
+	if math.Abs(u-0.1) > 1e-9 {
+		t.Fatalf("9M ops on 90M IOPS = %v, want 0.1", u)
+	}
+}
+
+func TestLargeOpsAreDataLimited(t *testing.T) {
+	n := FDR4x()
+	_, lim, err := n.Utilization(1e6, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lim != LimitData {
+		t.Fatalf("64KB ops limited by %v, want data", lim)
+	}
+}
+
+func TestUtilizationValidation(t *testing.T) {
+	if _, _, err := (NIC{}).Utilization(1, 64); err == nil {
+		t.Fatal("invalid NIC accepted")
+	}
+	if _, _, err := FDR4x().Utilization(-1, 64); err == nil {
+		t.Fatal("negative load accepted")
+	}
+}
+
+// The paper's takeaway: each dyad uses at most ~7.1% of FDR IOPS, so 14
+// dyads share one NIC port.
+func TestPaperDyadsPerPort(t *testing.T) {
+	n := FDR4x()
+	perDyad := 0.071 * 90e6
+	dyads, err := n.DyadsPerPort(perDyad, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyads != 14 {
+		t.Fatalf("dyads per port = %d, paper says 14", dyads)
+	}
+	if _, err := n.DyadsPerPort(0, 64); err == nil {
+		t.Fatal("zero load accepted")
+	}
+}

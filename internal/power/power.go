@@ -1,0 +1,199 @@
+// Package power is the McPAT/CACTI-lite area, frequency, and power model
+// (32nm) behind Table II and the performance-density and energy results
+// of Figures 5(b) and 5(c). Component areas are built bottom-up from
+// structure sizes and calibrated to reproduce Table II's totals; power
+// combines per-area leakage with per-instruction dynamic energy.
+package power
+
+import (
+	"fmt"
+
+	"duplexity/internal/core"
+)
+
+// Component is one area/power entry of the model.
+type Component struct {
+	Name    string
+	AreaMM2 float64
+}
+
+// Per-structure areas in mm² at 32nm, calibrated so design totals match
+// Table II.
+const (
+	areaL1Pair    = 3.20 // 64KB I + 64KB D, 2-way
+	areaPredictor = 0.42 // tournament 16K/16K/16K + 2K BTB + RAS
+	areaLenderBP  = 0.12 // gshare 8K + BTB
+	areaTLBs      = 0.16 // 64-entry I/D pair
+	areaPRF       = 0.72 // 144-entry physical register file
+	areaOoOEngine = 2.55 // rename, IQ wakeup/select, ROB, bypass
+	areaLSQ       = 0.55 // 48-entry LQ + 32-entry SQ
+	areaFUs       = 2.20 // 4 ALUs, 2 FP, 1 mul, 2 ld/st ports
+	areaFrontEnd  = 1.55 // fetch, decode, µcode
+	areaMiscCore  = 0.75 // interconnect stop, PMU, misc
+	areaSMTExtra  = 0.10 // second architectural context, tags
+	areaMorphMux  = 0.30 // in-order issue queues + mode muxes (~2%)
+	areaFillerSeg = 0.30 // filler TLBs + reduced predictor + L0s (~2.5%)
+	areaInOEngine = 0.35 // in-order scoreboard/issue for lender
+	areaLenderARF = 0.25 // 128-entry architectural RF
+	areaLenderFUs = 0.80 // narrower FP, fewer ports
+	areaLenderFE  = 0.42 // simpler fetch/decode
+	areaLenderMsc = 0.20
+	// AreaLLCPerMB is Table II's LLC density.
+	AreaLLCPerMB = 3.9
+)
+
+// CoreComponents returns the per-structure breakdown for a design's main
+// core (the master-core or its alternative).
+func CoreComponents(d core.Design) []Component {
+	base := []Component{
+		{"L1 I/D caches", areaL1Pair},
+		{"branch predictor", areaPredictor},
+		{"TLBs", areaTLBs},
+		{"physical register file", areaPRF},
+		{"OoO engine", areaOoOEngine},
+		{"load/store queues", areaLSQ},
+		{"functional units", areaFUs},
+		{"front end", areaFrontEnd},
+		{"misc", areaMiscCore},
+	}
+	switch d {
+	case core.DesignBaseline:
+	case core.DesignSMT, core.DesignSMTPlus:
+		base = append(base, Component{"SMT context", areaSMTExtra})
+	case core.DesignMorphCore:
+		base = append(base, Component{"morph mode logic", areaMorphMux})
+	case core.DesignMorphCorePlus:
+		base = append(base, Component{"morph mode logic", areaMorphMux})
+	case core.DesignDuplexity:
+		base = append(base,
+			Component{"morph mode logic", areaMorphMux},
+			Component{"filler segregation (TLB/BP/L0)", areaFillerSeg})
+	case core.DesignDuplexityRepl:
+		base = append(base,
+			Component{"morph mode logic", areaMorphMux},
+			Component{"filler segregation (TLB/BP/L0)", areaFillerSeg},
+			Component{"replicated L1 caches", areaL1Pair},
+			Component{"replicated predictor/TLBs", areaPredictor + areaTLBs})
+	}
+	return base
+}
+
+// LenderComponents returns the lender-core breakdown (8-way InO HSMT).
+func LenderComponents() []Component {
+	return []Component{
+		{"L1 I/D caches", areaL1Pair},
+		{"branch predictor", areaLenderBP},
+		{"TLBs", areaTLBs},
+		{"architectural register file", areaLenderARF},
+		{"in-order engine", areaInOEngine},
+		{"functional units", areaLenderFUs},
+		{"front end", areaLenderFE},
+		{"misc", areaLenderMsc},
+	}
+}
+
+func sumArea(cs []Component) float64 {
+	a := 0.0
+	for _, c := range cs {
+		a += c.AreaMM2
+	}
+	return a
+}
+
+// CoreArea returns the design's main-core area (Table II rows 1-5).
+func CoreArea(d core.Design) float64 { return sumArea(CoreComponents(d)) }
+
+// LenderArea returns the lender-core area (Table II row 6).
+func LenderArea() float64 { return sumArea(LenderComponents()) }
+
+// ChipArea returns the evaluated unit's total area: the design's main
+// core paired with a lender-core (Section V methodology) plus 1MB of LLC
+// per core.
+func ChipArea(d core.Design) float64 {
+	return CoreArea(d) + LenderArea() + 2*AreaLLCPerMB
+}
+
+// TableII is one row of the paper's area/frequency table.
+type TableII struct {
+	Component string
+	AreaMM2   float64
+	FreqGHz   float64 // 0 for the LLC row
+}
+
+// TableIIRows regenerates Table II.
+func TableIIRows() []TableII {
+	return []TableII{
+		{"Baseline OoO", CoreArea(core.DesignBaseline), core.DesignBaseline.FreqGHz()},
+		{"SMT", CoreArea(core.DesignSMT), core.DesignSMT.FreqGHz()},
+		{"MorphCore", CoreArea(core.DesignMorphCore), core.DesignMorphCore.FreqGHz()},
+		{"Master-core", CoreArea(core.DesignDuplexity), core.DesignDuplexity.FreqGHz()},
+		{"Master-core + replication", CoreArea(core.DesignDuplexityRepl), core.DesignDuplexityRepl.FreqGHz()},
+		{"Lender-core", LenderArea(), 3.4},
+		{"LLC (per MB)", AreaLLCPerMB, 0},
+	}
+}
+
+// Power model ---------------------------------------------------------------
+
+// Dynamic energy per instruction in nJ by engine style, and leakage
+// density; magnitudes are representative of 32nm server cores.
+const (
+	epiOoO     = 0.45 // nJ per instruction retired on an OoO engine
+	epiInO     = 0.16 // nJ per instruction on the in-order engine
+	leakWPerMM = 0.08 // W/mm² static
+)
+
+// Activity summarizes a simulation interval for the power model.
+type Activity struct {
+	// Seconds of simulated wall time.
+	Seconds float64
+	// OoOInstrs retired on out-of-order engines.
+	OoOInstrs uint64
+	// InOInstrs retired on in-order engines (lender + filler mode).
+	InOInstrs uint64
+}
+
+// Validate reports impossible activity.
+func (a Activity) Validate() error {
+	if a.Seconds <= 0 {
+		return fmt.Errorf("power: non-positive interval")
+	}
+	return nil
+}
+
+// ChipPowerW returns total power: leakage on the full evaluated unit plus
+// dynamic power from instruction activity.
+func ChipPowerW(d core.Design, act Activity) (float64, error) {
+	if err := act.Validate(); err != nil {
+		return 0, err
+	}
+	leak := ChipArea(d) * leakWPerMM
+	dyn := (float64(act.OoOInstrs)*epiOoO + float64(act.InOInstrs)*epiInO) * 1e-9 / act.Seconds
+	return leak + dyn, nil
+}
+
+// EnergyPerInstrNJ is Figure 5(c)'s metric: power divided by aggregate
+// instruction throughput.
+func EnergyPerInstrNJ(d core.Design, act Activity) (float64, error) {
+	p, err := ChipPowerW(d, act)
+	if err != nil {
+		return 0, err
+	}
+	total := act.OoOInstrs + act.InOInstrs
+	if total == 0 {
+		return 0, fmt.Errorf("power: no instructions retired")
+	}
+	ips := float64(total) / act.Seconds
+	return p / ips * 1e9, nil
+}
+
+// PerfDensity is Figure 5(b)'s metric: instructions per second per mm²,
+// using the full evaluated unit's area (core + lender + LLC), which masks
+// part of the per-core differences exactly as the paper notes.
+func PerfDensity(d core.Design, act Activity) (float64, error) {
+	if err := act.Validate(); err != nil {
+		return 0, err
+	}
+	ips := float64(act.OoOInstrs+act.InOInstrs) / act.Seconds
+	return ips / ChipArea(d), nil
+}

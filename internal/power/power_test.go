@@ -1,0 +1,141 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"duplexity/internal/core"
+)
+
+// Table II calibration: the model must land near the paper's totals.
+func TestTableIICalibration(t *testing.T) {
+	cases := []struct {
+		design core.Design
+		want   float64
+	}{
+		{core.DesignBaseline, 12.1},
+		{core.DesignSMT, 12.2},
+		{core.DesignMorphCore, 12.4},
+		{core.DesignDuplexity, 12.7},
+		{core.DesignDuplexityRepl, 16.7},
+	}
+	for _, c := range cases {
+		got := CoreArea(c.design)
+		if math.Abs(got-c.want)/c.want > 0.03 {
+			t.Errorf("%v area %.2f mm², Table II %.1f", c.design, got, c.want)
+		}
+	}
+	if got := LenderArea(); math.Abs(got-5.5)/5.5 > 0.05 {
+		t.Errorf("lender area %.2f mm², Table II 5.5", got)
+	}
+}
+
+func TestReplicationOverheadMatchesPaper(t *testing.T) {
+	// Section V: replication is a 38% area overhead over baseline;
+	// the master-core is ~5%.
+	base := CoreArea(core.DesignBaseline)
+	repl := CoreArea(core.DesignDuplexityRepl) / base
+	if repl < 1.3 || repl > 1.45 {
+		t.Fatalf("replication overhead %vx, paper ~1.38x", repl)
+	}
+	master := CoreArea(core.DesignDuplexity) / base
+	if master < 1.03 || master > 1.08 {
+		t.Fatalf("master-core overhead %vx, paper ~1.05x", master)
+	}
+}
+
+func TestTableIIRows(t *testing.T) {
+	rows := TableIIRows()
+	if len(rows) != 7 {
+		t.Fatalf("got %d rows, want 7", len(rows))
+	}
+	if rows[6].Component != "LLC (per MB)" || rows[6].AreaMM2 != 3.9 {
+		t.Fatal("LLC row wrong")
+	}
+	// Frequencies decrease with morphing complexity.
+	if !(rows[0].FreqGHz > rows[2].FreqGHz && rows[2].FreqGHz > rows[3].FreqGHz) {
+		t.Fatal("frequency ordering violated")
+	}
+}
+
+func TestChipArea(t *testing.T) {
+	got := ChipArea(core.DesignBaseline)
+	want := CoreArea(core.DesignBaseline) + LenderArea() + 7.8
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("chip area %v, want %v", got, want)
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	act := Activity{Seconds: 1e-3, OoOInstrs: 3_000_000, InOInstrs: 6_000_000}
+	p, err := ChipPowerW(core.DesignDuplexity, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leakage ~2.1W + dynamic (3e6*0.45 + 6e6*0.16)nJ / 1ms ≈ 2.3W.
+	if p < 2 || p > 10 {
+		t.Fatalf("power %v W implausible", p)
+	}
+	if _, err := ChipPowerW(core.DesignDuplexity, Activity{}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestEnergyPerInstr(t *testing.T) {
+	// All else equal, retiring more instructions in the same interval
+	// lowers energy per instruction (leakage amortization).
+	low := Activity{Seconds: 1e-3, OoOInstrs: 1_000_000}
+	high := Activity{Seconds: 1e-3, OoOInstrs: 1_000_000, InOInstrs: 8_000_000}
+	el, err := EnergyPerInstrNJ(core.DesignDuplexity, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eh, err := EnergyPerInstrNJ(core.DesignDuplexity, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eh >= el {
+		t.Fatalf("energy/instr did not drop with utilization: %v -> %v", el, eh)
+	}
+	if _, err := EnergyPerInstrNJ(core.DesignBaseline, Activity{Seconds: 1}); err == nil {
+		t.Fatal("zero instructions accepted")
+	}
+}
+
+func TestPerfDensity(t *testing.T) {
+	act := Activity{Seconds: 1e-3, OoOInstrs: 4_000_000}
+	base, err := PerfDensity(core.DesignBaseline, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := PerfDensity(core.DesignDuplexityRepl, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same throughput on a bigger chip: lower density.
+	if repl >= base {
+		t.Fatal("replication did not pay an area penalty in density")
+	}
+	if _, err := PerfDensity(core.DesignBaseline, Activity{}); err == nil {
+		t.Fatal("invalid activity accepted")
+	}
+}
+
+func TestComponentBreakdownsSum(t *testing.T) {
+	for _, d := range core.AllDesigns {
+		comps := CoreComponents(d)
+		if len(comps) < 9 {
+			t.Fatalf("%v breakdown too small", d)
+		}
+		sum := 0.0
+		for _, c := range comps {
+			if c.AreaMM2 <= 0 {
+				t.Fatalf("%v component %q non-positive", d, c.Name)
+			}
+			sum += c.AreaMM2
+		}
+		if math.Abs(sum-CoreArea(d)) > 1e-9 {
+			t.Fatalf("%v: components sum %v != area %v", d, sum, CoreArea(d))
+		}
+	}
+}

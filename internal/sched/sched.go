@@ -1,0 +1,124 @@
+// Package sched implements the OS/cluster-level policy questions of
+// Section IV: how many virtual contexts to provision per dyad, and how
+// to adapt that number to measured stall behaviour. A dyad appears to
+// software as a variable number of hardware threads; this package is the
+// "data-center-scale scheduling layer" stand-in that picks the number.
+package sched
+
+import (
+	"fmt"
+
+	"duplexity/internal/analytic"
+)
+
+// PhysicalContexts is the lender-core's physical context count; the
+// master-core can host the same number when morphed.
+const PhysicalContexts = 8
+
+// MaxContexts bounds provisioning: Section IV finds 32 virtual contexts
+// per dyad sufficient even in the most pessimistic scenarios.
+const MaxContexts = 32
+
+// Demand describes a dyad's thread population for provisioning.
+type Demand struct {
+	// BatchStallFrac is the fraction of time a batch thread spends in
+	// µs-scale stalls (0 for stall-free batch work).
+	BatchStallFrac float64
+	// MasterBorrows reports whether the master-core's µs-scale holes are
+	// to be filled (i.e. the latency-critical thread stalls or idles and
+	// fillers run on both cores of the dyad).
+	MasterBorrows bool
+	// Target is the desired probability that enough ready contexts exist
+	// to fill all schedulable physical contexts (default 0.9).
+	Target float64
+}
+
+// Validate reports bad parameters.
+func (d Demand) Validate() error {
+	if d.BatchStallFrac < 0 || d.BatchStallFrac >= 1 {
+		return fmt.Errorf("sched: batch stall fraction %v outside [0,1)", d.BatchStallFrac)
+	}
+	if d.Target < 0 || d.Target >= 1 {
+		return fmt.Errorf("sched: target %v outside [0,1)", d.Target)
+	}
+	return nil
+}
+
+// Contexts returns the number of virtual contexts to provision for the
+// dyad, reproducing Section IV's sizing rules:
+//
+//   - stall-free batch threads: one per schedulable physical context
+//     (8 for the lender alone, 16 when the master borrows);
+//   - stalling batch threads: the binomial model's minimum pool keeping
+//     the physical contexts fed with probability Target, capped at 32.
+func Contexts(d Demand) (int, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	target := d.Target
+	if target == 0 {
+		target = 0.9
+	}
+	phys := PhysicalContexts
+	if d.MasterBorrows {
+		phys = 2 * PhysicalContexts
+	}
+	if d.BatchStallFrac == 0 {
+		return phys, nil
+	}
+	n := analytic.MinContextsFor(phys, d.BatchStallFrac, target, MaxContexts)
+	if n > MaxContexts {
+		n = MaxContexts
+	}
+	return n, nil
+}
+
+// Observer estimates a thread population's stall fraction from counters
+// a running dyad already exposes (cycles blocked on remotes vs total),
+// smoothing with an exponential moving average so the provisioner does
+// not chase noise.
+type Observer struct {
+	alpha    float64
+	estimate float64
+	seeded   bool
+}
+
+// NewObserver builds an observer; alpha in (0,1] is the EMA weight of
+// each new sample (e.g. 0.2).
+func NewObserver(alpha float64) (*Observer, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("sched: EMA weight %v outside (0,1]", alpha)
+	}
+	return &Observer{alpha: alpha}, nil
+}
+
+// Record folds in one measurement window: stalledCycles of blockedTime
+// across totalCycles of thread-occupancy.
+func (o *Observer) Record(stalledCycles, totalCycles uint64) error {
+	if totalCycles == 0 {
+		return fmt.Errorf("sched: empty measurement window")
+	}
+	if stalledCycles > totalCycles {
+		return fmt.Errorf("sched: stalled %d > total %d", stalledCycles, totalCycles)
+	}
+	sample := float64(stalledCycles) / float64(totalCycles)
+	if !o.seeded {
+		o.estimate = sample
+		o.seeded = true
+		return nil
+	}
+	o.estimate = o.alpha*sample + (1-o.alpha)*o.estimate
+	return nil
+}
+
+// StallFrac returns the smoothed stall-fraction estimate.
+func (o *Observer) StallFrac() float64 { return o.estimate }
+
+// Recommend turns the current estimate into a provisioning decision.
+func (o *Observer) Recommend(masterBorrows bool, target float64) (int, error) {
+	return Contexts(Demand{
+		BatchStallFrac: o.estimate,
+		MasterBorrows:  masterBorrows,
+		Target:         target,
+	})
+}

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// Section IV's numbers: stall-free batch work needs 16 threads when the
+// master borrows (8 per core); 50%-stalled batch threads that only run
+// on the lender need 21; the pessimistic both-stall case caps at 32.
+func TestPaperProvisioningNumbers(t *testing.T) {
+	n, err := Contexts(Demand{BatchStallFrac: 0, MasterBorrows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 {
+		t.Fatalf("stall-free with borrowing = %d, want 16", n)
+	}
+	n, err = Contexts(Demand{BatchStallFrac: 0, MasterBorrows: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("stall-free lender-only = %d, want 8", n)
+	}
+	n, err = Contexts(Demand{BatchStallFrac: 0.5, MasterBorrows: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 19 || n > 23 {
+		t.Fatalf("50%%-stall lender-only = %d, want ~21", n)
+	}
+	n, err = Contexts(Demand{BatchStallFrac: 0.5, MasterBorrows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != MaxContexts {
+		t.Fatalf("pessimistic both-stall = %d, want cap %d", n, MaxContexts)
+	}
+}
+
+func TestContextsValidation(t *testing.T) {
+	if _, err := Contexts(Demand{BatchStallFrac: -0.1}); err == nil {
+		t.Fatal("negative stall fraction accepted")
+	}
+	if _, err := Contexts(Demand{BatchStallFrac: 1}); err == nil {
+		t.Fatal("unit stall fraction accepted")
+	}
+	if _, err := Contexts(Demand{Target: 1}); err == nil {
+		t.Fatal("unit target accepted")
+	}
+}
+
+func TestContextsMonotoneInStall(t *testing.T) {
+	prev := 0
+	for p := 0.05; p < 0.6; p += 0.05 {
+		n, err := Contexts(Demand{BatchStallFrac: p, MasterBorrows: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Fatalf("provisioning not monotone at stall %v: %d < %d", p, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestObserver(t *testing.T) {
+	if _, err := NewObserver(0); err == nil {
+		t.Fatal("zero alpha accepted")
+	}
+	o, err := NewObserver(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Record(0, 0); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if err := o.Record(10, 5); err == nil {
+		t.Fatal("stalled > total accepted")
+	}
+	// First sample seeds the estimate.
+	if err := o.Record(50, 100); err != nil {
+		t.Fatal(err)
+	}
+	if o.StallFrac() != 0.5 {
+		t.Fatalf("seed estimate %v", o.StallFrac())
+	}
+	// EMA: next sample of 0 halves it.
+	if err := o.Record(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(o.StallFrac()-0.25) > 1e-12 {
+		t.Fatalf("EMA estimate %v, want 0.25", o.StallFrac())
+	}
+}
+
+func TestObserverRecommendation(t *testing.T) {
+	o, err := NewObserver(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Record(100, 1000); err != nil { // 10% stall
+		t.Fatal(err)
+	}
+	n, err := o.Recommend(false, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 2(b): 10% stall needs ~11 contexts for 8 physical at 90%.
+	if n < 10 || n > 12 {
+		t.Fatalf("recommendation %d, want ~11", n)
+	}
+}

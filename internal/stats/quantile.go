@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// LatencyRecorder collects latency observations and answers quantile
+// queries. It keeps every sample (request-granularity simulations in this
+// repository produce at most a few million observations), which makes
+// quantiles exact — important for 99th-percentile comparisons.
+type LatencyRecorder struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// NewLatencyRecorder returns a recorder with capacity hint n.
+func NewLatencyRecorder(n int) *LatencyRecorder {
+	return &LatencyRecorder{samples: make([]float64, 0, n)}
+}
+
+// Add records one latency observation.
+func (l *LatencyRecorder) Add(x float64) {
+	l.samples = append(l.samples, x)
+	l.sorted = false
+	l.sum += x
+}
+
+// Count returns the number of observations.
+func (l *LatencyRecorder) Count() int { return len(l.samples) }
+
+// Mean returns the mean latency (NaN if empty).
+func (l *LatencyRecorder) Mean() float64 {
+	if len(l.samples) == 0 {
+		return math.NaN()
+	}
+	return l.sum / float64(len(l.samples))
+}
+
+func (l *LatencyRecorder) ensureSorted() {
+	if !l.sorted {
+		sort.Float64s(l.samples)
+		l.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile of the recorded samples.
+func (l *LatencyRecorder) Quantile(q float64) float64 {
+	l.ensureSorted()
+	return Quantile(l.samples, q)
+}
+
+// P99 returns the 99th percentile, the paper's headline tail metric.
+func (l *LatencyRecorder) P99() float64 { return l.Quantile(0.99) }
+
+// QuantileCI estimates a confidence interval for the q-quantile using the
+// binomial order-statistic method at confidence z (e.g. 1.96 for 95%).
+// It returns the point estimate and the interval bounds.
+func (l *LatencyRecorder) QuantileCI(q, z float64) (est, lo, hi float64) {
+	l.ensureSorted()
+	n := len(l.samples)
+	if n == 0 {
+		nan := math.NaN()
+		return nan, nan, nan
+	}
+	est = Quantile(l.samples, q)
+	// Order-statistic indices: q*n +/- z*sqrt(n*q*(1-q)).
+	sd := z * math.Sqrt(float64(n)*q*(1-q))
+	loIdx := int(math.Floor(q*float64(n) - sd))
+	hiIdx := int(math.Ceil(q*float64(n) + sd))
+	if loIdx < 0 {
+		loIdx = 0
+	}
+	if hiIdx > n-1 {
+		hiIdx = n - 1
+	}
+	return est, l.samples[loIdx], l.samples[hiIdx]
+}
+
+// RelativeQuantileErrorBelow reports whether the q-quantile's confidence
+// interval half-width is within frac of the estimate — the BigHouse
+// stopping criterion (95% CI within 5%).
+func (l *LatencyRecorder) RelativeQuantileErrorBelow(q, z, frac float64) bool {
+	est, lo, hi := l.QuantileCI(q, z)
+	if math.IsNaN(est) || est == 0 {
+		return false
+	}
+	return (hi-lo)/2/est < frac
+}
+
+// Reset discards all recorded samples but keeps capacity.
+func (l *LatencyRecorder) Reset() {
+	l.samples = l.samples[:0]
+	l.sorted = false
+	l.sum = 0
+}
+
+// Samples returns the recorded observations (shared backing array; do
+// not mutate). Order is unspecified once quantiles have been queried.
+func (l *LatencyRecorder) Samples() []float64 { return l.samples }
+
+// BinomialPMF returns P(X = k) for X ~ Binomial(n, p), computed in log
+// space for numerical stability at large n.
+func BinomialPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := lnChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(lg)
+}
+
+// BinomialTail returns P(X >= k) for X ~ Binomial(n, p). The paper's
+// Figure 2(b) plots this for k=8 as the probability that at least 8
+// virtual contexts are ready.
+func BinomialTail(n int, p float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	sum := 0.0
+	for i := k; i <= n; i++ {
+		sum += BinomialPMF(n, p, i)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// lnChoose returns ln(n choose k) via the log-gamma function.
+func lnChoose(n, k int) float64 {
+	return lnGamma(float64(n)+1) - lnGamma(float64(k)+1) - lnGamma(float64(n-k)+1)
+}
+
+// lnGamma is a Lanczos approximation of the log-gamma function, sufficient
+// for binomial coefficients (relative error ~1e-13).
+func lnGamma(x float64) float64 {
+	// Coefficients for g=7, n=9 Lanczos.
+	g := []float64{
+		0.99999999999980993,
+		676.5203681218851,
+		-1259.1392167224028,
+		771.32342877765313,
+		-176.61502916214059,
+		12.507343278686905,
+		-0.13857109526572012,
+		9.9843695780195716e-6,
+		1.5056327351493116e-7,
+	}
+	if x < 0.5 {
+		// Reflection formula.
+		return math.Log(math.Pi/math.Sin(math.Pi*x)) - lnGamma(1-x)
+	}
+	x--
+	a := g[0]
+	t := x + 7.5
+	for i := 1; i < 9; i++ {
+		a += g[i] / (x + float64(i))
+	}
+	return 0.5*math.Log(2*math.Pi) + (x+0.5)*math.Log(t) - t + math.Log(a)
+}

@@ -1,0 +1,241 @@
+// Package trace provides binary serialization of dynamic instruction
+// streams. Section V determines the throughput of multi-threaded
+// workloads on the in-order cores through trace-based simulation; this
+// package supplies the substrate: capture any isa.Stream to a compact
+// binary trace, then replay it deterministically (optionally in a loop)
+// without re-running the generator.
+//
+// The format is a little-endian stream with a magic header and one
+// variable-length record per instruction. Fields that are usually zero
+// (memory address, branch target, remote latency) are guarded by a flags
+// byte, giving ~6-10 bytes per instruction for typical workloads.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"duplexity/internal/isa"
+)
+
+// magic identifies trace files; the final byte is a format version.
+var magic = [8]byte{'D', 'U', 'P', 'T', 'R', 'C', 0, 1}
+
+// record flags.
+const (
+	flagHasAddr uint8 = 1 << iota
+	flagTaken
+	flagHasTarget
+	flagHasRemote
+	flagEndOfRequest
+	flagIsCall
+	flagIsReturn
+)
+
+// Writer serializes instructions to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	n      uint64
+	closed bool
+}
+
+// NewWriter writes a trace header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Append serializes one instruction.
+func (w *Writer) Append(in isa.Instr) error {
+	if w.closed {
+		return fmt.Errorf("trace: append after Flush")
+	}
+	var buf [64]byte
+	k := 0
+
+	var flags uint8
+	if in.Addr != 0 {
+		flags |= flagHasAddr
+	}
+	if in.Taken {
+		flags |= flagTaken
+	}
+	if in.Target != 0 {
+		flags |= flagHasTarget
+	}
+	if in.RemoteNs != 0 {
+		flags |= flagHasRemote
+	}
+	if in.EndOfRequest {
+		flags |= flagEndOfRequest
+	}
+	if in.IsCall {
+		flags |= flagIsCall
+	}
+	if in.IsReturn {
+		flags |= flagIsReturn
+	}
+	buf[k] = flags
+	k++
+	buf[k] = uint8(in.Op)
+	k++
+	buf[k] = uint8(in.Dst)
+	k++
+	buf[k] = uint8(in.Src1)
+	k++
+	buf[k] = uint8(in.Src2)
+	k++
+	// PC is delta-encoded (zig-zag) against the previous instruction:
+	// sequential code costs one byte.
+	delta := int64(in.PC) - int64(w.lastPC)
+	k += binary.PutUvarint(buf[k:], zigzag(delta))
+	w.lastPC = in.PC
+	if flags&flagHasAddr != 0 {
+		k += binary.PutUvarint(buf[k:], in.Addr)
+	}
+	if flags&flagHasTarget != 0 {
+		k += binary.PutUvarint(buf[k:], in.Target)
+	}
+	if flags&flagHasRemote != 0 {
+		binary.LittleEndian.PutUint64(buf[k:], math.Float64bits(in.RemoteNs))
+		k += 8
+	}
+	if _, err := w.w.Write(buf[:k]); err != nil {
+		return fmt.Errorf("trace: writing record %d: %w", w.n, err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of instructions appended.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush completes the trace. The Writer is unusable afterwards.
+func (w *Writer) Flush() error {
+	w.closed = true
+	return w.w.Flush()
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Capture drains up to n instructions from s into w. It stops early if
+// the stream goes idle and returns the number captured.
+func Capture(w *Writer, s isa.Stream, n uint64) (uint64, error) {
+	var captured uint64
+	for captured < n {
+		in, ok := s.Next(0)
+		if !ok {
+			break
+		}
+		if err := w.Append(in); err != nil {
+			return captured, err
+		}
+		captured++
+	}
+	return captured, nil
+}
+
+// Reader deserializes a trace.
+type Reader struct {
+	r      *bufio.Reader
+	lastPC uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("trace: bad magic %x", hdr)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next instruction, or io.EOF at end of trace.
+func (r *Reader) Next() (isa.Instr, error) {
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		return isa.Instr{}, err
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return isa.Instr{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	in := isa.Instr{
+		Op:           isa.OpClass(hdr[0]),
+		Dst:          isa.RegID(hdr[1]),
+		Src1:         isa.RegID(hdr[2]),
+		Src2:         isa.RegID(hdr[3]),
+		Taken:        flags&flagTaken != 0,
+		EndOfRequest: flags&flagEndOfRequest != 0,
+		IsCall:       flags&flagIsCall != 0,
+		IsReturn:     flags&flagIsReturn != 0,
+	}
+	du, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return isa.Instr{}, fmt.Errorf("trace: truncated PC delta: %w", err)
+	}
+	r.lastPC = uint64(int64(r.lastPC) + unzigzag(du))
+	in.PC = r.lastPC
+	if flags&flagHasAddr != 0 {
+		if in.Addr, err = binary.ReadUvarint(r.r); err != nil {
+			return isa.Instr{}, fmt.Errorf("trace: truncated address: %w", err)
+		}
+	}
+	if flags&flagHasTarget != 0 {
+		if in.Target, err = binary.ReadUvarint(r.r); err != nil {
+			return isa.Instr{}, fmt.Errorf("trace: truncated target: %w", err)
+		}
+	}
+	if flags&flagHasRemote != 0 {
+		var b [8]byte
+		if _, err := io.ReadFull(r.r, b[:]); err != nil {
+			return isa.Instr{}, fmt.Errorf("trace: truncated remote latency: %w", err)
+		}
+		in.RemoteNs = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+	}
+	return in, nil
+}
+
+// ReadAll loads an entire trace into memory.
+func ReadAll(r io.Reader) ([]isa.Instr, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []isa.Instr
+	for {
+		in, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+	}
+}
+
+// Load reads a trace and wraps it in a replaying stream (looping if loop
+// is set), the trace-based simulation mode of Section V.
+func Load(r io.Reader, loop bool) (*isa.Fixed, error) {
+	instrs, err := ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return &isa.Fixed{Instrs: instrs, Loop: loop}, nil
+}

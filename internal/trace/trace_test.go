@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"duplexity/internal/isa"
+	"duplexity/internal/stats"
+	"duplexity/internal/workload"
+)
+
+func synth(seed uint64) isa.Stream {
+	return isa.MustSynthStream(isa.SynthConfig{
+		Seed: seed, LoadFrac: 0.22, StoreFrac: 0.08, BranchFrac: 0.14,
+		CodeBytes: 8 * 1024, DataBytes: 1 << 18, HotFrac: 0.9, HotBytes: 8 * 1024,
+		StreamFrac: 0.25, DepP: 0.3, BranchRandomFrac: 0.05,
+		RemoteEvery: 500, RemoteLat: stats.Exponential{MeanVal: 1000},
+		InstrsPerRequest: stats.Deterministic{Value: 777},
+	})
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := synth(7)
+	want := isa.Record(src, 20000)
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range want {
+		if err := w.Append(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != uint64(len(want)) {
+		t.Fatalf("count %d != %d", w.Count(), len(want))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d instrs, wrote %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("instr %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	src := synth(8)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Capture(w, src, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bytesPer := float64(buf.Len()) / float64(n)
+	if bytesPer > 14 {
+		t.Fatalf("trace uses %.1f bytes/instr; format regressed", bytesPer)
+	}
+}
+
+func TestCaptureStopsAtIdle(t *testing.T) {
+	fixed := &isa.Fixed{Instrs: []isa.Instr{{PC: 4, Op: isa.OpIntAlu}, {PC: 8, Op: isa.OpIntAlu}}}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	n, err := Capture(w, fixed, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("captured %d, want 2", n)
+	}
+}
+
+func TestAppendAfterFlush(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(isa.Instr{}); err == nil {
+		t.Fatal("append after flush accepted")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	src := synth(9)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if _, err := Capture(w, src, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop mid-record: reading must fail with a non-EOF error eventually
+	// or return fewer records, never panic.
+	for _, cut := range []int{len(full) - 1, len(full) - 3, 12} {
+		r, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue // header itself truncated
+		}
+		for {
+			_, err := r.Next()
+			if err != nil {
+				break
+			}
+		}
+	}
+}
+
+// Property: any instruction round-trips exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(pc, addr, target uint64, op, dst, s1, s2 uint8, taken, eor, call, ret bool, remote float64) bool {
+		in := isa.Instr{
+			PC: pc, Op: isa.OpClass(op % 9), Dst: isa.RegID(dst), Src1: isa.RegID(s1), Src2: isa.RegID(s2),
+			Addr: addr, Taken: taken, Target: target, EndOfRequest: eor,
+			IsCall: call, IsReturn: ret,
+		}
+		if remote == remote && remote != 0 { // skip NaN; keep ±values
+			in.RemoteNs = remote
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		if err := w.Append(in); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.Next()
+		if err != nil {
+			return false
+		}
+		if _, err := r.Next(); err != io.EOF {
+			return false
+		}
+		return got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A captured microservice trace must replay identically through Load,
+// and looping replay must preserve request structure.
+func TestLoadLoopReplay(t *testing.T) {
+	spec := workload.McRouter()
+	gen := spec.NewGen(3)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if _, err := Capture(w, gen, 40000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := Load(bytes.NewReader(buf.Bytes()), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requests := 0
+	for i := 0; i < 100000; i++ {
+		in, ok := stream.Next(0)
+		if !ok {
+			t.Fatal("looping replay went idle")
+		}
+		if in.EndOfRequest {
+			requests++
+		}
+	}
+	if requests == 0 {
+		t.Fatal("replay lost request boundaries")
+	}
+}

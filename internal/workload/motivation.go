@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"duplexity/internal/isa"
+	"duplexity/internal/stats"
+)
+
+// FLANNXY builds the Section II-B motivation workload: a saturated (100%
+// load, no inter-request idleness) FLANN-like stream that computes for
+// computeUs between remote accesses whose latency is exponential with
+// mean stallUs. FLANN-9-1 is FLANNXY(9, 1), FLANN-1-1 is FLANNXY(1, 1);
+// stallUs = 0 gives the stall-free baseline.
+func FLANNXY(computeUs, stallUs float64, seed uint64) isa.Stream {
+	cfg := isa.SynthConfig{
+		Seed:     seed,
+		LoadFrac: 0.24, StoreFrac: 0.06, BranchFrac: 0.12, FPFrac: 0.14, MulFrac: 0.04,
+		CodeBytes: 16 * 1024, DataBytes: 1 << 20, HotFrac: 0.9, HotBytes: 24 * 1024,
+		StreamFrac: 0.2, DepP: 0.3, BranchRandomFrac: 0.06,
+	}
+	if stallUs > 0 {
+		cfg.RemoteEvery = computeUs * InstrsPerUs
+		cfg.RemoteLat = stats.Exponential{MeanVal: stallUs * 1000}
+	}
+	return isa.MustSynthStream(cfg)
+}
+
+// SPECMix returns one thread of the Figure 2(a) "SPEC workload mix":
+// cache-resident compute-bound code with moderate ILP and no µs-scale
+// stalls, the regime where in-order SMT throughput converges to OoO
+// throughput by ~8 threads.
+func SPECMix(seed uint64) isa.Stream {
+	return isa.MustSynthStream(isa.SynthConfig{
+		Seed:     seed,
+		LoadFrac: 0.2, StoreFrac: 0.07, BranchFrac: 0.12, FPFrac: 0.08, MulFrac: 0.03,
+		CodeBytes: 4 * 1024, DataBytes: 64 * 1024, HotFrac: 0.95, HotBytes: 2 * 1024,
+		StreamFrac: 0.25, DepP: 0.2, BranchRandomFrac: 0.04,
+	})
+}
+
+// Batch returns one generic latency-insensitive scale-out thread with
+// µs-scale remote accesses (disaggregated-memory flavored): roughly 1µs
+// of stall per 1-2µs of compute, per Section V's filler description.
+// Batch analytics sweep large data shards, so the working set is far
+// larger than an L1 — co-locating one of these on an SMT context
+// pollutes the latency-critical thread's cache state.
+func Batch(seed uint64) isa.Stream {
+	return isa.MustSynthStream(isa.SynthConfig{
+		Seed:     seed,
+		LoadFrac: 0.24, StoreFrac: 0.08, BranchFrac: 0.12,
+		CodeBytes: 16 * 1024, DataBytes: 1 << 19, HotFrac: 0.8, HotBytes: 24 * 1024,
+		StreamFrac: 0.35, DepP: 0.25, BranchRandomFrac: 0.05,
+		RemoteEvery: 1.5 * InstrsPerUs / 4, // InO thread IPC ~0.25-0.5
+		RemoteLat:   stats.Exponential{MeanVal: 1000},
+	})
+}
+
+// BatchSet returns n distinct batch threads.
+func BatchSet(n int, seed uint64) []isa.Stream {
+	out := make([]isa.Stream, n)
+	for i := range out {
+		out[i] = Batch(seed + uint64(i)*131)
+	}
+	return out
+}

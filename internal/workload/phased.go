@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"fmt"
+
+	"duplexity/internal/isa"
+	"duplexity/internal/stats"
+)
+
+// Phase is one stage of a microservice request: a burst of compute
+// instructions optionally followed by a demarcated µs-scale remote
+// operation (RDMA read, SSD access, leaf fan-out).
+type Phase struct {
+	// Instrs is the number of compute instructions in the phase.
+	Instrs stats.Distribution
+	// RemoteNs is the latency distribution of the remote operation that
+	// ends the phase; nil means the phase ends without a stall.
+	RemoteNs stats.Distribution
+	// RemoteProb is the probability the remote occurs (e.g. a cache-hit
+	// rate); 0 is treated as 1 when RemoteNs is set.
+	RemoteProb float64
+}
+
+// PhasedGen generates request instruction streams with an explicit phase
+// structure, e.g. McRouter's "3µs of routing compute, then a synchronous
+// 3-5µs leaf access". Instruction texture (op mix, footprints, branch
+// behaviour) comes from an underlying SynthStream; the phase machinery
+// inserts remote operations and request boundaries.
+type PhasedGen struct {
+	synth  *isa.SynthStream
+	phases []Phase
+	rng    *stats.RNG
+
+	phase     int
+	remaining int64
+}
+
+// NewPhasedGen validates and builds a phased request generator. The
+// texture config must not itself produce remotes or request marks.
+func NewPhasedGen(texture isa.SynthConfig, phases []Phase, seed uint64) (*PhasedGen, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: phased generator needs at least one phase")
+	}
+	if texture.RemoteEvery != 0 || texture.InstrsPerRequest != nil {
+		return nil, fmt.Errorf("workload: texture must not produce remotes or request marks itself")
+	}
+	for i, p := range phases {
+		if p.Instrs == nil {
+			return nil, fmt.Errorf("workload: phase %d missing instruction count", i)
+		}
+		if p.RemoteProb < 0 || p.RemoteProb > 1 {
+			return nil, fmt.Errorf("workload: phase %d remote probability %v outside [0,1]", i, p.RemoteProb)
+		}
+	}
+	synth, err := isa.NewSynthStream(texture)
+	if err != nil {
+		return nil, err
+	}
+	g := &PhasedGen{synth: synth, phases: phases, rng: stats.NewRNG(seed)}
+	g.startPhase(0)
+	return g, nil
+}
+
+// MustPhasedGen panics on configuration errors.
+func MustPhasedGen(texture isa.SynthConfig, phases []Phase, seed uint64) *PhasedGen {
+	g, err := NewPhasedGen(texture, phases, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *PhasedGen) startPhase(i int) {
+	g.phase = i
+	n := int64(g.phases[i].Instrs.Sample(g.rng))
+	if n < 1 {
+		n = 1
+	}
+	g.remaining = n
+}
+
+// Next implements isa.Stream; it never goes idle (request pacing is the
+// RequestStream wrapper's job).
+func (g *PhasedGen) Next(now uint64) (isa.Instr, bool) {
+	p := g.phases[g.phase]
+	if g.remaining > 0 {
+		in, _ := g.synth.Next(now)
+		g.remaining--
+		if g.remaining == 0 && p.RemoteNs == nil {
+			g.advance(&in)
+		}
+		return in, true
+	}
+	// Phase compute exhausted and a remote is configured.
+	in := isa.Instr{Op: isa.OpIntAlu, PC: 0x200000}
+	prob := p.RemoteProb
+	if prob == 0 {
+		prob = 1
+	}
+	if g.rng.Bernoulli(prob) {
+		in = isa.Instr{
+			Op:       isa.OpRemote,
+			PC:       0x200000,
+			Dst:      1,
+			Addr:     0x7f0000000000,
+			RemoteNs: p.RemoteNs.Sample(g.rng),
+		}
+	}
+	g.advance(&in)
+	return in, true
+}
+
+// advance moves to the next phase, marking end-of-request at wrap.
+func (g *PhasedGen) advance(in *isa.Instr) {
+	next := g.phase + 1
+	if next == len(g.phases) {
+		in.EndOfRequest = true
+		next = 0
+	}
+	g.startPhase(next)
+}

@@ -1,0 +1,133 @@
+// Package workload defines the latency-critical microservices and batch
+// workloads of Section V: FLANN (high-accuracy and low-latency variants),
+// Remote Storage Caching, McRouter, and Word Stemming as master-thread
+// request streams; plus SPEC-like mixes and the FLANN-X-Y variants used
+// in the motivation experiments.
+package workload
+
+import (
+	"fmt"
+
+	"duplexity/internal/isa"
+	"duplexity/internal/stats"
+)
+
+// RequestStream turns a per-request instruction generator into an
+// open-loop, request-driven master-thread stream: requests arrive as a
+// Poisson process; between requests the stream is idle. It implements
+// isa.Stream, cpu.WorkSignaler (idle detection for morphing), and
+// core.RequestTracker (arrival-to-commit latency accounting).
+type RequestStream struct {
+	gen  isa.Stream
+	rng  *stats.RNG
+	freq float64 // GHz, to convert arrival times to cycles
+
+	meanGapCycles float64
+	nextArrival   uint64
+	// queue holds arrival cycles of requests not yet fully fetched.
+	queue []uint64
+	// pending holds arrival cycles of requests whose last instruction has
+	// been fetched but not yet committed.
+	pending   []uint64
+	inService bool
+
+	// Arrivals counts admitted requests.
+	Arrivals uint64
+}
+
+// NewRequestStream builds a request stream. gen must mark request
+// boundaries with isa.Instr.EndOfRequest (e.g. a PhasedGen or a
+// SynthStream with InstrsPerRequest). qps is the offered arrival rate;
+// freqGHz converts wall time to cycles.
+func NewRequestStream(gen isa.Stream, qps, freqGHz float64, seed uint64) (*RequestStream, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("workload: nil instruction generator")
+	}
+	if qps <= 0 || freqGHz <= 0 {
+		return nil, fmt.Errorf("workload: qps (%v) and frequency (%v) must be positive", qps, freqGHz)
+	}
+	r := &RequestStream{
+		gen:           gen,
+		rng:           stats.NewRNG(seed),
+		freq:          freqGHz,
+		meanGapCycles: freqGHz * 1e9 / qps,
+	}
+	r.nextArrival = uint64(r.meanGapCycles * r.rng.ExpFloat64())
+	return r, nil
+}
+
+// admit moves due arrivals into the queue.
+func (r *RequestStream) admit(now uint64) {
+	for r.nextArrival <= now {
+		r.queue = append(r.queue, r.nextArrival)
+		r.Arrivals++
+		gap := r.meanGapCycles * r.rng.ExpFloat64()
+		if gap < 1 {
+			gap = 1
+		}
+		r.nextArrival += uint64(gap)
+	}
+}
+
+// Next implements isa.Stream.
+func (r *RequestStream) Next(now uint64) (isa.Instr, bool) {
+	r.admit(now)
+	if !r.inService {
+		if len(r.queue) == 0 {
+			return isa.Instr{}, false
+		}
+		r.inService = true
+	}
+	in, _ := r.gen.Next(now)
+	if in.EndOfRequest {
+		r.pending = append(r.pending, r.queue[0])
+		r.queue = r.queue[1:]
+		r.inService = false
+	}
+	return in, true
+}
+
+// HasWork implements cpu.WorkSignaler.
+func (r *RequestStream) HasWork(now uint64) bool {
+	r.admit(now)
+	return r.inService || len(r.queue) > 0
+}
+
+// PopCompleted implements core.RequestTracker.
+func (r *RequestStream) PopCompleted() (uint64, bool) {
+	if len(r.pending) == 0 {
+		return 0, false
+	}
+	a := r.pending[0]
+	r.pending = r.pending[1:]
+	return a, true
+}
+
+// QueueDepth returns the number of requests waiting or in service.
+func (r *RequestStream) QueueDepth() int {
+	n := len(r.queue)
+	if r.inService {
+		n++
+	}
+	return n
+}
+
+// ClosedStream drives a request generator at 100% load: a new request is
+// always ready the moment the previous one finishes (saturated closed
+// loop). The Section V methodology measures per-design service rates
+// this way — requests back-to-back, so cycles per completed request is
+// the service time including all microarchitectural interference,
+// morphing, and restart effects.
+type ClosedStream struct {
+	gen isa.Stream
+}
+
+// NewClosedStream wraps a request generator (which must emit
+// EndOfRequest markers).
+func NewClosedStream(gen isa.Stream) *ClosedStream { return &ClosedStream{gen: gen} }
+
+// Next implements isa.Stream.
+func (c *ClosedStream) Next(now uint64) (isa.Instr, bool) { return c.gen.Next(now) }
+
+// HasWork implements cpu.WorkSignaler: a closed loop is never idle.
+func (c *ClosedStream) HasWork(uint64) bool { return true }
