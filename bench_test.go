@@ -224,8 +224,25 @@ func BenchmarkAblationL0(b *testing.B) {
 }
 
 // BenchmarkDyadCycleRate measures raw simulator speed (cycles/op is the
-// inverse of simulated cycles per wall second).
+// inverse of simulated cycles per wall second). No telemetry sink is
+// attached, so every instrumented site takes its nil-check fast path —
+// this is the number the scripts/check.sh overhead guard compares
+// against BenchmarkDyadTelemetry.
 func BenchmarkDyadCycleRate(b *testing.B) {
+	benchDyad(b, false)
+}
+
+// BenchmarkDyadTelemetry is BenchmarkDyadCycleRate with a ring sink
+// attached: the fully instrumented simulation, paying one Event append
+// per emission. scripts/check.sh asserts the gap between the two stays
+// small; with the sink absent (the common case) the overhead is the
+// nil checks alone (see telemetry.BenchmarkEmitNil).
+func BenchmarkDyadTelemetry(b *testing.B) {
+	benchDyad(b, true)
+}
+
+func benchDyad(b *testing.B, instrument bool) {
+	b.Helper()
 	spec := McRouter()
 	master, err := spec.NewMaster(0.5, DesignDuplexity.FreqGHz(), 1)
 	if err != nil {
@@ -238,6 +255,9 @@ func BenchmarkDyadCycleRate(b *testing.B) {
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+	if instrument {
+		d.EnableTelemetry(NewTelemetryRing(0))
 	}
 	b.ResetTimer()
 	d.Run(uint64(b.N))

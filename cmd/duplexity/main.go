@@ -2,27 +2,37 @@
 //
 // Usage:
 //
-//	duplexity [-scale f] [-seed n] <experiment>...
+//	duplexity [-scale f] [-seed n] [-telemetry out.json] [-progress]
+//	          [-pprof addr] <experiment>...
 //
 // Experiments: fig1a fig1b fig1c fig2a fig2b table1 table2 fig5a fig5b
 // fig5c fig5d fig5e fig5f fig6 workloads slowdowns all motivation
 //
 // -scale 1.0 reproduces the paper-scale campaign (minutes of CPU);
-// smaller values trade fidelity for time.
+// smaller values trade fidelity for time. With -telemetry, the campaign
+// writes a machine-readable JSON manifest: config, seed, git version,
+// per-experiment wall times, and the per-design campaign summary (every
+// simulated design × workload × load cell).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"duplexity"
+	"duplexity/internal/telemetry"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "simulation fidelity (1.0 = paper scale)")
 	seed := flag.Uint64("seed", 1, "campaign seed")
+	telemetryPath := flag.String("telemetry", "", "write a JSON campaign manifest to this file")
+	progress := flag.Bool("progress", false, "report per-experiment progress on stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: duplexity [-scale f] [-seed n] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1a fig1b fig1c fig2a fig2b table1 table2\n")
@@ -35,6 +45,13 @@ func main() {
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "duplexity: pprof:", err)
+			}
+		}()
 	}
 	s := duplexity.NewSuite(duplexity.SuiteOptions{Scale: *scale, Seed: *seed})
 
@@ -81,7 +98,12 @@ func main() {
 			names = append(names, arg)
 		}
 	}
+	campaignStart := time.Now()
+	timings := make([]map[string]interface{}, 0, len(names))
 	for _, name := range names {
+		if *progress {
+			fmt.Fprintf(os.Stderr, "duplexity: running %s...\n", name)
+		}
 		start := time.Now()
 		switch {
 		case static[name] != nil:
@@ -97,6 +119,34 @@ func main() {
 			fmt.Fprintf(os.Stderr, "duplexity: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
-		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		took := time.Since(start)
+		timings = append(timings, map[string]interface{}{
+			"experiment": name, "wall_seconds": took.Seconds(),
+		})
+		fmt.Printf("(%s took %v)\n\n", name, took.Round(time.Millisecond))
+	}
+
+	if *telemetryPath != "" {
+		m := &telemetry.Manifest{
+			Tool:    "duplexity",
+			Version: telemetry.ManifestVersion,
+			Config: map[string]interface{}{
+				"scale":       *scale,
+				"experiments": names,
+			},
+			Seed:        *seed,
+			GitDescribe: telemetry.GitDescribe(),
+			WallSeconds: time.Since(campaignStart).Seconds(),
+			Extra: map[string]interface{}{
+				"experiment_timings": timings,
+				"campaign_cells":     s.ReportCached(),
+			},
+		}
+		if err := m.WriteFile(*telemetryPath); err != nil {
+			fmt.Fprintln(os.Stderr, "duplexity:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("manifest: %s (%d experiments, %d campaign cells)\n",
+			*telemetryPath, len(timings), len(s.ReportCached()))
 	}
 }

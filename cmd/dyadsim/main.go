@@ -5,15 +5,30 @@
 // Usage:
 //
 //	dyadsim [-design name] [-workload name] [-load f] [-cycles n] [-seed n]
+//	        [-telemetry out.json] [-trace out.evt] [-snapshot-every n]
+//	        [-progress] [-pprof addr]
+//
+// With -telemetry, the run writes a machine-readable JSON manifest:
+// config, seed, git version, wall time, the full counter registry
+// (per-core and per-thread), derived histograms (master-restart latency,
+// stall durations, request latency), windowed snapshots, and
+// reconstructed request spans. With -trace, every telemetry event is
+// streamed to a text file ("cycle kind src a b" lines). Both flags are
+// independent; either enables instrumentation. Without them the dyad
+// runs uninstrumented (nil sink — one nil-check per emission site).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"duplexity"
+	"duplexity/internal/telemetry"
 )
 
 func main() {
@@ -23,6 +38,12 @@ func main() {
 	load := flag.Float64("load", 0.5, "offered load in (0,1)")
 	cycles := flag.Uint64("cycles", 5_000_000, "cycles to simulate")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	telemetryPath := flag.String("telemetry", "", "write a JSON run manifest to this file")
+	tracePath := flag.String("trace", "", "write the event trace to this file")
+	snapEvery := flag.Uint64("snapshot-every", 0,
+		"windowed-snapshot period in cycles (0 = cycles/10; needs -telemetry)")
+	progress := flag.Bool("progress", false, "report progress on stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	design, err := parseDesign(*designName)
@@ -34,6 +55,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dyadsim:", err)
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dyadsim: pprof:", err)
+			}
+		}()
 	}
 
 	master, err := spec.NewMaster(*load, design.FreqGHz(), *seed)
@@ -60,7 +88,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dyadsim:", err)
 		os.Exit(1)
 	}
-	d.Run(*cycles)
+
+	// Telemetry wiring: a ring for post-run analysis (spans, derived
+	// histograms) plus, with -trace, a streaming writer capturing the full
+	// event sequence to disk.
+	var (
+		ring      *telemetry.Ring
+		evw       *telemetry.EventWriter
+		traceFile *os.File
+		reg       *telemetry.Registry
+		win       *telemetry.Windows
+	)
+	if *telemetryPath != "" || *tracePath != "" {
+		ring = telemetry.NewRing(0)
+		sinks := []telemetry.Sink{ring}
+		if *tracePath != "" {
+			traceFile, err = os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dyadsim:", err)
+				os.Exit(1)
+			}
+			evw = telemetry.NewEventWriter(traceFile)
+			sinks = append(sinks, evw)
+		}
+		d.EnableTelemetry(telemetry.Multi(sinks...))
+		reg = telemetry.NewRegistry()
+		every := *snapEvery
+		if every == 0 {
+			every = *cycles / 10
+		}
+		win = reg.Windowed(every)
+	}
+
+	start := time.Now()
+	lastReport := start
+	const chunk = 1 << 16
+	for d.Now() < *cycles {
+		n := uint64(chunk)
+		if rem := *cycles - d.Now(); rem < n {
+			n = rem
+		}
+		d.Run(n)
+		if reg != nil {
+			d.CollectInto(reg)
+			win.Tick(d.Now())
+		}
+		if *progress && time.Since(lastReport) >= time.Second {
+			lastReport = time.Now()
+			fmt.Fprintf(os.Stderr, "dyadsim: %5.1f%%  cycle %d/%d  requests %d  (%.1fs)\n",
+				100*float64(d.Now())/float64(*cycles), d.Now(), *cycles,
+				d.MasterOoO.ThreadStats(0).RequestsCompleted, time.Since(start).Seconds())
+		}
+	}
+	wall := time.Since(start)
 
 	fmt.Printf("design      : %v (%.2f GHz)\n", design, design.FreqGHz())
 	fmt.Printf("workload    : %s @ %.0f%% load (%.0f QPS)\n", spec.Name, *load*100, spec.QPSAtLoad(*load))
@@ -81,6 +161,59 @@ func main() {
 			ms.MasterCycles, ms.DrainCycles, ms.FillerCycles)
 	}
 	fmt.Printf("graph jobs  : pagerank %d runs, sssp %d runs\n", pr.Runs, ss.Runs)
+	fmt.Printf("\nper-thread statistics:\n%s", d.ThreadReport())
+
+	if evw != nil {
+		if err := evw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dyadsim:", err)
+			os.Exit(1)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dyadsim: closing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nevent trace : %s (%d events)\n", *tracePath, evw.Count())
+	}
+	if *telemetryPath != "" {
+		d.CollectInto(reg)
+		events := ring.Events()
+		telemetry.Derive(reg, events)
+		spans := telemetry.Spans(events)
+		summary := telemetry.Summarize(ring, len(spans))
+		snap := reg.Snapshot(d.Now())
+		// Cap embedded spans: manifests stay reviewable; the full stream
+		// is available via -trace.
+		const maxSpans = 256
+		if len(spans) > maxSpans {
+			spans = spans[len(spans)-maxSpans:]
+		}
+		m := &telemetry.Manifest{
+			Tool:    "dyadsim",
+			Version: telemetry.ManifestVersion,
+			Design:  design.String(),
+			Config: map[string]interface{}{
+				"workload": spec.Name,
+				"load":     *load,
+				"qps":      spec.QPSAtLoad(*load),
+				"cycles":   *cycles,
+				"freq_ghz": design.FreqGHz(),
+			},
+			Seed:        *seed,
+			GitDescribe: telemetry.GitDescribe(),
+			WallSeconds: wall.Seconds(),
+			Cycles:      d.Now(),
+			Snapshot:    &snap,
+			Windows:     win.Snaps,
+			Events:      &summary,
+			Spans:       spans,
+		}
+		if err := m.WriteFile(*telemetryPath); err != nil {
+			fmt.Fprintln(os.Stderr, "dyadsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("manifest    : %s (%d spans, %d windows)\n",
+			*telemetryPath, len(spans), len(win.Snaps))
+	}
 }
 
 func parseDesign(s string) (duplexity.Design, error) {

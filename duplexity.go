@@ -40,6 +40,7 @@ import (
 	"duplexity/internal/queueing"
 	"duplexity/internal/sched"
 	"duplexity/internal/stats"
+	"duplexity/internal/telemetry"
 	"duplexity/internal/trace"
 	"duplexity/internal/workload"
 )
@@ -178,6 +179,35 @@ type StallObserver = sched.Observer
 
 // NewStallObserver builds an observer with EMA weight alpha.
 func NewStallObserver(alpha float64) (*StallObserver, error) { return sched.NewObserver(alpha) }
+
+// Telemetry types: the zero-dependency observability subsystem. Attach a
+// sink with Dyad.EnableTelemetry, mirror counters with Dyad.CollectInto,
+// and reconstruct per-request timelines with RequestSpans. See
+// internal/telemetry for the full API (event writers, manifests, CSV).
+type (
+	// TelemetrySink receives simulation events.
+	TelemetrySink = telemetry.Sink
+	// TelemetryEvent is one cycle-stamped simulation event.
+	TelemetryEvent = telemetry.Event
+	// TelemetryRing is a fixed-capacity in-memory event sink.
+	TelemetryRing = telemetry.Ring
+	// TelemetryRegistry holds hierarchical named counters, gauges, and
+	// mergeable power-of-two histograms.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySpan is one request's reconstructed timeline.
+	TelemetrySpan = telemetry.Span
+	// RunManifest is the machine-readable run report written by the CLIs.
+	RunManifest = telemetry.Manifest
+)
+
+// NewTelemetryRegistry builds an empty metric registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewTelemetryRing builds an event ring (capacity ≤ 0 uses the default).
+func NewTelemetryRing(capacity int) *TelemetryRing { return telemetry.NewRing(capacity) }
+
+// RequestSpans reconstructs per-request timelines from an event stream.
+func RequestSpans(events []TelemetryEvent) []TelemetrySpan { return telemetry.Spans(events) }
 
 // TraceWriter serializes an instruction stream to a compact binary trace
 // (the paper's trace-based simulation mode).

@@ -34,6 +34,9 @@ func TestChipValidation(t *testing.T) {
 }
 
 func TestChipRunsAllDyads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
 	masters, batches := chipStreams(t, 2)
 	c, err := NewChip(ChipConfig{
 		Design:  DesignDuplexity,
@@ -76,6 +79,9 @@ func TestChipRunsAllDyads(t *testing.T) {
 // cross-owner LLC evictions appear, which an isolated dyad of the same
 // aggregate capacity would not show for the master's working set.
 func TestChipLLCInterference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
 	masters, batches := chipStreams(t, 2)
 	c, err := NewChip(ChipConfig{
 		Design:  DesignDuplexity,

@@ -97,6 +97,9 @@ func TestNewDyadValidation(t *testing.T) {
 }
 
 func TestAllDesignsRunAndCompleteRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
 	for _, design := range AllDesigns {
 		d := makeDyad(t, design, 100_000) // 100K QPS: moderate load
 		done := d.RunUntilRequests(50, 5_000_000)
@@ -113,6 +116,9 @@ func TestAllDesignsRunAndCompleteRequests(t *testing.T) {
 }
 
 func TestDuplexityMorphsAndFills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
 	d := makeDyad(t, DesignDuplexity, 100_000)
 	d.RunUntilRequests(100, 8_000_000)
 	ms := d.Master.Stats
@@ -131,6 +137,9 @@ func TestDuplexityMorphsAndFills(t *testing.T) {
 }
 
 func TestDuplexityUtilizationBeatsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
 	base := makeDyad(t, DesignBaseline, 100_000)
 	base.Run(2_000_000)
 	dup := makeDyad(t, DesignDuplexity, 100_000)
@@ -142,6 +151,9 @@ func TestDuplexityUtilizationBeatsBaseline(t *testing.T) {
 }
 
 func TestDuplexityProtectsMasterState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
 	// After running Duplexity with heavy filler activity, the
 	// master-core's own L1s must contain no filler-owned lines.
 	d := makeDyad(t, DesignDuplexity, 50_000)
@@ -158,6 +170,9 @@ func TestDuplexityProtectsMasterState(t *testing.T) {
 }
 
 func TestMorphCorePollutesMasterState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
 	d := makeDyad(t, DesignMorphCorePlus, 50_000)
 	d.Run(2_000_000)
 	if occ := d.MasterMem.L1D.OccupancyBy(cacheOwnerFiller()); occ == 0 {
@@ -169,6 +184,9 @@ func TestMorphCorePollutesMasterState(t *testing.T) {
 }
 
 func TestTailLatencyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
 	// SMT co-location should inflate the microservice's p99 relative to
 	// Duplexity at the same load.
 	p99 := func(design Design) float64 {
@@ -188,6 +206,9 @@ func TestTailLatencyOrdering(t *testing.T) {
 }
 
 func TestBatchThroughputAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
 	d := makeDyad(t, DesignDuplexity, 100_000)
 	d.Run(3_000_000)
 	if d.BatchRetired() == 0 {

@@ -10,6 +10,7 @@ import (
 	"duplexity/internal/isa"
 	"duplexity/internal/memsys"
 	"duplexity/internal/stats"
+	"duplexity/internal/telemetry"
 )
 
 // RequestTracker is implemented by request-driven master streams that
@@ -77,8 +78,15 @@ type Dyad struct {
 	// master stream implements RequestTracker.
 	Latencies *stats.LatencyRecorder
 
-	tracker RequestTracker
-	now     uint64
+	tracker      RequestTracker
+	masterStream isa.Stream
+	now          uint64
+
+	// telemetry is the attached event sink (nil until EnableTelemetry);
+	// completedSeq numbers RequestComplete events, aligning with the
+	// master stream's FIFO arrival/dispatch sequence.
+	telemetry    telemetry.Sink
+	completedSeq uint64
 }
 
 // NewDyad wires up a design point per Section V.
@@ -92,9 +100,10 @@ func NewDyad(cfg Config) (*Dyad, error) {
 	}
 
 	d := &Dyad{
-		Design:    cfg.Design,
-		Freq:      freq,
-		Latencies: stats.NewLatencyRecorder(1 << 12),
+		Design:       cfg.Design,
+		Freq:         freq,
+		Latencies:    stats.NewLatencyRecorder(1 << 12),
+		masterStream: cfg.MasterStream,
 	}
 
 	// Shared LLC: 1MB per core x 2 cores in the dyad (Table I), unless
@@ -224,6 +233,11 @@ func NewDyad(cfg Config) (*Dyad, error) {
 			}
 			if arrival, ok := d.tracker.PopCompleted(); ok {
 				d.Latencies.Add(float64(now - arrival))
+				if d.telemetry != nil {
+					d.telemetry.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvRequestComplete,
+						Src: telemetry.SrcMaster, A: d.completedSeq, B: now - arrival})
+				}
+				d.completedSeq++
 			}
 		}
 	}

@@ -13,6 +13,9 @@ import (
 // The morph state machine must keep making progress (no deadlock between
 // drain, filler, and resume).
 func TestDuplexityRemoteStormProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
 	gen := isa.MustSynthStream(isa.SynthConfig{
 		Seed: 3, CodeBytes: 4096, DataBytes: 4096, DepP: 0,
 		RemoteEvery:      3,
@@ -71,6 +74,9 @@ func TestZeroLatencyRemoteResumesDirectly(t *testing.T) {
 // A master stream that never produces work must leave the dyad parked in
 // filler mode with fillers productive.
 func TestAlwaysIdleMasterFills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
 	gen := isa.MustSynthStream(isa.SynthConfig{
 		Seed: 5, CodeBytes: 4096, DataBytes: 4096,
 		InstrsPerRequest: stats.Deterministic{Value: 100},
@@ -99,6 +105,9 @@ func TestAlwaysIdleMasterFills(t *testing.T) {
 
 // SetRestartLat must change resume cost visibly.
 func TestSetRestartLat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
 	run := func(restart uint64) uint64 {
 		gen := masterGen(9, true)
 		master := workload.NewClosedStream(gen)
@@ -137,6 +146,9 @@ func TestNoL0Ablation(t *testing.T) {
 // MorphCore's fixed fillers must survive repeated evict/rebind cycles
 // without losing instructions (the pending-buffer plumbing).
 func TestMorphCoreEvictRebindChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
 	d := makeDyad(t, DesignMorphCore, 200_000) // high arrival rate: frequent churn
 	d.Run(2_000_000)
 	ms := d.Master.Stats

@@ -4,6 +4,7 @@ import (
 	"duplexity/internal/cpu"
 	"duplexity/internal/hsmt"
 	"duplexity/internal/isa"
+	"duplexity/internal/telemetry"
 )
 
 // Mode is the master-core's execution mode.
@@ -43,6 +44,8 @@ type fillerEngine interface {
 	EvictAll(now uint64)
 	// Core exposes the underlying datapath for statistics.
 	Core() *cpu.InOCore
+	// setTelemetry attaches an event sink, tagging emissions with src.
+	setTelemetry(sink telemetry.Sink, src uint8)
 }
 
 // hsmtFiller adapts an hsmt.Scheduler to the fillerEngine interface.
@@ -51,6 +54,10 @@ type hsmtFiller struct{ sched *hsmt.Scheduler }
 func (h hsmtFiller) Step(now uint64)     { h.sched.StepCore(now) }
 func (h hsmtFiller) EvictAll(now uint64) { h.sched.EvictAll(now) }
 func (h hsmtFiller) Core() *cpu.InOCore  { return h.sched.Core() }
+func (h hsmtFiller) setTelemetry(sink telemetry.Sink, src uint8) {
+	h.sched.Telemetry = sink
+	h.sched.TelemetrySrc = src
+}
 
 // fixedFiller runs a fixed set of filler streams (MorphCore's 8 filler
 // threads): no backing pool, threads block in place on µs-scale stalls.
@@ -59,6 +66,9 @@ type fixedFiller struct {
 	streams []isa.Stream
 	pending [][]isa.Instr
 	bound   bool
+
+	sink    telemetry.Sink
+	sinkSrc uint8
 }
 
 func newFixedFiller(core *cpu.InOCore, streams []isa.Stream) *fixedFiller {
@@ -76,25 +86,38 @@ func (f *fixedFiller) Step(now uint64) {
 				f.core.Preload(i, f.pending[i])
 				f.pending[i] = nil
 			}
+			if f.sink != nil {
+				f.sink.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvFillerBorrow,
+					Src: f.sinkSrc, A: uint64(i), B: uint64(i)})
+			}
 		}
 		f.bound = true
 	}
 	f.core.Step(now)
 }
 
-func (f *fixedFiller) EvictAll(uint64) {
+func (f *fixedFiller) EvictAll(now uint64) {
 	if !f.bound {
 		return
 	}
 	for i := 0; i < f.core.Slots(); i++ {
 		if f.core.Slot(i).Active() {
 			_, f.pending[i] = f.core.Unbind(i)
+			if f.sink != nil {
+				f.sink.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvFillerEvict,
+					Src: f.sinkSrc, A: uint64(i), B: telemetry.EvictMasterRestart})
+			}
 		}
 	}
 	f.bound = false
 }
 
 func (f *fixedFiller) Core() *cpu.InOCore { return f.core }
+
+func (f *fixedFiller) setTelemetry(sink telemetry.Sink, src uint8) {
+	f.sink = sink
+	f.sinkSrc = src
+}
 
 // MasterStats summarizes master-core mode activity.
 type MasterStats struct {
@@ -124,6 +147,18 @@ type MasterCore struct {
 	modeReadyAt     uint64 // cycle when the in-progress morph completes
 	stalledOnRemote bool
 	remoteReadyAt   uint64
+	// now mirrors the cycle last passed to Step, so the OnRemote hook
+	// (which receives only a completion time) can stamp events.
+	now uint64
+	// morphStart records the cycle the in-progress morph began, so resume
+	// paths can report (and charge) the master-thread's away time.
+	morphStart uint64
+
+	// Telemetry, when non-nil, receives Morph and MasterRestart events;
+	// nil costs one check per mode transition.
+	Telemetry telemetry.Sink
+	// TelemetrySrc tags emitted events (telemetry.SrcMaster).
+	TelemetrySrc uint8
 
 	Stats MasterStats
 }
@@ -164,7 +199,12 @@ func (m *MasterCore) onRemote(tid int, _ isa.Instr, completeAt uint64) cpu.Remot
 	m.ooo.HaltFetch(tid)
 	m.ooo.SquashYoungerThanRemote(tid)
 	m.mode = ModeDraining
+	m.morphStart = m.now
 	m.Stats.Morphs++
+	if m.Telemetry != nil {
+		m.Telemetry.Emit(telemetry.Event{Cycle: m.now, Kind: telemetry.EvMorph,
+			Src: m.TelemetrySrc, A: 1})
+	}
 	return cpu.RemoteHandled
 }
 
@@ -178,6 +218,7 @@ func (m *MasterCore) masterReady(now uint64) bool {
 
 // Step advances the master-core one cycle.
 func (m *MasterCore) Step(now uint64) {
+	m.now = now
 	switch m.mode {
 	case ModeMaster:
 		m.Stats.MasterCycles++
@@ -188,7 +229,12 @@ func (m *MasterCore) Step(now uint64) {
 			m.stalledOnRemote = false
 			m.ooo.HaltFetch(0)
 			m.mode = ModeDraining
+			m.morphStart = now
 			m.Stats.IdleMorphs++
+			if m.Telemetry != nil {
+				m.Telemetry.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvMorph,
+					Src: m.TelemetrySrc, A: 0})
+			}
 		}
 
 	case ModeDraining:
@@ -238,8 +284,17 @@ func (m *MasterCore) Step(now uint64) {
 // resolved before any filler-thread ran: master state is fully intact.
 func (m *MasterCore) resumeWithoutFillers(now uint64) {
 	m.ooo.ResumeFetch(0, now)
+	if m.stalledOnRemote {
+		// Controller-managed remote: charge the cycles the morph machinery
+		// held the master-thread (the engine charged nothing at issue).
+		m.ooo.AddRemoteStall(0, now-m.morphStart)
+	}
 	m.stalledOnRemote = false
 	m.mode = ModeMaster
+	if m.Telemetry != nil {
+		m.Telemetry.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvMasterRestart,
+			Src: m.TelemetrySrc, A: 0, B: now - m.morphStart})
+	}
 }
 
 // resumeMaster evicts filler-threads and restarts the master-thread.
@@ -250,6 +305,15 @@ func (m *MasterCore) resumeMaster(now uint64) {
 	m.filler.EvictAll(now)
 	m.Stats.RestartStalls += m.restartLat
 	m.ooo.ResumeFetch(0, now+m.restartLat)
+	if m.stalledOnRemote {
+		// Controller-managed remote: charge the parked window (the restart
+		// penalty itself is tracked separately in Stats.RestartStalls).
+		m.ooo.AddRemoteStall(0, now-m.morphStart)
+	}
 	m.stalledOnRemote = false
 	m.mode = ModeMaster
+	if m.Telemetry != nil {
+		m.Telemetry.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvMasterRestart,
+			Src: m.TelemetrySrc, A: m.restartLat, B: now - m.morphStart})
+	}
 }

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"duplexity/internal/cpu"
+	"duplexity/internal/telemetry"
+)
+
+// EnableTelemetry attaches sink to every instrumented component of the
+// dyad: the master OoO engine (SrcMaster), the lender datapath and its
+// scheduler (SrcLender), the morphing controller and its filler engine
+// (SrcFiller), and the master stream if it is instrumentable. Pass nil to
+// detach. Call before stepping; attaching mid-run is safe but events
+// before the call are lost.
+func (d *Dyad) EnableTelemetry(sink telemetry.Sink) {
+	d.telemetry = sink
+	d.MasterOoO.Telemetry = sink
+	d.MasterOoO.TelemetrySrc = telemetry.SrcMaster
+	d.LenderCore.Telemetry = sink
+	d.LenderCore.TelemetrySrc = telemetry.SrcLender
+	d.Lender.Telemetry = sink
+	d.Lender.TelemetrySrc = telemetry.SrcLender
+	if d.Master != nil {
+		d.Master.Telemetry = sink
+		d.Master.TelemetrySrc = telemetry.SrcMaster
+		fc := d.Master.FillerCore()
+		fc.Telemetry = sink
+		fc.TelemetrySrc = telemetry.SrcFiller
+		d.Master.filler.setTelemetry(sink, telemetry.SrcFiller)
+	}
+	if inst, ok := d.masterStream.(telemetry.Instrumentable); ok {
+		inst.SetTelemetry(sink)
+	}
+}
+
+// CollectInto mirrors the dyad's live counters into reg, so windowed
+// snapshots and the run manifest see a consistent hierarchical view.
+// Counter values are absolute (set, not added): calling repeatedly as the
+// simulation advances keeps the registry current.
+func (d *Dyad) CollectInto(reg *telemetry.Registry) {
+	collectCore(reg.Scope("master"), d.MasterOoO.Stats, d.MasterOoO.Config().Width)
+	for t := 0; t < d.MasterOoO.Threads(); t++ {
+		collectThread(reg.Scope(fmt.Sprintf("master.thread%d", t)), d.MasterOoO.ThreadStats(t))
+	}
+	collectCore(reg.Scope("lender"), d.LenderCore.Stats, d.LenderCore.Config().Width)
+	for i := 0; i < d.LenderCore.Slots(); i++ {
+		collectThread(reg.Scope(fmt.Sprintf("lender.slot%d", i)), &d.LenderCore.Slot(i).Stats)
+	}
+
+	p := reg.Scope("pool")
+	p.Counter("steals").Set(d.Pool.Steals)
+	p.Counter("returns").Set(d.Pool.Returns)
+	p.Counter("queued").Set(uint64(d.Pool.Len()))
+
+	l := reg.Scope("lender.sched")
+	l.Counter("swaps").Set(d.Lender.Swaps)
+	l.Counter("preempts").Set(d.Lender.Preempts)
+
+	if d.Master != nil {
+		fc := d.Master.FillerCore()
+		collectCore(reg.Scope("filler"), fc.Stats, fc.Config().Width)
+		for i := 0; i < fc.Slots(); i++ {
+			collectThread(reg.Scope(fmt.Sprintf("filler.slot%d", i)), &fc.Slot(i).Stats)
+		}
+		m := reg.Scope("master.morph")
+		m.Counter("morphs").Set(d.Master.Stats.Morphs)
+		m.Counter("idle_morphs").Set(d.Master.Stats.IdleMorphs)
+		m.Counter("master_cycles").Set(d.Master.Stats.MasterCycles)
+		m.Counter("drain_cycles").Set(d.Master.Stats.DrainCycles)
+		m.Counter("filler_cycles").Set(d.Master.Stats.FillerCycles)
+		m.Counter("restart_stalls").Set(d.Master.Stats.RestartStalls)
+		m.Gauge("mode").Set(float64(d.Master.Mode()))
+	}
+
+	g := reg.Scope("dyad")
+	g.Counter("cycles").Set(d.now)
+	g.Counter("requests_completed").Set(d.MasterOoO.ThreadStats(0).RequestsCompleted)
+	g.Gauge("master_utilization").Set(d.MasterUtilization())
+}
+
+// collectCore mirrors one datapath's CoreStats (surfacing IssueSlotsUsed,
+// which no printed table reports) plus its utilization gauge.
+func collectCore(s telemetry.Scope, st cpu.CoreStats, width int) {
+	s.Counter("cycles").Set(st.Cycles)
+	s.Counter("total_retired").Set(st.TotalRetired)
+	s.Counter("fetch_stall_cycles").Set(st.FetchStallCycles)
+	s.Counter("issue_slots_used").Set(st.IssueSlotsUsed)
+	s.Gauge("utilization").Set(st.Utilization(width))
+}
+
+func collectThread(s telemetry.Scope, st *cpu.ThreadStats) {
+	s.Counter("retired").Set(st.Retired)
+	s.Counter("remotes").Set(st.Remotes)
+	s.Counter("remote_stall_cycles").Set(st.RemoteStallCycles)
+	s.Counter("idle_cycles").Set(st.IdleCycles)
+	s.Counter("requests_completed").Set(st.RequestsCompleted)
+}
+
+// ThreadReport formats every hardware thread's statistics — master OoO
+// threads, borrowed-filler slots, and lender slots — as an aligned table.
+func (d *Dyad) ThreadReport() string {
+	var names []string
+	var sts []*cpu.ThreadStats
+	for t := 0; t < d.MasterOoO.Threads(); t++ {
+		names = append(names, fmt.Sprintf("master.thread%d", t))
+		sts = append(sts, d.MasterOoO.ThreadStats(t))
+	}
+	if d.Master != nil {
+		fc := d.Master.FillerCore()
+		for i := 0; i < fc.Slots(); i++ {
+			names = append(names, fmt.Sprintf("filler.slot%d", i))
+			sts = append(sts, &fc.Slot(i).Stats)
+		}
+	}
+	for i := 0; i < d.LenderCore.Slots(); i++ {
+		names = append(names, fmt.Sprintf("lender.slot%d", i))
+		sts = append(sts, &d.LenderCore.Slot(i).Stats)
+	}
+	return cpu.ThreadTable(names, sts)
+}

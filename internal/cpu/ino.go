@@ -6,6 +6,7 @@ import (
 	"duplexity/internal/bpred"
 	"duplexity/internal/isa"
 	"duplexity/internal/memsys"
+	"duplexity/internal/telemetry"
 )
 
 // RemoteAction tells the engine how an issued remote operation will be
@@ -74,6 +75,12 @@ type InOCore struct {
 	// OnRequestEnd, if set, is called when a slot issues an
 	// EndOfRequest-marked instruction.
 	OnRequestEnd func(slot int, now uint64)
+
+	// Telemetry, when non-nil, receives cache-miss burst events; each
+	// emission site costs one nil check when disabled.
+	Telemetry telemetry.Sink
+	// TelemetrySrc tags emitted events with the owning component.
+	TelemetrySrc uint8
 }
 
 // NewInOCore builds an in-order SMT core with nSlots physical contexts.
@@ -219,6 +226,10 @@ func (c *InOCore) issue(now uint64) {
 				if in.Dst != isa.RegNone {
 					s.regReadyAt[in.Dst] = now + lat
 				}
+				if c.Telemetry != nil && lat >= memsys.LLCHitLat {
+					c.Telemetry.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvCacheMiss,
+						Src: c.TelemetrySrc, A: lat, B: uint64(c.slotIndex(s))})
+				}
 			case isa.OpStore:
 				ldst--
 				c.dport.Access(now, in.Addr, true)
@@ -234,6 +245,11 @@ func (c *InOCore) issue(now uint64) {
 				}
 				if action == RemoteBlock {
 					s.blockedUntil = completeAt
+					if in.Op == isa.OpRemote {
+						// Engine-managed remote: the slot blocks in place
+						// for the full device latency.
+						s.Stats.RemoteStallCycles += completeAt - now
+					}
 					if in.Dst != isa.RegNone {
 						s.regReadyAt[in.Dst] = completeAt
 					}

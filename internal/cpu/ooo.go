@@ -6,6 +6,7 @@ import (
 	"duplexity/internal/bpred"
 	"duplexity/internal/isa"
 	"duplexity/internal/memsys"
+	"duplexity/internal/telemetry"
 )
 
 // FetchPolicy selects which thread fetches each cycle on an SMT core.
@@ -106,6 +107,13 @@ type OoOCore struct {
 	OnRemote func(tid int, in isa.Instr, completeAt uint64) RemoteAction
 	// OnRequestEnd fires when an EndOfRequest instruction commits.
 	OnRequestEnd func(tid int, now uint64)
+
+	// Telemetry, when non-nil, receives stall and cache-miss events.
+	// Every emission site is guarded by a nil check, so uninstrumented
+	// runs pay one predictable branch.
+	Telemetry telemetry.Sink
+	// TelemetrySrc tags emitted events with the owning component.
+	TelemetrySrc uint8
 }
 
 // NewOoOCore builds an out-of-order core running the given streams as SMT
@@ -355,7 +363,12 @@ func (c *OoOCore) issue(now uint64) {
 			switch e.in.Op {
 			case isa.OpLoad:
 				ldst--
-				e.completeAt = now + uint64(c.dport.Access(now, e.in.Addr, false))
+				lat := uint64(c.dport.Access(now, e.in.Addr, false))
+				e.completeAt = now + lat
+				if c.Telemetry != nil && lat >= memsys.LLCHitLat {
+					c.Telemetry.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvCacheMiss,
+						Src: c.TelemetrySrc, A: lat, B: uint64(tid)})
+				}
 			case isa.OpStore:
 				ldst--
 				c.dport.Access(now, e.in.Addr, true)
@@ -365,11 +378,19 @@ func (c *OoOCore) issue(now uint64) {
 				t.Stats.Remotes++
 				completeAt := now + CyclesFromNs(e.in.RemoteNs, c.cfg.FreqGHz)
 				e.completeAt = completeAt
+				if c.Telemetry != nil {
+					c.Telemetry.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvMasterStall,
+						Src: c.TelemetrySrc, A: completeAt - now, B: uint64(tid)})
+				}
 				action := RemoteBlock
 				if c.OnRemote != nil {
 					action = c.OnRemote(tid, e.in, completeAt)
 				}
-				_ = action // both actions leave the entry waiting for completeAt
+				if action == RemoteBlock {
+					// Engine-managed remote: the thread stays resident,
+					// blocked on the device for the full latency.
+					t.Stats.RemoteStallCycles += completeAt - now
+				}
 			case isa.OpPark:
 				// Wait in place until the poll interval elapses.
 				e.completeAt = now + CyclesFromNs(e.in.RemoteNs, c.cfg.FreqGHz)

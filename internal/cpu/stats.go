@@ -1,18 +1,74 @@
 package cpu
 
+import (
+	"fmt"
+	"strings"
+)
+
 // ThreadStats accumulates per-hardware-thread execution statistics.
 type ThreadStats struct {
 	// Retired counts committed (OoO) or issued-in-order (InO) instructions.
 	Retired uint64
 	// Remotes counts demarcated µs-scale remote operations.
 	Remotes uint64
-	// RemoteStallCycles accumulates cycles the thread spent blocked on
-	// remote operations (OoO engine, where the thread stays resident).
+	// RemoteStallCycles accumulates cycles attributable to remote
+	// operations: the summed device latencies of engine-managed
+	// (RemoteBlock) remotes, plus — for controller-managed threads like
+	// the morphing master — the cycles the controller parked the thread
+	// off the core (charged via AddRemoteStall). Overlapping remotes
+	// within one OoO window each charge their full latency.
 	RemoteStallCycles uint64
 	// IdleCycles accumulates cycles with no work available.
 	IdleCycles uint64
 	// RequestsCompleted counts committed EndOfRequest markers.
 	RequestsCompleted uint64
+}
+
+// String renders the per-thread statistics on one line.
+func (s ThreadStats) String() string {
+	return fmt.Sprintf("retired %d, remotes %d, remote-stall %d, idle %d, requests %d",
+		s.Retired, s.Remotes, s.RemoteStallCycles, s.IdleCycles, s.RequestsCompleted)
+}
+
+// ThreadTable formats a labelled set of per-thread statistics as an
+// aligned table (the cmd/dyadsim per-thread report). names and stats
+// must be parallel slices.
+func ThreadTable(names []string, stats []*ThreadStats) string {
+	rows := [][]string{{"thread", "retired", "remotes", "remote-stall", "idle", "requests"}}
+	for i, s := range stats {
+		rows = append(rows, []string{
+			names[i],
+			fmt.Sprintf("%d", s.Retired),
+			fmt.Sprintf("%d", s.Remotes),
+			fmt.Sprintf("%d", s.RemoteStallCycles),
+			fmt.Sprintf("%d", s.IdleCycles),
+			fmt.Sprintf("%d", s.RequestsCompleted),
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := strings.Repeat(" ", widths[i]-len(cell))
+			if i == 0 {
+				b.WriteString(cell + pad)
+			} else {
+				b.WriteString(pad + cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // CoreStats aggregates per-core counters.
@@ -22,7 +78,9 @@ type CoreStats struct {
 	// FetchStallCycles counts cycles the front end fetched nothing.
 	FetchStallCycles uint64
 	// IssueSlotsUsed counts issue slots filled (utilization numerator is
-	// retired instructions; this tracks raw issue activity).
+	// retired instructions; this tracks raw issue activity). It is not
+	// part of any printed table; the telemetry registry surfaces it as
+	// "<core>.issue_slots_used" (see core.Dyad.CollectInto).
 	IssueSlotsUsed uint64
 }
 
@@ -36,8 +94,10 @@ func (s CoreStats) IPC() float64 {
 
 // Utilization returns retired instructions per peak retire slot — the
 // paper's core-utilization metric (retired IPC divided by width 4).
+// Non-positive widths (a miswired caller) yield 0 rather than a
+// negative or infinite utilization.
 func (s CoreStats) Utilization(width int) float64 {
-	if s.Cycles == 0 || width == 0 {
+	if s.Cycles == 0 || width <= 0 {
 		return 0
 	}
 	return float64(s.TotalRetired) / float64(s.Cycles*uint64(width))

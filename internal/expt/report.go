@@ -1,0 +1,41 @@
+package expt
+
+// CellReport is the machine-readable form of one simulated campaign
+// point (design × workload × load), the per-design summary embedded in
+// cmd/duplexity's -telemetry run manifest.
+type CellReport struct {
+	Design       string  `json:"design"`
+	Workload     string  `json:"workload"`
+	Load         float64 `json:"load"`
+	Utilization  float64 `json:"utilization"`
+	Seconds      float64 `json:"seconds"`
+	OoORetired   uint64  `json:"ooo_retired"`
+	InORetired   uint64  `json:"ino_retired"`
+	BatchRetired uint64  `json:"batch_retired"`
+	RemotesPerS  float64 `json:"remotes_per_s"`
+	Requests     uint64  `json:"requests"`
+	MicroP99Us   float64 `json:"micro_p99_us,omitempty"`
+}
+
+// ReportCached exports every campaign cell the Suite has simulated so
+// far. It never triggers new simulation: if no requested experiment
+// needed the matrix, the report is empty.
+func (s *Suite) ReportCached() []CellReport {
+	out := make([]CellReport, 0, len(s.matrix))
+	for _, c := range s.matrix {
+		out = append(out, CellReport{
+			Design:       c.design.String(),
+			Workload:     c.workload,
+			Load:         c.load,
+			Utilization:  c.utilization,
+			Seconds:      c.seconds,
+			OoORetired:   c.oooRetired,
+			InORetired:   c.inoRetired,
+			BatchRetired: c.batchRetired,
+			RemotesPerS:  c.remotesPerS,
+			Requests:     c.requests,
+			MicroP99Us:   c.microP99Us,
+		})
+	}
+	return out
+}

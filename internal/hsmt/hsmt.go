@@ -16,6 +16,7 @@ import (
 
 	"duplexity/internal/cpu"
 	"duplexity/internal/isa"
+	"duplexity/internal/telemetry"
 )
 
 // VirtualContext is one latency-insensitive software thread's schedulable
@@ -127,10 +128,22 @@ type Scheduler struct {
 
 	bound   []*VirtualContext
 	boundAt []uint64
+	// now mirrors the cycle last passed to Step, so the OnRemote hook
+	// (which receives only a completion time) can stamp events.
+	now uint64
 
 	// Swaps counts stall-triggered context switches; Preempts counts
 	// quantum-expiry switches.
 	Swaps, Preempts uint64
+
+	// Telemetry, when non-nil, receives FillerBorrow/FillerEvict events
+	// for every bind and unbind; nil costs one check per scheduling
+	// action.
+	Telemetry telemetry.Sink
+	// TelemetrySrc tags emitted events with the owning component
+	// (telemetry.SrcLender for the lender-core's scheduler,
+	// telemetry.SrcFiller for a master-core's filler engine).
+	TelemetrySrc uint8
 }
 
 // DefaultSwapLat is the modelled swap cost: spilling and filling 32
@@ -188,6 +201,10 @@ func (s *Scheduler) handleRemote(slot int, _ isa.Instr, completeAt uint64) cpu.R
 	s.pool.Push(vc, completeAt)
 	s.bound[slot] = nil
 	s.Swaps++
+	if s.Telemetry != nil {
+		s.Telemetry.Emit(telemetry.Event{Cycle: s.now, Kind: telemetry.EvFillerEvict,
+			Src: s.TelemetrySrc, A: uint64(vc.ID), B: telemetry.EvictStall})
+	}
 	// A replacement is bound on the next Step; physical context pays the
 	// swap cost there.
 	return cpu.RemoteHandled
@@ -196,6 +213,7 @@ func (s *Scheduler) handleRemote(slot int, _ isa.Instr, completeAt uint64) cpu.R
 // Step performs scheduling decisions for cycle now. Call once per cycle,
 // before the core's Step.
 func (s *Scheduler) Step(now uint64) {
+	s.now = now
 	for i := range s.bound {
 		vc := s.bound[i]
 		if vc == nil {
@@ -210,6 +228,10 @@ func (s *Scheduler) Step(now uint64) {
 			s.pool.Push(vc, now)
 			s.bound[i] = nil
 			s.Preempts++
+			if s.Telemetry != nil {
+				s.Telemetry.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvFillerEvict,
+					Src: s.TelemetrySrc, A: uint64(vc.ID), B: telemetry.EvictPreempt})
+			}
 			if next := s.pool.PopReady(now); next != nil {
 				s.bind(i, next, now)
 			}
@@ -226,6 +248,10 @@ func (s *Scheduler) bind(slot int, vc *VirtualContext, now uint64) {
 	s.bound[slot] = vc
 	s.boundAt[slot] = now
 	vc.Binds++
+	if s.Telemetry != nil {
+		s.Telemetry.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvFillerBorrow,
+			Src: s.TelemetrySrc, A: uint64(vc.ID), B: uint64(slot)})
+	}
 }
 
 // EvictAll unbinds every context back to the run queue (the master-core
@@ -243,6 +269,10 @@ func (s *Scheduler) EvictAll(now uint64) int {
 		s.pool.Push(vc, now)
 		s.bound[i] = nil
 		n++
+		if s.Telemetry != nil {
+			s.Telemetry.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvFillerEvict,
+				Src: s.TelemetrySrc, A: uint64(vc.ID), B: telemetry.EvictMasterRestart})
+		}
 	}
 	return n
 }

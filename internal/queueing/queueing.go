@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"duplexity/internal/stats"
+	"duplexity/internal/telemetry"
 )
 
 // Config parameterizes one queueing simulation.
@@ -38,6 +39,16 @@ type Config struct {
 	// design point is measured on real hardware.
 	AllowUnstable bool
 	Seed          uint64
+
+	// Telemetry, when non-nil, receives RequestArrive/RequestComplete
+	// events tagged telemetry.SrcQueue. This simulator has no cycle clock;
+	// events are stamped in integer nanoseconds of simulated time, and
+	// RequestComplete's B argument is the sojourn time in ns.
+	Telemetry telemetry.Sink
+	// LatencyHist, when non-nil, observes every measured sojourn time in
+	// nanoseconds (a mergeable power-of-two histogram for run reports, in
+	// addition to the exact reservoir the percentiles come from).
+	LatencyHist *telemetry.Histogram
 }
 
 func (c Config) withDefaults() Config {
@@ -130,8 +141,19 @@ func Simulate(cfg Config) (Result, error) {
 		freeAt = depart
 		lastEvent = depart
 
+		if c.Telemetry != nil {
+			seq := uint64(total - 1)
+			c.Telemetry.Emit(telemetry.Event{Cycle: uint64(clock * 1e3),
+				Kind: telemetry.EvRequestArrive, Src: telemetry.SrcQueue, A: seq})
+			c.Telemetry.Emit(telemetry.Event{Cycle: uint64(depart * 1e3),
+				Kind: telemetry.EvRequestComplete, Src: telemetry.SrcQueue,
+				A: seq, B: uint64((depart - clock) * 1e3)})
+		}
 		if total > c.Warmup {
 			rec.Add(depart - clock)
+			if c.LatencyHist != nil {
+				c.LatencyHist.Observe(uint64((depart - clock) * 1e3))
+			}
 		}
 		if rec.Count() >= c.MinRequests && rec.Count()%8192 == 0 {
 			if rec.RelativeQuantileErrorBelow(0.99, 1.96, c.TargetRelErr) {

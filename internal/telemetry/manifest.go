@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Manifest is the machine-readable summary of one simulation run:
+// enough to identify the run (tool, config, seed, code version), cost it
+// (wall time), and diff its outcomes (counter snapshot, histograms,
+// event summary) against other runs or other commits. Both cmd/dyadsim
+// and cmd/duplexity write one when -telemetry is given.
+type Manifest struct {
+	// Tool names the producing binary; Version is the manifest format.
+	Tool    string `json:"tool"`
+	Version int    `json:"version"`
+	// Design is the simulated design point (dyadsim runs).
+	Design string `json:"design,omitempty"`
+	// Config records the run's flag/parameter values.
+	Config map[string]interface{} `json:"config,omitempty"`
+	Seed   uint64                 `json:"seed"`
+	// GitDescribe identifies the code version ("unknown" outside a git
+	// checkout).
+	GitDescribe string `json:"git_describe"`
+	// WallSeconds is the run's wall-clock duration.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Cycles is the final simulation cycle (dyadsim runs).
+	Cycles uint64 `json:"cycles,omitempty"`
+	// Snapshot is the end-of-run registry state (counters, gauges, and
+	// histograms — including the Derive'd master-restart latency).
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+	// Windows are the periodic snapshots taken during the run.
+	Windows []Snapshot `json:"windows,omitempty"`
+	// Events summarizes the event trace.
+	Events *EventSummary `json:"events,omitempty"`
+	// Spans are the reconstructed request timelines (capped by the
+	// producer to keep manifests reviewable).
+	Spans []Span `json:"spans,omitempty"`
+	// Extra carries tool-specific sections (e.g. cmd/duplexity's
+	// per-experiment timings and per-design campaign summary).
+	Extra map[string]interface{} `json:"extra,omitempty"`
+}
+
+// ManifestVersion is the current manifest format version.
+const ManifestVersion = 1
+
+// GitDescribe returns `git describe --always --dirty` for the current
+// directory, or "unknown" when git or the repository is unavailable.
+// Failures are deliberately non-fatal: telemetry must not break runs in
+// deployment environments without git.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// WriteJSON encodes the manifest as indented JSON (deterministic: JSON
+// object keys are sorted by the encoder).
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("telemetry: encoding manifest: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the manifest to path, creating or truncating it.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: creating manifest %s: %w", path, err)
+	}
+	if err := m.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("telemetry: closing manifest %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadManifest parses a manifest file (for tests and diff tooling).
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing manifest %s: %w", path, err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,254 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically meaningful uint64 metric. Add accumulates;
+// Set mirrors an externally maintained counter (the pipelines keep their
+// own stats structs, which a collector copies into the registry between
+// Run chunks). Unsynchronized by design: the simulator is one goroutine.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add accumulates n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Set overwrites the value (mirroring an external counter).
+func (c *Counter) Set(n uint64) { c.v = n }
+
+// Value returns the current value.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a point-in-time float64 metric (utilization, queue depth).
+type Gauge struct{ v float64 }
+
+// Set overwrites the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Registry holds named metrics. Names are hierarchical by convention:
+// dot-separated components, e.g. "master.ooo.retired" or
+// "lender.thread0.remote_stall_cycles". Metric creation is get-or-create
+// and idempotent; reads/writes of the metric values themselves are
+// unsynchronized (see Counter).
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Scope returns a view of the registry that prefixes every metric name
+// with prefix + ".", giving components hierarchical sub-registries.
+func (r *Registry) Scope(prefix string) Scope { return Scope{r: r, prefix: prefix + "."} }
+
+// Scope is a name-prefixed view of a Registry.
+type Scope struct {
+	r      *Registry
+	prefix string
+}
+
+// Counter returns the scoped counter.
+func (s Scope) Counter(name string) *Counter { return s.r.Counter(s.prefix + name) }
+
+// Gauge returns the scoped gauge.
+func (s Scope) Gauge(name string) *Gauge { return s.r.Gauge(s.prefix + name) }
+
+// Histogram returns the scoped histogram.
+func (s Scope) Histogram(name string) *Histogram { return s.r.Histogram(s.prefix + name) }
+
+// Scope nests a further prefix level.
+func (s Scope) Scope(prefix string) Scope { return Scope{r: s.r, prefix: s.prefix + prefix + "."} }
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// stamped with the simulation cycle it was taken at. Snapshots are
+// plain data: encodable, comparable, diffable.
+type Snapshot struct {
+	Cycle      uint64                       `json:"cycle"`
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot(cycle uint64) Snapshot {
+	s := Snapshot{Cycle: cycle}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.v
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.v
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON encodes the snapshot as indented JSON. encoding/json sorts
+// map keys, so the output is deterministic.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("telemetry: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Windows takes periodic snapshots of a registry on a fixed cycle grid:
+// one snapshot each time the clock crosses a multiple of Every. Drive it
+// with Tick from the simulation's run loop; the snapshot cadence depends
+// only on the cycle values passed, so windowed output is deterministic
+// for a fixed seed regardless of wall-clock behaviour.
+type Windows struct {
+	reg *Registry
+	// Every is the snapshot period in cycles.
+	Every uint64
+	next  uint64
+	// Snaps accumulates the taken snapshots in cycle order.
+	Snaps []Snapshot
+}
+
+// Windowed returns a Windows taking a snapshot every n cycles (n ≥ 1).
+func (r *Registry) Windowed(n uint64) *Windows {
+	if n == 0 {
+		n = 1
+	}
+	return &Windows{reg: r, Every: n, next: n}
+}
+
+// Tick observes the current cycle and snapshots the registry if one or
+// more window boundaries have passed since the last call. Only one
+// snapshot is taken per call (coarse run loops advance many cycles per
+// Tick); it reports whether a snapshot was taken.
+func (w *Windows) Tick(cycle uint64) bool {
+	if cycle < w.next {
+		return false
+	}
+	w.Snaps = append(w.Snaps, w.reg.Snapshot(cycle))
+	// Align the next boundary to the grid so cadence doesn't drift with
+	// the run loop's chunk size.
+	w.next = (cycle/w.Every + 1) * w.Every
+	return true
+}
+
+// WriteCSV encodes snapshots as CSV: a header row of sorted counter and
+// gauge names (prefixed "counter." / "gauge."), then one row per
+// snapshot. Histograms are omitted (use JSON for those).
+func WriteCSV(w io.Writer, snaps []Snapshot) error {
+	// Union of names across snapshots, sorted for determinism.
+	cset, gset := map[string]bool{}, map[string]bool{}
+	for _, s := range snaps {
+		for name := range s.Counters {
+			cset[name] = true
+		}
+		for name := range s.Gauges {
+			gset[name] = true
+		}
+	}
+	cnames := make([]string, 0, len(cset))
+	for name := range cset {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	gnames := make([]string, 0, len(gset))
+	for name := range gset {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+
+	write := func(fields ...interface{}) error {
+		for i, f := range fields {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprint(w, f); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+
+	header := []interface{}{"cycle"}
+	for _, n := range cnames {
+		header = append(header, "counter."+n)
+	}
+	for _, n := range gnames {
+		header = append(header, "gauge."+n)
+	}
+	if err := write(header...); err != nil {
+		return fmt.Errorf("telemetry: writing CSV header: %w", err)
+	}
+	for _, s := range snaps {
+		row := []interface{}{s.Cycle}
+		for _, n := range cnames {
+			row = append(row, s.Counters[n])
+		}
+		for _, n := range gnames {
+			row = append(row, s.Gauges[n])
+		}
+		if err := write(row...); err != nil {
+			return fmt.Errorf("telemetry: writing CSV row: %w", err)
+		}
+	}
+	return nil
+}

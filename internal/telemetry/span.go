@@ -1,0 +1,134 @@
+package telemetry
+
+import "sort"
+
+// Span is one request's reconstructed timeline: when it arrived at the
+// master stream, when it entered service, when its last instruction
+// committed, and every master-side event (stalls, morphs, restarts) that
+// fell inside its service window — the cycle-by-cycle answer to "what
+// did request #N wait on".
+type Span struct {
+	// ID is the request sequence number (0-based, arrival order).
+	ID uint64 `json:"id"`
+	// Arrive, Dispatch, and Complete are event cycle stamps; Arrive or
+	// Dispatch are zero when the corresponding event was lost to ring
+	// wraparound.
+	Arrive   uint64 `json:"arrive"`
+	Dispatch uint64 `json:"dispatch"`
+	Complete uint64 `json:"complete"`
+	// LatencyCycles is the arrival-to-commit latency reported by the
+	// completion event (authoritative even when Arrive was dropped).
+	LatencyCycles uint64 `json:"latency_cycles"`
+	// Waits lists the master-stall, morph, and restart events inside
+	// [service start, Complete], in cycle order.
+	Waits []Event `json:"waits,omitempty"`
+}
+
+// start returns the best-known beginning of the span's service window.
+func (s *Span) start() uint64 {
+	if s.Dispatch != 0 {
+		return s.Dispatch
+	}
+	if s.Complete >= s.LatencyCycles {
+		return s.Complete - s.LatencyCycles
+	}
+	return 0
+}
+
+// Spans reconstructs per-request spans from an event stream. Only
+// completed requests produce spans; arrive/dispatch stamps lost to ring
+// wraparound are left zero. Master-side wait events (EvMasterStall,
+// EvMorph, EvMasterRestart from SrcMaster) are attached to the span
+// whose service window contains them. Spans are returned in ID order.
+func Spans(events []Event) []Span {
+	byID := make(map[uint64]*Span)
+	var completed []*Span
+	for _, e := range events {
+		switch e.Kind {
+		case EvRequestArrive:
+			sp := byID[e.A]
+			if sp == nil {
+				sp = &Span{ID: e.A}
+				byID[e.A] = sp
+			}
+			sp.Arrive = e.Cycle
+		case EvRequestDispatch:
+			sp := byID[e.A]
+			if sp == nil {
+				sp = &Span{ID: e.A}
+				byID[e.A] = sp
+			}
+			sp.Dispatch = e.Cycle
+		case EvRequestComplete:
+			sp := byID[e.A]
+			if sp == nil {
+				sp = &Span{ID: e.A}
+				byID[e.A] = sp
+			}
+			sp.Complete = e.Cycle
+			sp.LatencyCycles = e.B
+			completed = append(completed, sp)
+		}
+	}
+	sort.Slice(completed, func(i, j int) bool { return completed[i].ID < completed[j].ID })
+
+	// Attach master-side wait events to the span whose window holds them.
+	for _, e := range events {
+		if e.Src != SrcMaster {
+			continue
+		}
+		switch e.Kind {
+		case EvMasterStall, EvMorph, EvMasterRestart:
+		default:
+			continue
+		}
+		for _, sp := range completed {
+			if e.Cycle >= sp.start() && e.Cycle <= sp.Complete {
+				sp.Waits = append(sp.Waits, e)
+				break
+			}
+		}
+	}
+	out := make([]Span, len(completed))
+	for i, sp := range completed {
+		sort.Slice(sp.Waits, func(a, b int) bool { return sp.Waits[a].Cycle < sp.Waits[b].Cycle })
+		out[i] = *sp
+	}
+	return out
+}
+
+// Standard derived-histogram names filled by Derive.
+const (
+	// HistRestartAway: cycles the master-thread spent away from master
+	// mode per morph (drain + filler residency + restart penalty) — the
+	// paper's master-restart latency.
+	HistRestartAway = "master.restart.away_cycles"
+	// HistRestartPenalty: the charged restart penalty per resume.
+	HistRestartPenalty = "master.restart.penalty_cycles"
+	// HistStall: expected duration of each demarcated µs-scale stall.
+	HistStall = "master.stall_cycles"
+	// HistRequestLatency: arrival-to-commit latency per request.
+	HistRequestLatency = "request.latency_cycles"
+)
+
+// Derive scans an event stream and fills the standard derived
+// histograms in reg: master-restart latency, restart penalty, stall
+// duration, and request latency. Call it once, post-run, on the ring's
+// contents.
+func Derive(reg *Registry, events []Event) {
+	away := reg.Histogram(HistRestartAway)
+	penalty := reg.Histogram(HistRestartPenalty)
+	stall := reg.Histogram(HistStall)
+	reqLat := reg.Histogram(HistRequestLatency)
+	for _, e := range events {
+		switch e.Kind {
+		case EvMasterRestart:
+			away.Observe(e.B)
+			penalty.Observe(e.A)
+		case EvMasterStall:
+			stall.Observe(e.A)
+		case EvRequestComplete:
+			reqLat.Observe(e.B)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package telemetry is the simulator's zero-dependency observability
+// subsystem. It has three parts:
+//
+//   - Registry: hierarchical named counters, gauges, and log-scaled
+//     (power-of-two bucket) histograms, with periodic windowed snapshots
+//     and JSON/CSV encoders. Counters use plain (unsynchronized) loads
+//     and stores: the cycle-level simulator is single-goroutine by
+//     construction, and the registry is read only between Run chunks.
+//   - Event trace: a ring-buffered stream of cycle-stamped structured
+//     events (master stalls, morphs, filler borrow/evict, request
+//     lifecycle, cache-miss bursts) emitted by the pipelines through the
+//     Sink interface. Spans reconstructs per-request timelines from it.
+//   - Run manifests: a machine-readable summary of one run (config,
+//     seed, git describe, wall time, counter snapshot, histograms,
+//     event summary) that benchmarking tooling can diff across commits.
+//
+// Instrumentation sites hold a Sink and guard every emission with a nil
+// check, so the uninstrumented hot path costs one predictable branch
+// (see BenchmarkEmitNil).
+package telemetry
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds. The A/B argument meanings are per kind.
+const (
+	// EvMasterStall: a thread issued a demarcated µs-scale remote
+	// operation. A = expected stall cycles, B = hardware thread id.
+	EvMasterStall Kind = 1 + iota
+	// EvMorph: the master-core began draining toward filler mode.
+	// A = 1 for a stall-triggered morph, 0 for idle-triggered.
+	EvMorph
+	// EvMasterRestart: the master-thread resumed. A = restart penalty
+	// cycles charged, B = cycles spent away from master mode.
+	EvMasterRestart
+	// EvFillerBorrow: a virtual context was bound to a physical slot.
+	// A = virtual-context id, B = slot.
+	EvFillerBorrow
+	// EvFillerEvict: a bound virtual context was unbound.
+	// A = virtual-context id, B = reason (EvictStall, EvictPreempt,
+	// EvictMasterRestart).
+	EvFillerEvict
+	// EvRequestArrive: a request entered the master stream's queue.
+	// A = request sequence number (1-based, arrival order).
+	EvRequestArrive
+	// EvRequestDispatch: a request entered service on the master-thread.
+	// A = request sequence number.
+	EvRequestDispatch
+	// EvRequestComplete: a request's last instruction committed.
+	// A = request sequence number, B = arrival-to-commit latency cycles.
+	EvRequestComplete
+	// EvCacheMiss: a data access escaped the private cache hierarchy
+	// (latency at least an LLC hit). A = access latency cycles,
+	// B = thread/slot.
+	EvCacheMiss
+
+	numKinds
+)
+
+// Filler-evict reasons (EvFillerEvict's B argument).
+const (
+	EvictStall         = 0 // context issued a µs-scale remote op
+	EvictPreempt       = 1 // round-robin quantum expired
+	EvictMasterRestart = 2 // master-thread became ready; fillers evicted
+)
+
+var kindNames = [numKinds]string{
+	EvMasterStall:     "master_stall",
+	EvMorph:           "morph",
+	EvMasterRestart:   "master_restart",
+	EvFillerBorrow:    "filler_borrow",
+	EvFillerEvict:     "filler_evict",
+	EvRequestArrive:   "request_arrive",
+	EvRequestDispatch: "request_dispatch",
+	EvRequestComplete: "request_complete",
+	EvCacheMiss:       "cache_miss",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Source identifiers for Event.Src: which component emitted the event.
+const (
+	SrcMaster uint8 = iota // the master-core's OoO engine / morph FSM
+	SrcLender              // the lender-core and its HSMT scheduler
+	SrcFiller              // the master-core's filler engine
+	SrcQueue               // the request-granularity queueing simulator
+)
+
+var srcNames = [...]string{SrcMaster: "master", SrcLender: "lender", SrcFiller: "filler", SrcQueue: "queue"}
+
+// SrcName returns a human-readable component name for Event.Src.
+func SrcName(src uint8) string {
+	if int(src) < len(srcNames) {
+		return srcNames[src]
+	}
+	return "unknown"
+}
+
+// Event is one cycle-stamped trace record. Events are fixed-size values
+// so the ring buffer is allocation-free.
+type Event struct {
+	// Cycle is the simulation cycle of the event. The queueing simulator
+	// (which has no cycle clock) stamps nanoseconds of simulated time.
+	Cycle uint64
+	Kind  Kind
+	// Src identifies the emitting component (SrcMaster, SrcLender, ...).
+	Src uint8
+	// A and B are kind-specific arguments; see the Kind constants.
+	A, B uint64
+}
+
+// Sink receives trace events. Instrumented components hold a Sink field
+// that defaults to nil; emission sites are guarded by a nil check so an
+// uninstrumented run pays only that branch.
+type Sink interface {
+	Emit(Event)
+}
+
+// Instrumentable is implemented by components that accept a Sink after
+// construction (e.g. workload request streams threaded into a dyad).
+type Instrumentable interface {
+	SetTelemetry(Sink)
+}
+
+// multiSink fans one event out to several sinks.
+type multiSink []Sink
+
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Multi combines sinks. Nil sinks are dropped; Multi returns nil when
+// nothing remains, so the result can be assigned directly to a
+// component's Sink field.
+func Multi(sinks ...Sink) Sink {
+	var out multiSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

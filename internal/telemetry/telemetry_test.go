@@ -1,0 +1,356 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 20, 21}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.bucket {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		lo, hi := BucketBounds(bucketIndex(c.v))
+		if c.v < lo || (c.v >= hi && hi != ^uint64(0)) {
+			t.Errorf("value %d outside its bucket bounds [%d, %d)", c.v, lo, hi)
+		}
+	}
+	// Bounds tile the value space: bucket k's hi is bucket k+1's lo.
+	for i := 0; i < 64; i++ {
+		_, hi := BucketBounds(i)
+		lo, _ := BucketBounds(i + 1)
+		if hi != lo {
+			t.Errorf("bucket %d hi %d != bucket %d lo %d", i, hi, i+1, lo)
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 || h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	if h.Sum() != 500500 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	// Quantile is a power-of-two upper bound: p50 of 1..1000 is 500,
+	// whose bucket is [256,512).
+	if q := h.Quantile(0.5); q < 500 || q > 512 {
+		t.Errorf("p50 = %d, want in [500, 512]", q)
+	}
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Errorf("p100 = %d, want clamped to max 1000", q)
+	}
+	if q := h.Quantile(0); q == 0 {
+		t.Errorf("p0 of non-empty histogram should be positive")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole, a, b Histogram
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1 << 16))
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if !reflect.DeepEqual(a.Snapshot(), whole.Snapshot()) {
+		t.Fatalf("merged snapshot differs from whole-population snapshot:\n%+v\nvs\n%+v",
+			a.Snapshot(), whole.Snapshot())
+	}
+	// Merging an empty histogram is a no-op.
+	before := a.Snapshot()
+	a.Merge(&Histogram{})
+	a.Merge(nil)
+	if !reflect.DeepEqual(a.Snapshot(), before) {
+		t.Fatal("merge of empty/nil histogram changed state")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b.c")
+	c.Add(3)
+	c.Inc()
+	if r.Counter("a.b.c") != c || c.Value() != 4 {
+		t.Fatalf("counter identity/value broken: %d", c.Value())
+	}
+	sc := r.Scope("master").Scope("thread0")
+	sc.Counter("retired").Set(42)
+	if r.Counter("master.thread0.retired").Value() != 42 {
+		t.Fatal("scoped counter did not land at the hierarchical name")
+	}
+	r.Gauge("util").Set(0.5)
+	r.Histogram("lat").Observe(9)
+	snap := r.Snapshot(100)
+	if snap.Cycle != 100 || snap.Counters["a.b.c"] != 4 ||
+		snap.Gauges["util"] != 0.5 || snap.Histograms["lat"].Count != 1 {
+		t.Fatalf("snapshot mismatch: %+v", snap)
+	}
+}
+
+func TestWindowsCadence(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	w := r.Windowed(100)
+	for cycle := uint64(0); cycle <= 1000; cycle += 30 {
+		c.Set(cycle)
+		w.Tick(cycle)
+	}
+	if len(w.Snaps) == 0 {
+		t.Fatal("no snapshots taken")
+	}
+	// Boundaries stay on the 100-cycle grid: each snapshot's cycle is
+	// the first tick at or past a fresh multiple of 100.
+	prevBoundary := uint64(0)
+	for _, s := range w.Snaps {
+		boundary := s.Cycle / 100
+		if boundary <= prevBoundary && s.Cycle != w.Snaps[0].Cycle {
+			t.Errorf("snapshot at %d repeats window %d", s.Cycle, boundary)
+		}
+		prevBoundary = boundary
+		if s.Counters["x"] != s.Cycle {
+			t.Errorf("snapshot at %d holds stale counter %d", s.Cycle, s.Counters["x"])
+		}
+	}
+}
+
+func TestWindowsDeterminism(t *testing.T) {
+	run := func() []Snapshot {
+		r := NewRegistry()
+		c := r.Counter("work")
+		h := r.Histogram("lat")
+		w := r.Windowed(64)
+		rng := rand.New(rand.NewSource(99))
+		cycle := uint64(0)
+		for i := 0; i < 500; i++ {
+			cycle += uint64(rng.Intn(40))
+			c.Add(uint64(rng.Intn(10)))
+			h.Observe(uint64(rng.Intn(1 << 12)))
+			w.Tick(cycle)
+		}
+		return w.Snaps
+	}
+	a, b := run(), run()
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("windowed snapshots differ across identical seeded runs")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(8)
+	for i := uint64(1); i <= 20; i++ {
+		r.Emit(Event{Cycle: i, Kind: EvMorph})
+	}
+	if r.Total() != 20 || r.Len() != 8 || r.Dropped() != 12 {
+		t.Fatalf("total/len/dropped = %d/%d/%d", r.Total(), r.Len(), r.Dropped())
+	}
+	ev := r.Events()
+	if len(ev) != 8 {
+		t.Fatalf("events len %d", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(13 + i); e.Cycle != want {
+			t.Errorf("event %d cycle = %d, want %d (oldest-first order)", i, e.Cycle, want)
+		}
+	}
+	// Under-full ring returns everything in order.
+	r2 := NewRing(8)
+	r2.Emit(Event{Cycle: 5})
+	r2.Emit(Event{Cycle: 6})
+	if got := r2.Events(); len(got) != 2 || got[0].Cycle != 5 || got[1].Cycle != 6 {
+		t.Fatalf("under-full ring events: %+v", got)
+	}
+	if r2.Dropped() != 0 {
+		t.Fatalf("under-full ring dropped %d", r2.Dropped())
+	}
+}
+
+func TestEventWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf)
+	ew.Emit(Event{Cycle: 10, Kind: EvFillerBorrow, Src: SrcFiller, A: 3, B: 1})
+	ew.Emit(Event{Cycle: 20, Kind: EvFillerEvict, Src: SrcFiller, A: 3, B: EvictMasterRestart})
+	if err := ew.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ew.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "# duplexity-events") {
+		t.Fatalf("unexpected trace: %q", buf.String())
+	}
+	if lines[1] != "10 filler_borrow filler 3 1" {
+		t.Errorf("line 1: %q", lines[1])
+	}
+	if lines[2] != "20 filler_evict filler 3 2" {
+		t.Errorf("line 2: %q", lines[2])
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	f.after--
+	return len(p), nil
+}
+
+func TestEventWriterCloseReportsWriteError(t *testing.T) {
+	ew := NewEventWriter(&failWriter{after: 0})
+	for i := 0; i < 10000; i++ { // force a flush past the buffer
+		ew.Emit(Event{Cycle: uint64(i)})
+	}
+	if err := ew.Close(); err == nil {
+		t.Fatal("Close did not surface the write error")
+	}
+}
+
+func TestSpans(t *testing.T) {
+	events := []Event{
+		{Cycle: 100, Kind: EvRequestArrive, Src: SrcMaster, A: 1},
+		{Cycle: 110, Kind: EvRequestDispatch, Src: SrcMaster, A: 1},
+		{Cycle: 150, Kind: EvMasterStall, Src: SrcMaster, A: 3000, B: 0},
+		{Cycle: 155, Kind: EvMorph, Src: SrcMaster, A: 1},
+		{Cycle: 3200, Kind: EvMasterRestart, Src: SrcMaster, A: 50, B: 3045},
+		{Cycle: 3300, Kind: EvRequestComplete, Src: SrcMaster, A: 1, B: 3200},
+		// Second request: dispatch lost to wraparound, only completion.
+		{Cycle: 4000, Kind: EvRequestComplete, Src: SrcMaster, A: 2, B: 500},
+		// Lender-side event must not attach to master spans.
+		{Cycle: 160, Kind: EvFillerBorrow, Src: SrcLender, A: 9},
+	}
+	spans := Spans(events)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	s := spans[0]
+	if s.ID != 1 || s.Arrive != 100 || s.Dispatch != 110 || s.Complete != 3300 || s.LatencyCycles != 3200 {
+		t.Fatalf("span 1: %+v", s)
+	}
+	if len(s.Waits) != 3 {
+		t.Fatalf("span 1 waits: %+v", s.Waits)
+	}
+	for i := 1; i < len(s.Waits); i++ {
+		if s.Waits[i].Cycle < s.Waits[i-1].Cycle {
+			t.Fatal("waits not in cycle order")
+		}
+	}
+	if spans[1].ID != 2 || spans[1].start() != 3500 {
+		t.Fatalf("span 2 window: %+v", spans[1])
+	}
+}
+
+func TestDerive(t *testing.T) {
+	reg := NewRegistry()
+	Derive(reg, []Event{
+		{Kind: EvMasterStall, A: 3000},
+		{Kind: EvMasterRestart, A: 50, B: 3100},
+		{Kind: EvMasterRestart, A: 50, B: 900},
+		{Kind: EvRequestComplete, A: 1, B: 4000},
+	})
+	if n := reg.Histogram(HistRestartAway).Count(); n != 2 {
+		t.Errorf("restart-away count %d", n)
+	}
+	if v := reg.Histogram(HistRestartPenalty).Max(); v != 50 {
+		t.Errorf("restart penalty max %d", v)
+	}
+	if v := reg.Histogram(HistStall).Sum(); v != 3000 {
+		t.Errorf("stall sum %d", v)
+	}
+	if v := reg.Histogram(HistRequestLatency).Sum(); v != 4000 {
+		t.Errorf("request latency sum %d", v)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("b.retired")
+	a := r.Counter("a.cycles")
+	g := r.Gauge("util")
+	var snaps []Snapshot
+	for i := uint64(1); i <= 3; i++ {
+		a.Set(i * 10)
+		c.Set(i)
+		g.Set(float64(i) / 10)
+		snaps = append(snaps, r.Snapshot(i*100))
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0] != "cycle,counter.a.cycles,counter.b.retired,gauge.util" {
+		t.Errorf("header: %q", lines[0])
+	}
+	if lines[2] != "200,20,2,0.2" {
+		t.Errorf("row 2: %q", lines[2])
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("Multi of nothing should be nil")
+	}
+	r1, r2 := NewRing(4), NewRing(4)
+	if Multi(r1, nil) != Sink(r1) {
+		t.Fatal("Multi of one sink should return it directly")
+	}
+	m := Multi(r1, r2)
+	m.Emit(Event{Cycle: 1})
+	if r1.Total() != 1 || r2.Total() != 1 {
+		t.Fatal("fan-out failed")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("master.ooo.retired").Set(123)
+	reg.Histogram(HistRestartAway).Observe(77)
+	snap := reg.Snapshot(5000)
+	m := &Manifest{
+		Tool: "test", Version: ManifestVersion, Design: "duplexity",
+		Config: map[string]interface{}{"load": 0.5},
+		Seed:   1, GitDescribe: "deadbeef", WallSeconds: 0.25, Cycles: 5000,
+		Snapshot: &snap,
+	}
+	path := t.TempDir() + "/manifest.json"
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "test" || got.Snapshot == nil ||
+		got.Snapshot.Counters["master.ooo.retired"] != 123 ||
+		got.Snapshot.Histograms[HistRestartAway].Count != 1 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}

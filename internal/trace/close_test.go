@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"duplexity/internal/isa"
+)
+
+// failAfterWriter errors once its byte budget is exhausted, to exercise
+// Close's error wrapping.
+type failAfterWriter struct{ budget int }
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if f.budget < len(p) {
+		return 0, fmt.Errorf("disk full")
+	}
+	f.budget -= len(p)
+	return len(p), nil
+}
+
+func TestWriterCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(isa.Instr{Op: isa.OpIntAlu, PC: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := w.Append(isa.Instr{}); err == nil {
+		t.Fatal("Append after Close should fail")
+	}
+	// The closed trace must still be readable.
+	if _, err := ReadAll(&buf); err != nil {
+		t.Fatalf("round-trip after Close: %v", err)
+	}
+}
+
+func TestWriterCloseWrapsFlushError(t *testing.T) {
+	w, err := NewWriter(&failAfterWriter{budget: 8}) // header fits, data won't
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if err := w.Append(isa.Instr{Op: isa.OpLoad, PC: uint64(i * 4), Addr: 64}); err != nil {
+			// The bufio buffer overflowed mid-append: also acceptable,
+			// as long as Close reports failure too.
+			break
+		}
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close should surface the flush error")
+	}
+}

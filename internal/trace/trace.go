@@ -55,7 +55,7 @@ func NewWriter(w io.Writer) (*Writer, error) {
 // Append serializes one instruction.
 func (w *Writer) Append(in isa.Instr) error {
 	if w.closed {
-		return fmt.Errorf("trace: append after Flush")
+		return fmt.Errorf("trace: append after Close")
 	}
 	var buf [64]byte
 	k := 0
@@ -117,11 +117,26 @@ func (w *Writer) Append(in isa.Instr) error {
 // Count returns the number of instructions appended.
 func (w *Writer) Count() uint64 { return w.n }
 
-// Flush completes the trace. The Writer is unusable afterwards.
-func (w *Writer) Flush() error {
+// Close completes the trace, flushing buffered records. It is idempotent
+// and implements io.Closer; Close does not close the underlying writer,
+// which the caller owns. Like the telemetry event writer, Close is the
+// only way to finish a trace — dropping a Writer without closing it loses
+// buffered records.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
 	w.closed = true
-	return w.w.Flush()
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing %d records: %w", w.n, err)
+	}
+	return nil
 }
+
+// Flush completes the trace. The Writer is unusable afterwards.
+//
+// Deprecated: use Close, which is idempotent and wraps flush errors.
+func (w *Writer) Flush() error { return w.Close() }
 
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -10,6 +10,7 @@ import (
 
 	"duplexity/internal/isa"
 	"duplexity/internal/stats"
+	"duplexity/internal/telemetry"
 )
 
 // RequestStream turns a per-request instruction generator into an
@@ -30,10 +31,23 @@ type RequestStream struct {
 	// been fetched but not yet committed.
 	pending   []uint64
 	inService bool
+	// dispatched counts requests that have begun service; service is FIFO,
+	// so it doubles as the next dispatch's sequence number.
+	dispatched uint64
 
 	// Arrivals counts admitted requests.
 	Arrivals uint64
+
+	// Telemetry, when non-nil, receives RequestArrive and RequestDispatch
+	// events keyed by arrival sequence number.
+	Telemetry telemetry.Sink
+	// TelemetrySrc tags emitted events (zero value = telemetry.SrcMaster,
+	// the usual owner of a request-driven stream).
+	TelemetrySrc uint8
 }
+
+// SetTelemetry implements telemetry.Instrumentable.
+func (r *RequestStream) SetTelemetry(sink telemetry.Sink) { r.Telemetry = sink }
 
 // NewRequestStream builds a request stream. gen must mark request
 // boundaries with isa.Instr.EndOfRequest (e.g. a PhasedGen or a
@@ -60,6 +74,10 @@ func NewRequestStream(gen isa.Stream, qps, freqGHz float64, seed uint64) (*Reque
 func (r *RequestStream) admit(now uint64) {
 	for r.nextArrival <= now {
 		r.queue = append(r.queue, r.nextArrival)
+		if r.Telemetry != nil {
+			r.Telemetry.Emit(telemetry.Event{Cycle: r.nextArrival, Kind: telemetry.EvRequestArrive,
+				Src: r.TelemetrySrc, A: r.Arrivals})
+		}
 		r.Arrivals++
 		gap := r.meanGapCycles * r.rng.ExpFloat64()
 		if gap < 1 {
@@ -77,6 +95,11 @@ func (r *RequestStream) Next(now uint64) (isa.Instr, bool) {
 			return isa.Instr{}, false
 		}
 		r.inService = true
+		if r.Telemetry != nil {
+			r.Telemetry.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvRequestDispatch,
+				Src: r.TelemetrySrc, A: r.dispatched})
+		}
+		r.dispatched++
 	}
 	in, _ := r.gen.Next(now)
 	if in.EndOfRequest {

@@ -1,0 +1,197 @@
+package duplexity
+
+// End-to-end telemetry tests: a real Duplexity dyad run with the ring
+// sink attached, checking the invariants the event stream promises —
+// balanced borrow/evict pairs, reconstructible request spans, a
+// parseable manifest with the required counters and histograms, and
+// deterministic windowed snapshots across identical runs.
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"duplexity/internal/core"
+	"duplexity/internal/telemetry"
+)
+
+func e2eDyad(t *testing.T, seed uint64) *Dyad {
+	t.Helper()
+	spec := McRouter()
+	master, err := spec.NewMaster(0.5, DesignDuplexity.FreqGHz(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDyad(DyadConfig{
+		Design:       DesignDuplexity,
+		MasterStream: master,
+		BatchStreams: BatchSet(32, seed+4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestE2EBorrowEvictBalanced runs a dyad and checks that, per source,
+// FillerBorrow events exceed FillerEvict events by exactly the number of
+// contexts still bound — every borrow is eventually matched by an evict.
+func TestE2EBorrowEvictBalanced(t *testing.T) {
+	d := e2eDyad(t, 1)
+	ring := NewTelemetryRing(1 << 20)
+	d.EnableTelemetry(ring)
+	d.Run(400_000)
+
+	if ring.Dropped() > 0 {
+		t.Fatalf("ring dropped %d events; enlarge the capacity for this test", ring.Dropped())
+	}
+	borrows := map[uint8]uint64{}
+	evicts := map[uint8]uint64{}
+	for _, e := range ring.Events() {
+		switch e.Kind {
+		case telemetry.EvFillerBorrow:
+			borrows[e.Src]++
+		case telemetry.EvFillerEvict:
+			evicts[e.Src]++
+		}
+	}
+	if borrows[telemetry.SrcLender] == 0 {
+		t.Fatal("no lender-side borrows observed")
+	}
+	if diff := borrows[telemetry.SrcLender] - evicts[telemetry.SrcLender]; diff != uint64(d.Lender.BoundCount()) {
+		t.Errorf("lender borrow-evict diff %d != bound count %d", diff, d.Lender.BoundCount())
+	}
+
+	fillerBound := uint64(0)
+	fc := d.Master.FillerCore()
+	for i := 0; i < fc.Slots(); i++ {
+		if fc.Slot(i).Active() {
+			fillerBound++
+		}
+	}
+	if diff := borrows[telemetry.SrcFiller] - evicts[telemetry.SrcFiller]; diff != fillerBound {
+		t.Errorf("filler borrow-evict diff %d != bound count %d", diff, fillerBound)
+	}
+	// In master mode every filler was evicted, so the diff must be zero.
+	if d.Master.Mode() == core.ModeMaster && fillerBound != 0 {
+		t.Errorf("mode master but %d filler slots still bound", fillerBound)
+	}
+}
+
+// TestE2ESpansReconstructible checks that completed requests yield spans
+// with consistent arrive/dispatch/complete ordering and that the
+// completion-reported latency matches the stamps.
+func TestE2ESpansReconstructible(t *testing.T) {
+	d := e2eDyad(t, 2)
+	ring := NewTelemetryRing(1 << 20)
+	d.EnableTelemetry(ring)
+	d.Run(600_000)
+
+	spans := RequestSpans(ring.Events())
+	if len(spans) == 0 {
+		t.Fatal("no request spans reconstructed")
+	}
+	for _, sp := range spans {
+		if sp.Complete == 0 || sp.LatencyCycles == 0 {
+			t.Errorf("span %d: incomplete stamps %+v", sp.ID, sp)
+		}
+		if sp.Arrive != 0 && sp.Complete-sp.Arrive != sp.LatencyCycles {
+			t.Errorf("span %d: latency %d != complete-arrive %d",
+				sp.ID, sp.LatencyCycles, sp.Complete-sp.Arrive)
+		}
+		if sp.Dispatch != 0 && sp.Arrive != 0 && sp.Dispatch < sp.Arrive {
+			t.Errorf("span %d: dispatched at %d before arrival %d", sp.ID, sp.Dispatch, sp.Arrive)
+		}
+		for _, w := range sp.Waits {
+			if w.Cycle > sp.Complete {
+				t.Errorf("span %d: wait event at %d after completion %d", sp.ID, w.Cycle, sp.Complete)
+			}
+		}
+	}
+}
+
+// TestE2EManifest builds the full run report the dyadsim CLI writes —
+// collected registry, derived histograms, event summary, spans — and
+// checks the file round-trips with the required content.
+func TestE2EManifest(t *testing.T) {
+	d := e2eDyad(t, 3)
+	ring := NewTelemetryRing(1 << 20)
+	d.EnableTelemetry(ring)
+	d.Run(400_000)
+
+	reg := NewTelemetryRegistry()
+	d.CollectInto(reg)
+	events := ring.Events()
+	telemetry.Derive(reg, events)
+	spans := RequestSpans(events)
+	summary := telemetry.Summarize(ring, len(spans))
+	snap := reg.Snapshot(d.Now())
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	m := &RunManifest{
+		Tool: "test", Version: telemetry.ManifestVersion,
+		Design: DesignDuplexity.String(), Seed: 3,
+		GitDescribe: telemetry.GitDescribe(),
+		Cycles:      d.Now(), Snapshot: &snap,
+		Events: &summary, Spans: spans,
+	}
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := telemetry.ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"master.cycles", "master.total_retired", "master.issue_slots_used",
+		"lender.cycles", "filler.cycles", "master.thread0.remote_stall_cycles",
+		"pool.steals", "dyad.requests_completed",
+	} {
+		if _, ok := got.Snapshot.Counters[name]; !ok {
+			t.Errorf("manifest missing counter %q", name)
+		}
+	}
+	h, ok := got.Snapshot.Histograms[telemetry.HistRestartAway]
+	if !ok {
+		t.Fatalf("manifest missing %q histogram", telemetry.HistRestartAway)
+	}
+	if h.Count == 0 {
+		t.Error("master-restart histogram is empty: no restarts in a morphing run?")
+	}
+	if got.Events.Total == 0 || got.Events.Spans != len(spans) {
+		t.Errorf("event summary mismatch: %+v vs %d spans", got.Events, len(spans))
+	}
+	if got.Snapshot.Counters["master.thread0.remote_stall_cycles"] == 0 {
+		t.Error("remote_stall_cycles never charged on a stalling master-thread")
+	}
+}
+
+// TestE2EWindowDeterminism runs the same seeded simulation twice with
+// windowed snapshots and requires byte-identical CSV output: snapshot
+// cadence depends only on simulated cycles, never wall clock.
+func TestE2EWindowDeterminism(t *testing.T) {
+	run := func() []byte {
+		d := e2eDyad(t, 4)
+		ring := NewTelemetryRing(1 << 18)
+		d.EnableTelemetry(ring)
+		reg := NewTelemetryRegistry()
+		win := reg.Windowed(50_000)
+		for d.Now() < 300_000 {
+			d.Run(10_000)
+			d.CollectInto(reg)
+			win.Tick(d.Now())
+		}
+		var buf bytes.Buffer
+		if err := telemetry.WriteCSV(&buf, win.Snaps); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Error("windowed snapshots differ between identical seeded runs")
+	}
+	if len(a) == 0 || bytes.Count(a, []byte("\n")) < 2 {
+		t.Errorf("expected at least header + snapshots, got %d bytes", len(a))
+	}
+}
