@@ -2,17 +2,25 @@
 //
 // Usage:
 //
-//	duplexity [-scale f] [-seed n] [-telemetry out.json] [-progress]
-//	          [-pprof addr] <experiment>...
+//	duplexity [-scale f] [-seed n] [-workers n] [-cachedir dir] [-resume]
+//	          [-telemetry out.json] [-progress] [-pprof addr] <experiment>...
 //
 // Experiments: fig1a fig1b fig1c fig2a fig2b table1 table2 fig5a fig5b
 // fig5c fig5d fig5e fig5f fig6 workloads slowdowns all motivation
 //
 // -scale 1.0 reproduces the paper-scale campaign (minutes of CPU);
-// smaller values trade fidelity for time. With -telemetry, the campaign
-// writes a machine-readable JSON manifest: config, seed, git version,
-// per-experiment wall times, and the per-design campaign summary (every
-// simulated design × workload × load cell).
+// smaller values trade fidelity for time. Simulation cells fan out
+// across -workers goroutines (default: one per CPU) with results
+// bit-identical to -workers 1. With -cachedir, every completed cell is
+// journaled to a content-addressed on-disk cache: repeated runs and
+// overlapping figures skip simulation, and an interrupted campaign
+// resumes where it left off. -resume is shorthand that enables the
+// cache at the default location (.duplexity-cache) when no -cachedir is
+// given. With -telemetry, the campaign writes a machine-readable JSON
+// manifest: config, seed, git version, per-experiment wall times,
+// campaign cache hit/miss and per-cell wall-time stats, and the
+// per-design campaign summary (every simulated design × workload × load
+// cell).
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"duplexity"
@@ -30,11 +39,14 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "simulation fidelity (1.0 = paper scale)")
 	seed := flag.Uint64("seed", 1, "campaign seed")
+	workers := flag.Int("workers", 0, "campaign worker goroutines (0 = one per CPU, 1 = sequential)")
+	cacheDir := flag.String("cachedir", "", "content-addressed result cache directory (empty = no persistence)")
+	resume := flag.Bool("resume", false, "resume from the default cache (.duplexity-cache) when -cachedir is unset")
 	telemetryPath := flag.String("telemetry", "", "write a JSON campaign manifest to this file")
 	progress := flag.Bool("progress", false, "report per-experiment progress on stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: duplexity [-scale f] [-seed n] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "usage: duplexity [-scale f] [-seed n] [-workers n] [-cachedir dir] [-resume] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1a fig1b fig1c fig2a fig2b table1 table2\n")
 		fmt.Fprintf(os.Stderr, "             fig5a fig5b fig5c fig5d fig5e fig5f fig6\n")
 		fmt.Fprintf(os.Stderr, "             workloads slowdowns motivation all\n")
@@ -46,6 +58,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *resume && *cacheDir == "" {
+		*cacheDir = ".duplexity-cache"
+	}
 	if *pprofAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
@@ -53,7 +68,17 @@ func main() {
 			}
 		}()
 	}
-	s := duplexity.NewSuite(duplexity.SuiteOptions{Scale: *scale, Seed: *seed})
+	s := duplexity.NewSuite(duplexity.SuiteOptions{
+		Scale: *scale, Seed: *seed, Workers: *workers, CacheDir: *cacheDir,
+	})
+	if err := s.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "duplexity:", err)
+		os.Exit(1)
+	}
+	if prior := s.CampaignStats().PriorCells; prior > 0 {
+		fmt.Fprintf(os.Stderr, "duplexity: campaign cache %s holds %d completed cells\n",
+			*cacheDir, prior)
+	}
 
 	static := map[string]func() *duplexity.Table{
 		"fig1a":     s.Fig1a,
@@ -98,6 +123,19 @@ func main() {
 			names = append(names, arg)
 		}
 	}
+	// Validate every experiment name before running any: an unknown name
+	// must fail up front, not abort a multi-minute campaign midway.
+	var unknown []string
+	for _, name := range names {
+		if static[name] == nil && dynamic[name] == nil {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "duplexity: unknown experiments: %s\n", strings.Join(unknown, " "))
+		flag.Usage()
+		os.Exit(2)
+	}
 	campaignStart := time.Now()
 	timings := make([]map[string]interface{}, 0, len(names))
 	for _, name := range names {
@@ -108,16 +146,13 @@ func main() {
 		switch {
 		case static[name] != nil:
 			fmt.Println(static[name]())
-		case dynamic[name] != nil:
+		default:
 			t, err := dynamic[name]()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "duplexity: %s: %v\n", name, err)
 				os.Exit(1)
 			}
 			fmt.Println(t)
-		default:
-			fmt.Fprintf(os.Stderr, "duplexity: unknown experiment %q\n", name)
-			os.Exit(2)
 		}
 		took := time.Since(start)
 		timings = append(timings, map[string]interface{}{
@@ -126,17 +161,29 @@ func main() {
 		fmt.Printf("(%s took %v)\n\n", name, took.Round(time.Millisecond))
 	}
 
+	// The campaign summary goes to stderr so table output on stdout stays
+	// byte-comparable across runs (and scripts/bench.sh can parse it).
+	cs := s.CampaignStats()
+	if cs.Cells > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: workers=%d cells=%d hits=%d misses=%d sim_wall_s=%.3f\n",
+			cs.Workers, cs.Cells, cs.Hits, cs.Misses, cs.SimWallSeconds)
+	}
+
 	if *telemetryPath != "" {
 		m := &telemetry.Manifest{
 			Tool:    "duplexity",
 			Version: telemetry.ManifestVersion,
 			Config: map[string]interface{}{
-				"scale":       *scale,
-				"experiments": names,
+				"scale":         *scale,
+				"workers":       *workers,
+				"cachedir":      *cacheDir,
+				"model_version": duplexity.ModelVersion,
+				"experiments":   names,
 			},
 			Seed:        *seed,
 			GitDescribe: telemetry.GitDescribe(),
 			WallSeconds: time.Since(campaignStart).Seconds(),
+			Campaign:    cs,
 			Extra: map[string]interface{}{
 				"experiment_timings": timings,
 				"campaign_cells":     s.ReportCached(),

@@ -197,6 +197,9 @@ func main() {
 				"qps":      spec.QPSAtLoad(*load),
 				"cycles":   *cycles,
 				"freq_ghz": design.FreqGHz(),
+				// Identifies the simulator semantics this run used, so
+				// manifests diff cleanly against campaign cache entries.
+				"model_version": duplexity.ModelVersion,
 			},
 			Seed:        *seed,
 			GitDescribe: telemetry.GitDescribe(),

@@ -33,6 +33,7 @@ import (
 	"io"
 
 	"duplexity/internal/analytic"
+	"duplexity/internal/campaign"
 	"duplexity/internal/core"
 	"duplexity/internal/expt"
 	"duplexity/internal/graphwl"
@@ -110,11 +111,24 @@ func FillerSet(g *Graph, workers int, seed uint64) ([]Stream, *graphwl.Job, *gra
 }
 
 // Suite is the experiment harness: one method per table and figure of
-// the paper (Fig1a..Fig2b, Table1, Table2, Fig5a..Fig5f, Fig6).
+// the paper (Fig1a..Fig2b, Table1, Table2, Fig5a..Fig5f, Fig6). Its
+// simulation cells execute on the campaign engine (internal/campaign):
+// a worker pool with a content-addressed on-disk result cache, so
+// results are bit-identical at any worker count and warm-cache runs
+// skip simulation entirely.
 type Suite = expt.Suite
 
-// SuiteOptions scales experiment fidelity (Scale 1.0 = paper-scale).
+// SuiteOptions scales experiment fidelity (Scale 1.0 = paper-scale)
+// and configures the campaign engine (Workers, CacheDir).
 type SuiteOptions = expt.Options
+
+// CampaignSummary reports the campaign engine's cache-hit/miss and
+// per-cell wall-time accounting (Suite.CampaignStats).
+type CampaignSummary = campaign.Summary
+
+// ModelVersion fingerprints simulator semantics for the campaign result
+// cache; it participates in every cell's cache key.
+const ModelVersion = core.ModelVersion
 
 // Table is a formatted experiment result.
 type Table = expt.Table

@@ -1,0 +1,199 @@
+// Package campaign is the experiment-campaign engine: a worker pool
+// that fans embarrassingly-parallel simulation cells out across
+// goroutines, backed by a content-addressed on-disk result cache and an
+// append-only completion journal.
+//
+// The paper's evaluation (Figures 5a–f, Figure 6, the ablations) is a
+// campaign of independent (design × workload × load × seed) cells.
+// Each cell derives every random seed from its own Key, and each worker
+// confines its Dyad (and all other simulator state) to a single
+// goroutine, so campaign results are bit-identical to the sequential
+// path at any worker count. Results are returned in submission order,
+// never in completion order.
+//
+// Cells are keyed by a SHA-256 digest over the cell's full input
+// (design, workload-spec fingerprint, load, scale, seed, and a
+// model-version string). With a cache directory configured, each
+// completed cell is journaled to disk as it finishes: repeated runs and
+// overlapping figures skip simulation entirely, and a killed campaign
+// resumes where it left off instead of starting over.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of concurrent cells; <= 0 means one worker
+	// per CPU (runtime.NumCPU()). Workers = 1 is the sequential path.
+	Workers int
+	// CacheDir enables the persistent content-addressed result cache
+	// (and its completion journal) rooted at this directory. Empty means
+	// no persistence: every cell simulates.
+	CacheDir string
+}
+
+// Engine executes campaign cells on a bounded worker pool with optional
+// result caching. An Engine is safe for use from multiple goroutines,
+// though callers typically submit one batch at a time.
+type Engine struct {
+	workers int
+	cache   *Cache
+	journal *Journal
+	stats   *Stats
+}
+
+// New builds an engine. With a CacheDir, the directory is created if
+// needed and pre-existing entries are counted (reported as PriorCells in
+// the stats summary, so a resumed run can say how much work it skipped).
+func New(o Options) (*Engine, error) {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	e := &Engine{workers: w, stats: newStats()}
+	if o.CacheDir != "" {
+		c, err := OpenCache(o.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		n, err := c.Len()
+		if err != nil {
+			return nil, err
+		}
+		e.cache = c
+		e.journal = NewJournal(c.JournalPath())
+		e.stats.setPrior(n)
+	}
+	return e, nil
+}
+
+// Workers returns the configured pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats snapshots the engine's cache and wall-time accounting.
+func (e *Engine) Stats() Summary {
+	s := e.stats.summary()
+	s.Workers = e.workers
+	return s
+}
+
+// Task is one campaign cell: a content-address for its full input and
+// the function that computes it. R must round-trip through
+// encoding/json unchanged for cache hits to be exact (exported fields,
+// no maps with non-deterministic iteration feeding back into results).
+type Task[R any] struct {
+	Key Key
+	Run func() (R, error)
+}
+
+// Run executes tasks on the engine's worker pool and returns their
+// results in submission order. Cells whose digest is already in the
+// cache are decoded instead of simulated and counted as hits; computed
+// cells are journaled to the cache as they finish, so an interrupted
+// batch resumes from its completed cells. On failure Run returns the
+// error of the lowest-index failing task (deterministic at any worker
+// count); remaining queued cells are abandoned, but cells already
+// finished are still in the cache.
+func Run[R any](e *Engine, tasks []Task[R]) ([]R, error) {
+	results := make([]R, len(tasks))
+	errs := make([]error, len(tasks))
+	var failed atomic.Bool
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue // drain the queue without starting new cells
+				}
+				r, err := runOne(e, tasks[i])
+				results[i], errs[i] = r, err
+				if err != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			k := tasks[i].Key
+			return nil, fmt.Errorf("campaign: cell %s %s/%s@%v: %w",
+				k.Kind, k.Design, k.Workload, k.Load, err)
+		}
+	}
+	return results, nil
+}
+
+// runOne resolves one cell: cache probe, then simulation plus
+// journaling on a miss.
+func runOne[R any](e *Engine, t Task[R]) (R, error) {
+	var zero R
+	digest := t.Key.Digest()
+
+	if e.cache != nil {
+		if raw, ok := e.cache.Get(digest); ok {
+			var r R
+			if err := json.Unmarshal(raw, &r); err == nil {
+				e.finish(t.Key, digest, true, 0)
+				return r, nil
+			}
+			// Undecodable entry (format drift, torn write that slipped
+			// through): fall through and recompute; Put overwrites it.
+		}
+	}
+
+	start := time.Now()
+	r, err := t.Run()
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		e.stats.recordError()
+		return zero, err
+	}
+	if e.cache != nil {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			e.stats.recordError()
+			return zero, fmt.Errorf("encoding result: %w", err)
+		}
+		if err := e.cache.Put(digest, Entry{Key: t.Key, WallSeconds: wall, Result: raw}); err != nil {
+			e.stats.recordError()
+			return zero, err
+		}
+	}
+	e.finish(t.Key, digest, false, wall)
+	return r, nil
+}
+
+// finish records accounting and journals the completion.
+func (e *Engine) finish(k Key, digest string, cached bool, wall float64) {
+	seq := e.stats.record(CellTiming{
+		Kind: k.Kind, Design: k.Design, Workload: k.Workload, Load: k.Load,
+		Cached: cached, WallSeconds: wall,
+	})
+	if e.journal != nil {
+		// Journal failures are deliberately non-fatal: the journal is an
+		// observability artifact; resume correctness comes from the
+		// content-addressed cache entries themselves.
+		_ = e.journal.Append(JournalEntry{
+			Seq: seq, Digest: digest, Kind: k.Kind,
+			Design: k.Design, Workload: k.Workload, Load: k.Load,
+			Cached: cached, WallSeconds: wall,
+		})
+	}
+}

@@ -1,0 +1,380 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func baseKey(i int) Key {
+	return Key{
+		Kind: "test", Model: "m1", Design: "Baseline",
+		Workload: fmt.Sprintf("wl%d", i), Spec: "abcd",
+		Load: 0.5, Scale: 1.0, Seed: 1,
+	}
+}
+
+// result is a stand-in campaign cell result with the field shapes the
+// experiment harness caches (floats, unsigned counters).
+type result struct {
+	Index   int     `json:"index"`
+	Value   float64 `json:"value"`
+	Retired uint64  `json:"retired"`
+}
+
+func compute(i int) result {
+	// Deterministic but index-dependent, with an awkward float.
+	return result{Index: i, Value: 0.1 * float64(i*i+1), Retired: uint64(i) * 1_000_003}
+}
+
+func tasksOf(n int, executed *atomic.Int64) []Task[result] {
+	tasks := make([]Task[result], n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = Task[result]{
+			Key: baseKey(i),
+			Run: func() (result, error) {
+				if executed != nil {
+					executed.Add(1)
+				}
+				return compute(i), nil
+			},
+		}
+	}
+	return tasks
+}
+
+func TestKeyDigestStableAndSensitive(t *testing.T) {
+	k := baseKey(0)
+	if k.Digest() != k.Digest() {
+		t.Fatal("digest not stable")
+	}
+	if len(k.Digest()) != 64 {
+		t.Fatalf("digest length %d, want 64 hex chars", len(k.Digest()))
+	}
+	mutations := map[string]Key{}
+	add := func(name string, m func(*Key)) {
+		mk := baseKey(0)
+		m(&mk)
+		mutations[name] = mk
+	}
+	add("kind", func(k *Key) { k.Kind = "other" })
+	add("model", func(k *Key) { k.Model = "m2" })
+	add("design", func(k *Key) { k.Design = "SMT" })
+	add("workload", func(k *Key) { k.Workload = "x" })
+	add("spec", func(k *Key) { k.Spec = "dcba" })
+	add("load", func(k *Key) { k.Load = 0.7 })
+	add("scale", func(k *Key) { k.Scale = 0.05 })
+	add("seed", func(k *Key) { k.Seed = 2 })
+	seen := map[string]string{k.Digest(): "base"}
+	for name, mk := range mutations {
+		d := mk.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("mutating %s collided with %s", name, prev)
+		}
+		seen[d] = name
+	}
+}
+
+func TestDigestOfDistinguishesTypes(t *testing.T) {
+	type a struct{ MeanVal float64 }
+	type b struct{ MeanVal float64 }
+	if DigestOf(a{1000}) == DigestOf(b{1000}) {
+		t.Fatal("DigestOf ignores concrete type")
+	}
+	if DigestOf(a{1000}) != DigestOf(a{1000}) {
+		t.Fatal("DigestOf not stable")
+	}
+	if DigestOf(a{1000}) == DigestOf(a{1001}) {
+		t.Fatal("DigestOf ignores field values")
+	}
+}
+
+// TestRunDeterministicAcrossWorkers is the engine-level half of the
+// determinism guarantee: identical results in identical (submission)
+// order at any worker count.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	want := make([]result, 40)
+	for i := range want {
+		want[i] = compute(i)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		e, err := New(Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(e, tasksOf(40, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results differ from sequential", workers)
+		}
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	e, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Workers() < 1 {
+		t.Fatalf("default workers = %d", e.Workers())
+	}
+}
+
+func TestCacheColdWarmByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	var executed atomic.Int64
+
+	cold, err := New(Options{Workers: 4, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(cold, tasksOf(10, &executed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := executed.Load(); got != 10 {
+		t.Fatalf("cold run executed %d cells, want 10", got)
+	}
+	cs := cold.Stats()
+	if cs.Hits != 0 || cs.Misses != 10 || cs.Cells != 10 || cs.PriorCells != 0 {
+		t.Fatalf("cold stats %+v", cs)
+	}
+
+	warm, err := New(Options{Workers: 4, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(warm, tasksOf(10, &executed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := executed.Load(); got != 10 {
+		t.Fatalf("warm run re-simulated: %d executions total, want 10", got)
+	}
+	ws := warm.Stats()
+	if ws.Hits != 10 || ws.Misses != 0 || ws.PriorCells != 10 || ws.HitRate != 1.0 {
+		t.Fatalf("warm stats %+v", ws)
+	}
+
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if string(b1) != string(b2) {
+		t.Fatalf("warm results not byte-identical:\ncold %s\nwarm %s", b1, b2)
+	}
+
+	// Journal recorded both passes, misses then hits.
+	entries, err := ReadJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 20 {
+		t.Fatalf("journal has %d entries, want 20", len(entries))
+	}
+	cached := 0
+	for _, e := range entries {
+		if e.Cached {
+			cached++
+		}
+		if e.Digest == "" || e.Kind != "test" {
+			t.Fatalf("bad journal entry %+v", e)
+		}
+	}
+	if cached != 10 {
+		t.Fatalf("journal cached entries = %d, want 10", cached)
+	}
+}
+
+func TestDigestChangeResimulates(t *testing.T) {
+	dir := t.TempDir()
+	var executed atomic.Int64
+	e1, err := New(Options{Workers: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(e1, tasksOf(5, &executed)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same cells under a bumped model version: every digest changes, so
+	// everything re-simulates.
+	e2, err := New(Options{Workers: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := tasksOf(5, &executed)
+	for i := range tasks {
+		tasks[i].Key.Model = "m2"
+	}
+	if _, err := Run(e2, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if got := executed.Load(); got != 10 {
+		t.Fatalf("model bump: %d executions total, want 10 (5 cold + 5 invalidated)", got)
+	}
+	if s := e2.Stats(); s.Hits != 0 || s.Misses != 5 {
+		t.Fatalf("stats after model bump: %+v", s)
+	}
+}
+
+// TestResumeAfterFailure is the checkpoint/resume contract: a batch
+// that dies mid-campaign keeps its finished cells, and the retry only
+// simulates what is missing.
+func TestResumeAfterFailure(t *testing.T) {
+	dir := t.TempDir()
+	var executed atomic.Int64
+	boom := errors.New("cell exploded")
+
+	tasks := tasksOf(12, &executed)
+	failing := tasks[7].Run
+	tasks[7].Run = func() (result, error) { return result{}, boom }
+
+	e1, err := New(Options{Workers: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(e1, tasks); !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+	done := executed.Load() // cells finished before the failure (7 with workers=1)
+	if done == 0 || done >= 12 {
+		t.Fatalf("partial run executed %d cells", done)
+	}
+
+	// "Fix the bug" and resume: only the unfinished cells simulate.
+	tasks[7].Run = failing
+	e2, err := New(Options{Workers: 4, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(e2, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := executed.Load(); total != 12 {
+		t.Fatalf("resume re-simulated finished cells: %d executions total, want 12", total)
+	}
+	s := e2.Stats()
+	if int64(s.Hits) != done || s.Hits+s.Misses != 12 {
+		t.Fatalf("resume stats %+v (prior done = %d)", s, done)
+	}
+	for i := range got {
+		if got[i] != compute(i) {
+			t.Fatalf("cell %d: %+v != %+v", i, got[i], compute(i))
+		}
+	}
+}
+
+func TestErrorIsLowestIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	tasks := tasksOf(10, nil)
+	tasks[3].Run = func() (result, error) { return result{}, errB }
+	tasks[2].Run = func() (result, error) { return result{}, errA }
+	for _, workers := range []int{1, 8} {
+		e, err := New(Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Run(e, tasks)
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: error = %v, want lowest-index %v", workers, err, errA)
+		}
+		if !strings.Contains(err.Error(), "wl2") {
+			t.Fatalf("error %q does not name the failing cell", err)
+		}
+	}
+}
+
+func TestJournalToleratesTornLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j := NewJournal(path)
+	if err := j.Append(JournalEntry{Seq: 1, Digest: "d1", Kind: "test"}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a kill mid-append.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"digest":"d2","ki`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	entries, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Digest != "d1" {
+		t.Fatalf("entries = %+v, want the one complete line", entries)
+	}
+}
+
+func TestCorruptCacheEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	var executed atomic.Int64
+	e1, err := New(Options{Workers: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := tasksOf(1, &executed)
+	if _, err := Run(e1, tasks); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the entry on disk.
+	digest := tasks[0].Key.Digest()
+	if err := os.WriteFile(filepath.Join(dir, digest+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(Options{Workers: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(e2, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 2 {
+		t.Fatalf("corrupt entry not re-simulated (%d executions)", executed.Load())
+	}
+	if got[0] != compute(0) {
+		t.Fatalf("recomputed cell wrong: %+v", got[0])
+	}
+	// And the overwrite healed the cache.
+	if _, ok := e2.cache.Get(digest); !ok {
+		t.Fatal("recomputed entry not written back")
+	}
+}
+
+func TestCacheLenCountsOnlyEntries(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("aa", Entry{Key: baseKey(0), Result: json.RawMessage(`1`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewJournal(c.JournalPath()).Append(JournalEntry{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "put-123.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Len = %d, want 1 (journal and temp excluded)", n)
+	}
+}

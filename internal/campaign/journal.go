@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// JournalEntry is one line of the completion journal: which cell
+// finished, whether it came from cache, and what it cost. The journal
+// is an append-only audit trail of campaign progress across runs —
+// resume correctness comes from the content-addressed cache entries,
+// not from the journal, so the journal can be deleted at any time.
+type JournalEntry struct {
+	// Seq is the completion sequence number within one engine's
+	// lifetime (completion order, not submission order).
+	Seq         int     `json:"seq"`
+	Digest      string  `json:"digest"`
+	Kind        string  `json:"kind"`
+	Design      string  `json:"design"`
+	Workload    string  `json:"workload"`
+	Load        float64 `json:"load"`
+	Cached      bool    `json:"cached"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Journal appends completion records to a JSON-lines file. Each append
+// opens, writes, and closes the file, so no descriptor outlives a cell
+// and a killed process loses at most its final, partially-written line
+// (which ReadJournal tolerates).
+type Journal struct {
+	mu   sync.Mutex
+	path string
+}
+
+// NewJournal records completions at path.
+func NewJournal(path string) *Journal { return &Journal{path: path} }
+
+// Append writes one entry.
+func (j *Journal) Append(e JournalEntry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("campaign: encoding journal entry: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f, err := os.OpenFile(j.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("campaign: opening journal: %w", err)
+	}
+	_, werr := f.Write(append(data, '\n'))
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("campaign: appending journal: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("campaign: closing journal: %w", cerr)
+	}
+	return nil
+}
+
+// ReadJournal parses a journal file, skipping malformed lines (a line
+// torn by a kill mid-append). A missing file is an empty journal.
+func ReadJournal(path string) ([]JournalEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: opening journal: %w", err)
+	}
+	defer f.Close()
+	var out []JournalEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e JournalEntry
+		if json.Unmarshal(sc.Bytes(), &e) == nil {
+			out = append(out, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: reading journal: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+)
+
+// Key is the full input of one campaign cell. Two cells with equal keys
+// must compute identical results; any input that can change a result
+// (including the simulator implementation itself, via Model) belongs in
+// the key, because the digest of the key is the cell's cache address.
+type Key struct {
+	// Kind names the cell family ("matrix", "slowdown", ...), so
+	// different computations over the same point never collide.
+	Kind string `json:"kind"`
+	// Model is the simulator model-version string; bumping it
+	// invalidates every cached cell (see core.ModelVersion).
+	Model string `json:"model"`
+	// Design is the simulated design point.
+	Design string `json:"design"`
+	// Workload names the workload; Spec fingerprints its full
+	// definition (instruction texture, phases, distributions), so
+	// editing a workload invalidates its cells even under the same name.
+	Workload string `json:"workload"`
+	Spec     string `json:"spec"`
+	// Load is the offered load (0 for closed-loop cells).
+	Load float64 `json:"load"`
+	// Scale is the fidelity multiplier (it scales cycle budgets).
+	Scale float64 `json:"scale"`
+	// Seed is the campaign seed the cell's own seeds derive from.
+	Seed uint64 `json:"seed"`
+}
+
+// Digest returns the cell's content address: the SHA-256 hex digest of
+// a versioned canonical encoding of the key. Floats are encoded with
+// strconv 'g'/-1, the shortest representation that round-trips, so the
+// encoding is exact and platform-independent.
+func (k Key) Digest() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "campaign-key-v1\n")
+	fmt.Fprintf(h, "kind=%s\nmodel=%s\ndesign=%s\nworkload=%s\nspec=%s\n",
+		k.Kind, k.Model, k.Design, k.Workload, k.Spec)
+	fmt.Fprintf(h, "load=%s\nscale=%s\nseed=%d\n",
+		strconv.FormatFloat(k.Load, 'g', -1, 64),
+		strconv.FormatFloat(k.Scale, 'g', -1, 64),
+		k.Seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DigestOf fingerprints an arbitrary configuration value for use as
+// Key.Spec: the first 16 hex characters of the SHA-256 of the value's
+// %#v rendering. %#v includes concrete type names, so two
+// distributions with identical fields but different types fingerprint
+// differently. Pass values (not pointers) so the rendering is stable
+// across runs.
+func DigestOf(v any) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", v)))
+	return hex.EncodeToString(sum[:])[:16]
+}

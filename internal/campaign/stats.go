@@ -1,0 +1,98 @@
+package campaign
+
+import "sync"
+
+// CellTiming is the per-cell accounting row surfaced in run manifests:
+// which cell, whether the cache answered it, and the simulation wall
+// time (0 for cache hits).
+type CellTiming struct {
+	Kind        string  `json:"kind"`
+	Design      string  `json:"design"`
+	Workload    string  `json:"workload"`
+	Load        float64 `json:"load"`
+	Cached      bool    `json:"cached"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Summary is a snapshot of an engine's campaign accounting, shaped for
+// direct embedding in a telemetry manifest.
+type Summary struct {
+	// Workers is the configured pool width.
+	Workers int `json:"workers"`
+	// PriorCells counts cache entries that existed before this engine
+	// opened the cache (what a resumed run inherited).
+	PriorCells int `json:"prior_cells,omitempty"`
+	// Cells = Hits + Misses: completions in this engine's lifetime.
+	Cells  int `json:"cells"`
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	Errors int `json:"errors,omitempty"`
+	// HitRate is Hits/Cells (0 when no cells completed).
+	HitRate float64 `json:"hit_rate"`
+	// SimWallSeconds sums per-cell simulation wall time. With several
+	// workers this exceeds elapsed wall time — that surplus is the
+	// parallelism win.
+	SimWallSeconds float64 `json:"sim_wall_seconds"`
+	// Timings lists every completed cell in completion order.
+	Timings []CellTiming `json:"timings,omitempty"`
+}
+
+// Stats accumulates campaign accounting under a mutex; cells finish on
+// many goroutines.
+type Stats struct {
+	mu      sync.Mutex
+	workers int
+	prior   int
+	hits    int
+	misses  int
+	errors  int
+	simWall float64
+	timings []CellTiming
+}
+
+func newStats() *Stats { return &Stats{} }
+
+func (s *Stats) setPrior(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prior = n
+}
+
+// record logs one completed cell and returns its completion sequence
+// number.
+func (s *Stats) record(t CellTiming) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.Cached {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.simWall += t.WallSeconds
+	s.timings = append(s.timings, t)
+	return len(s.timings)
+}
+
+func (s *Stats) recordError() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errors++
+}
+
+func (s *Stats) summary() Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := Summary{
+		PriorCells:     s.prior,
+		Cells:          s.hits + s.misses,
+		Hits:           s.hits,
+		Misses:         s.misses,
+		Errors:         s.errors,
+		SimWallSeconds: s.simWall,
+		Timings:        append([]CellTiming(nil), s.timings...),
+	}
+	if sum.Cells > 0 {
+		sum.HitRate = float64(sum.Hits) / float64(sum.Cells)
+	}
+	return sum
+}

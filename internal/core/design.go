@@ -7,6 +7,14 @@ package core
 
 import "fmt"
 
+// ModelVersion fingerprints the simulator's semantics for the
+// experiment-campaign result cache (internal/campaign): any change that
+// can alter a simulated result — core timing, workload generation,
+// power model, seed derivation — must bump this string so every cached
+// cell is invalidated. Flag/CLI changes that do not affect results must
+// NOT bump it, or warm caches are thrown away for nothing.
+const ModelVersion = "hpca19-duplexity-v1"
+
 // Design enumerates the evaluated design points (Section V).
 type Design int
 

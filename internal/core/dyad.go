@@ -49,6 +49,13 @@ type Config struct {
 
 // Dyad is one simulated master/lender pair sharing an LLC slice, a
 // virtual-context pool, and (for Duplexity) the lender's L1 caches.
+//
+// A Dyad is confined to a single goroutine: nothing in this package (or
+// in the cpu, isa, workload, or stats packages it composes) holds
+// package-level mutable state — every RNG, cache, and telemetry sink
+// hangs off the Dyad or the streams passed into it — so the campaign
+// engine (internal/campaign) may run one Dyad per worker goroutine
+// concurrently without synchronization.
 type Dyad struct {
 	Design Design
 	Freq   float64

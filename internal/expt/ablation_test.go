@@ -9,6 +9,9 @@ func TestAblationVirtualContexts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cycle-level experiment")
 	}
+	if raceEnabled {
+		t.Skip("cycle-level experiment too slow under -race")
+	}
 	s := NewSuite(Options{Scale: 0.15, Seed: 2})
 	tb, err := s.AblationVirtualContexts()
 	if err != nil {
@@ -30,6 +33,9 @@ func TestAblationRestartLatency(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cycle-level experiment")
 	}
+	if raceEnabled {
+		t.Skip("cycle-level experiment too slow under -race")
+	}
 	s := NewSuite(Options{Scale: 0.15, Seed: 2})
 	tb, err := s.AblationRestartLatency()
 	if err != nil {
@@ -49,6 +55,9 @@ func TestAblationRestartLatency(t *testing.T) {
 func TestAblationL0(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cycle-level experiment")
+	}
+	if raceEnabled {
+		t.Skip("cycle-level experiment too slow under -race")
 	}
 	s := NewSuite(Options{Scale: 0.15, Seed: 2})
 	tb, err := s.AblationL0()

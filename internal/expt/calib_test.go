@@ -13,6 +13,9 @@ import (
 // (the per-workload instruction densities in the workload package are
 // calibrated against this).
 func TestServiceCalibration(t *testing.T) {
+	if raceEnabled {
+		t.Skip("cycle-level calibration too slow under -race")
+	}
 	for _, spec := range workload.Microservices() {
 		closed := workload.NewClosedStream(spec.NewGen(1013))
 		d, err := core.NewDyad(core.Config{

@@ -8,15 +8,27 @@ package expt
 import (
 	"fmt"
 	"strings"
+
+	"duplexity/internal/campaign"
 )
 
-// Options scales experiment fidelity.
+// Options scales experiment fidelity and configures the campaign
+// engine that executes the simulation cells.
 type Options struct {
 	// Scale multiplies simulation budgets; 1.0 reproduces the paper-scale
 	// run, ~0.1 is a smoke test. Default 1.0.
 	Scale float64
 	// Seed makes the whole campaign reproducible. Default 1.
 	Seed uint64
+	// Workers is the campaign worker-pool width: 0 uses one worker per
+	// CPU, 1 is the sequential path. Results are bit-identical at any
+	// worker count (every cell derives its seeds from its own inputs).
+	Workers int
+	// CacheDir enables the persistent content-addressed result cache:
+	// repeated runs and overlapping figures skip simulation, and an
+	// interrupted campaign resumes from its completed cells. Empty
+	// disables persistence.
+	CacheDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -118,9 +130,15 @@ func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 
-// Suite memoizes the shared cycle-level simulation campaign.
+// Suite memoizes the shared cycle-level simulation campaign. The cells
+// themselves run concurrently on the campaign engine's worker pool, but
+// a Suite's methods must be called from one goroutine (memoization is
+// unsynchronized).
 type Suite struct {
 	opts Options
+
+	eng    *campaign.Engine
+	engErr error
 
 	matrix    []cell
 	matrixErr error
@@ -132,7 +150,27 @@ type Suite struct {
 	slowdownsErr error
 }
 
-// NewSuite builds a harness with the given fidelity options.
+// NewSuite builds a harness with the given fidelity options. An engine
+// configuration failure (e.g. an uncreatable cache directory) is
+// deferred to the first experiment that needs simulation; Err exposes
+// it for callers that want to fail fast.
 func NewSuite(opts Options) *Suite {
-	return &Suite{opts: opts.withDefaults()}
+	s := &Suite{opts: opts.withDefaults()}
+	s.eng, s.engErr = campaign.New(campaign.Options{
+		Workers:  s.opts.Workers,
+		CacheDir: s.opts.CacheDir,
+	})
+	return s
+}
+
+// Err reports the campaign-engine configuration error, if any.
+func (s *Suite) Err() error { return s.engErr }
+
+// CampaignStats snapshots the campaign engine's cache-hit/miss and
+// per-cell wall-time accounting (zero until an experiment simulates).
+func (s *Suite) CampaignStats() campaign.Summary {
+	if s.eng == nil {
+		return campaign.Summary{}
+	}
+	return s.eng.Stats()
 }

@@ -137,6 +137,9 @@ func TestFig1cShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cycle-level experiment")
 	}
+	if raceEnabled {
+		t.Skip("cycle-level experiment too slow under -race")
+	}
 	s := NewSuite(Options{Scale: 0.2, Seed: 3})
 	tb, err := s.Fig1c()
 	if err != nil {
@@ -166,6 +169,9 @@ func TestFig1cShape(t *testing.T) {
 func TestFig2aShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cycle-level experiment")
+	}
+	if raceEnabled {
+		t.Skip("cycle-level experiment too slow under -race")
 	}
 	s := NewSuite(Options{Scale: 0.2, Seed: 3})
 	tb, err := s.Fig2a()

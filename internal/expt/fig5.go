@@ -36,7 +36,7 @@ func (s *Suite) perCellTable(title string, value func(cell) float64, format func
 			for _, d := range core.AllDesigns {
 				v := 0.0
 				for _, c := range s.matrix {
-					if c.design == d && c.workload == spec.Name && c.load == load {
+					if c.Design == d && c.Workload == spec.Name && c.Load == load {
 						v = value(c)
 						break
 					}
@@ -71,7 +71,7 @@ func (s *Suite) perCellTable(title string, value func(cell) float64, format func
 func (s *Suite) Fig5a() (*Table, error) {
 	return s.perCellTable(
 		"Figure 5(a): core utilization",
-		func(c cell) float64 { return c.utilization },
+		func(c cell) float64 { return c.Utilization },
 		f3, false)
 }
 
@@ -79,8 +79,8 @@ func (s *Suite) Fig5a() (*Table, error) {
 // second per mm² of the evaluated unit), normalized to Baseline.
 func (s *Suite) Fig5b() (*Table, error) {
 	density := func(c cell) float64 {
-		d, err := power.PerfDensity(c.design, power.Activity{
-			Seconds: c.seconds, OoOInstrs: c.oooRetired, InOInstrs: c.inoRetired,
+		d, err := power.PerfDensity(c.Design, power.Activity{
+			Seconds: c.Seconds, OoOInstrs: c.OoORetired, InOInstrs: c.InORetired,
 		})
 		if err != nil {
 			return 0
@@ -92,14 +92,14 @@ func (s *Suite) Fig5b() (*Table, error) {
 	}
 	baseline := make(map[string]float64)
 	for _, c := range s.matrix {
-		if c.design == core.DesignBaseline {
-			baseline[fmt.Sprintf("%s@%v", c.workload, c.load)] = density(c)
+		if c.Design == core.DesignBaseline {
+			baseline[fmt.Sprintf("%s@%v", c.Workload, c.Load)] = density(c)
 		}
 	}
 	t, err := s.perCellTable(
 		"Figure 5(b): normalized performance density",
 		func(c cell) float64 {
-			b := baseline[fmt.Sprintf("%s@%v", c.workload, c.load)]
+			b := baseline[fmt.Sprintf("%s@%v", c.Workload, c.Load)]
 			if b == 0 {
 				return 0
 			}
@@ -117,8 +117,8 @@ func (s *Suite) Fig5b() (*Table, error) {
 // Baseline (lower is better).
 func (s *Suite) Fig5c() (*Table, error) {
 	energy := func(c cell) float64 {
-		e, err := power.EnergyPerInstrNJ(c.design, power.Activity{
-			Seconds: c.seconds, OoOInstrs: c.oooRetired, InOInstrs: c.inoRetired,
+		e, err := power.EnergyPerInstrNJ(c.Design, power.Activity{
+			Seconds: c.Seconds, OoOInstrs: c.OoORetired, InOInstrs: c.InORetired,
 		})
 		if err != nil {
 			return 0
@@ -130,14 +130,14 @@ func (s *Suite) Fig5c() (*Table, error) {
 	}
 	baseline := make(map[string]float64)
 	for _, c := range s.matrix {
-		if c.design == core.DesignBaseline {
-			baseline[fmt.Sprintf("%s@%v", c.workload, c.load)] = energy(c)
+		if c.Design == core.DesignBaseline {
+			baseline[fmt.Sprintf("%s@%v", c.Workload, c.Load)] = energy(c)
 		}
 	}
 	t, err := s.perCellTable(
 		"Figure 5(c): normalized energy per instruction (lower is better)",
 		func(c cell) float64 {
-			b := baseline[fmt.Sprintf("%s@%v", c.workload, c.load)]
+			b := baseline[fmt.Sprintf("%s@%v", c.Workload, c.Load)]
 			if b == 0 {
 				return 0
 			}
@@ -252,9 +252,9 @@ func (s *Suite) Fig5e() (*Table, error) {
 	}
 	density := func(d core.Design, wl string, load float64) float64 {
 		for _, c := range s.matrix {
-			if c.design == d && c.workload == wl && c.load == load {
+			if c.Design == d && c.Workload == wl && c.Load == load {
 				pd, err := power.PerfDensity(d, power.Activity{
-					Seconds: c.seconds, OoOInstrs: c.oooRetired, InOInstrs: c.inoRetired,
+					Seconds: c.Seconds, OoOInstrs: c.OoORetired, InOInstrs: c.InORetired,
 				})
 				if err != nil {
 					return 0
@@ -319,18 +319,18 @@ func (s *Suite) Fig5f() (*Table, error) {
 	}
 	baseline := make(map[string]float64)
 	for _, c := range s.matrix {
-		if c.design == core.DesignBaseline {
-			baseline[fmt.Sprintf("%s@%v", c.workload, c.load)] = float64(c.batchRetired) / c.seconds
+		if c.Design == core.DesignBaseline {
+			baseline[fmt.Sprintf("%s@%v", c.Workload, c.Load)] = float64(c.BatchRetired) / c.Seconds
 		}
 	}
 	t, err := s.perCellTable(
 		"Figure 5(f): normalized batch system throughput (STP)",
 		func(c cell) float64 {
-			b := baseline[fmt.Sprintf("%s@%v", c.workload, c.load)]
+			b := baseline[fmt.Sprintf("%s@%v", c.Workload, c.Load)]
 			if b == 0 {
 				return 0
 			}
-			return float64(c.batchRetired) / c.seconds / b
+			return float64(c.BatchRetired) / c.Seconds / b
 		},
 		f2, true)
 	if err != nil {
@@ -352,7 +352,7 @@ func (s *Suite) Fig6() (*Table, error) {
 	t, err := s.perCellTable(
 		"Figure 6: network IOPS utilization per dyad (%)",
 		func(c cell) float64 {
-			u, _, err := nic.Utilization(c.remotesPerS, 64)
+			u, _, err := nic.Utilization(c.RemotesPerS, 64)
 			if err != nil {
 				return 0
 			}

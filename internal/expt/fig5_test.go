@@ -39,6 +39,9 @@ func TestFig5Headlines(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full campaign")
 	}
+	if raceEnabled {
+		t.Skip("full campaign too slow under -race")
+	}
 	s := NewSuite(Options{Scale: 0.08, Seed: 1})
 
 	// Figure 5(a): HSMT-based designs dominate utilization.

@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 
+	"duplexity/internal/campaign"
 	"duplexity/internal/core"
 	"duplexity/internal/graphwl"
 	"duplexity/internal/isa"
@@ -12,25 +13,43 @@ import (
 // Loads are the offered-load levels of the Figure 5 experiments.
 var Loads = []float64{0.3, 0.5, 0.7}
 
-// cell is one point of the design × workload × load campaign.
+// cell is one point of the design × workload × load campaign. Fields
+// are exported so cells round-trip exactly through the campaign
+// engine's JSON result cache.
 type cell struct {
-	design   core.Design
-	workload string
-	load     float64
+	Design   core.Design `json:"design"`
+	Workload string      `json:"workload"`
+	Load     float64     `json:"load"`
 
-	utilization  float64
-	seconds      float64
-	oooRetired   uint64
-	inoRetired   uint64
-	batchRetired uint64
-	remotesPerS  float64
-	requests     uint64
-	microP99Us   float64
+	Utilization  float64 `json:"utilization"`
+	Seconds      float64 `json:"seconds"`
+	OoORetired   uint64  `json:"ooo_retired"`
+	InORetired   uint64  `json:"ino_retired"`
+	BatchRetired uint64  `json:"batch_retired"`
+	RemotesPerS  float64 `json:"remotes_per_s"`
+	Requests     uint64  `json:"requests"`
+	MicroP99Us   float64 `json:"micro_p99_us,omitempty"`
 }
 
 type slowKey struct {
 	design   core.Design
 	workload string
+}
+
+// cellKey content-addresses one campaign cell: everything that can
+// change the cell's result is in the key, so the on-disk cache is
+// invalidated exactly when it must be (see campaign.Key).
+func (s *Suite) cellKey(kind string, design core.Design, spec *workload.Spec, load float64) campaign.Key {
+	return campaign.Key{
+		Kind:     kind,
+		Model:    core.ModelVersion,
+		Design:   design.String(),
+		Workload: spec.Name,
+		Spec:     campaign.DigestOf(*spec),
+		Load:     load,
+		Scale:    s.opts.Scale,
+		Seed:     s.opts.Seed,
+	}
 }
 
 // fillerStreams builds the Section V filler set for one design: 32 BSP
@@ -56,7 +75,11 @@ func (s *Suite) fillerStreams(design core.Design, seed uint64) ([]isa.Stream, er
 	return streams, nil
 }
 
-// runCell simulates one open-loop matrix point.
+// runCell simulates one open-loop matrix point. Every seed derives from
+// the cell's own inputs (design, load, campaign seed), and all mutable
+// simulator state is local to this call, so cells may run concurrently
+// on the campaign engine's workers and still reproduce the sequential
+// results exactly.
 func (s *Suite) runCell(design core.Design, spec *workload.Spec, load float64) (cell, error) {
 	freq := design.FreqGHz()
 	master, err := spec.NewMaster(load, freq, s.opts.Seed+uint64(design)*7+uint64(load*100))
@@ -85,102 +108,138 @@ func (s *Suite) runCell(design core.Design, spec *workload.Spec, load float64) (
 	}
 
 	c := cell{
-		design:       design,
-		workload:     spec.Name,
-		load:         load,
-		utilization:  d.MasterUtilization(),
-		seconds:      d.Seconds(),
-		oooRetired:   d.MasterOoO.Stats.TotalRetired,
-		batchRetired: d.BatchRetired(),
-		remotesPerS:  float64(d.RemoteOps()) / d.Seconds(),
-		requests:     d.MasterOoO.ThreadStats(0).RequestsCompleted,
+		Design:       design,
+		Workload:     spec.Name,
+		Load:         load,
+		Utilization:  d.MasterUtilization(),
+		Seconds:      d.Seconds(),
+		OoORetired:   d.MasterOoO.Stats.TotalRetired,
+		BatchRetired: d.BatchRetired(),
+		RemotesPerS:  float64(d.RemoteOps()) / d.Seconds(),
+		Requests:     d.MasterOoO.ThreadStats(0).RequestsCompleted,
 	}
-	c.inoRetired = d.LenderCore.Stats.TotalRetired
+	c.InORetired = d.LenderCore.Stats.TotalRetired
 	if d.Master != nil {
-		c.inoRetired += d.Master.FillerCore().Stats.TotalRetired
+		c.InORetired += d.Master.FillerCore().Stats.TotalRetired
 	}
 	if d.Latencies.Count() > 0 {
-		c.microP99Us = d.CyclesToUs(d.Latencies.P99())
+		c.MicroP99Us = d.CyclesToUs(d.Latencies.P99())
 	}
 	return c, nil
 }
 
-// Matrix runs (or returns the memoized) full campaign.
+// matrixTasks enumerates the full design × workload × load campaign in
+// canonical (paper) order.
+func (s *Suite) matrixTasks() []campaign.Task[cell] {
+	var tasks []campaign.Task[cell]
+	for _, design := range core.AllDesigns {
+		for _, spec := range workload.Microservices() {
+			for _, load := range Loads {
+				design, spec, load := design, spec, load
+				tasks = append(tasks, campaign.Task[cell]{
+					Key: s.cellKey("matrix", design, spec, load),
+					Run: func() (cell, error) { return s.runCell(design, spec, load) },
+				})
+			}
+		}
+	}
+	return tasks
+}
+
+// Matrix runs (or returns the memoized) full campaign through the
+// campaign engine: cells fan out across the worker pool, cached cells
+// are decoded instead of simulated, and completions are journaled so an
+// interrupted campaign resumes where it left off.
 func (s *Suite) Matrix() ([]cell, error) {
 	if s.matrixRun {
 		return s.matrix, s.matrixErr
 	}
 	s.matrixRun = true
-	for _, design := range core.AllDesigns {
-		for _, spec := range workload.Microservices() {
-			for _, load := range Loads {
-				c, err := s.runCell(design, spec, load)
-				if err != nil {
-					s.matrixErr = fmt.Errorf("cell %v/%s/%v: %w", design, spec.Name, load, err)
-					return nil, s.matrixErr
-				}
-				s.matrix = append(s.matrix, c)
-			}
-		}
+	if s.engErr != nil {
+		s.matrixErr = s.engErr
+		return nil, s.matrixErr
 	}
-	return s.matrix, nil
+	s.matrix, s.matrixErr = campaign.Run(s.eng, s.matrixTasks())
+	return s.matrix, s.matrixErr
+}
+
+// measureSlowdown runs the saturated closed-loop cell for one (design,
+// workload) point and returns cycles per request.
+func (s *Suite) measureSlowdown(design core.Design, spec *workload.Spec) (float64, error) {
+	reqTarget := s.opts.requests(150)
+	cap := s.opts.cycles(8_000_000)
+	closed := workload.NewClosedStream(spec.NewGen(s.opts.Seed + 1013))
+	batch, err := s.fillerStreams(design, s.opts.Seed+97*uint64(design))
+	if err != nil {
+		return 0, err
+	}
+	d, err := core.NewDyad(core.Config{
+		Design:       design,
+		MasterStream: closed,
+		BatchStreams: batch,
+	})
+	if err != nil {
+		return 0, err
+	}
+	done := d.RunUntilRequests(reqTarget, cap)
+	if done == 0 {
+		return 0, fmt.Errorf("no requests completed for %v/%s", design, spec.Name)
+	}
+	return float64(d.Now()) / float64(done), nil
 }
 
 // Slowdowns measures each design's service-time inflation per workload
 // with a saturated closed-loop run (the Section V methodology: IPC
 // slowdowns measured in the cycle-level simulator scale the service
 // distribution used by the request-granularity queueing simulation).
+// The 35 closed-loop measurements are independent cells and run on the
+// same campaign engine as the matrix.
 func (s *Suite) Slowdowns() (map[slowKey]float64, error) {
 	if s.slowdownsRun {
 		return s.slowdowns, s.slowdownsErr
 	}
 	s.slowdownsRun = true
-	s.slowdowns = make(map[slowKey]float64)
-	s.serviceBase = make(map[string]float64)
-
-	reqTarget := s.opts.requests(150)
-	cap := s.opts.cycles(8_000_000)
-
-	measure := func(design core.Design, spec *workload.Spec) (float64, error) {
-		closed := workload.NewClosedStream(spec.NewGen(s.opts.Seed + 1013))
-		batch, err := s.fillerStreams(design, s.opts.Seed+97*uint64(design))
-		if err != nil {
-			return 0, err
-		}
-		d, err := core.NewDyad(core.Config{
-			Design:       design,
-			MasterStream: closed,
-			BatchStreams: batch,
-		})
-		if err != nil {
-			return 0, err
-		}
-		done := d.RunUntilRequests(reqTarget, cap)
-		if done == 0 {
-			return 0, fmt.Errorf("no requests completed for %v/%s", design, spec.Name)
-		}
-		return float64(d.Now()) / float64(done), nil
+	if s.engErr != nil {
+		s.slowdownsErr = s.engErr
+		return nil, s.slowdownsErr
 	}
 
-	for _, spec := range workload.Microservices() {
-		base, err := measure(core.DesignBaseline, spec)
-		if err != nil {
-			s.slowdownsErr = err
-			return nil, err
-		}
-		s.serviceBase[spec.Name] = base
-		s.slowdowns[slowKey{core.DesignBaseline, spec.Name}] = 1.0
+	specs := workload.Microservices()
+	var tasks []campaign.Task[float64]
+	for _, spec := range specs {
 		for _, design := range core.AllDesigns {
+			design, spec := design, spec
+			tasks = append(tasks, campaign.Task[float64]{
+				Key: s.cellKey("slowdown", design, spec, 0),
+				Run: func() (float64, error) { return s.measureSlowdown(design, spec) },
+			})
+		}
+	}
+	svc, err := campaign.Run(s.eng, tasks)
+	if err != nil {
+		s.slowdownsErr = err
+		return nil, err
+	}
+
+	baseIdx := 0
+	for i, d := range core.AllDesigns {
+		if d == core.DesignBaseline {
+			baseIdx = i
+		}
+	}
+	s.slowdowns = make(map[slowKey]float64)
+	s.serviceBase = make(map[string]float64)
+	for si, spec := range specs {
+		base := svc[si*len(core.AllDesigns)+baseIdx]
+		s.serviceBase[spec.Name] = base
+		for di, design := range core.AllDesigns {
 			if design == core.DesignBaseline {
+				s.slowdowns[slowKey{design, spec.Name}] = 1.0
 				continue
 			}
-			svc, err := measure(design, spec)
-			if err != nil {
-				s.slowdownsErr = err
-				return nil, err
-			}
 			// Frequency-adjust: cycles per request at different clocks.
-			slow := (svc / design.FreqGHz()) / (base / core.DesignBaseline.FreqGHz())
+			v := svc[si*len(core.AllDesigns)+di]
+			slow := (v / design.FreqGHz()) / (base / core.DesignBaseline.FreqGHz())
 			s.slowdowns[slowKey{design, spec.Name}] = slow
 		}
 	}

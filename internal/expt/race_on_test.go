@@ -1,0 +1,8 @@
+//go:build race
+
+package expt
+
+// raceEnabled lets multi-minute cycle-level campaign tests skip under
+// the race detector's 10-20x slowdown; the race-relevant concurrency is
+// covered by the fast subset tests and internal/campaign's suite.
+const raceEnabled = true

@@ -24,17 +24,17 @@ func (s *Suite) ReportCached() []CellReport {
 	out := make([]CellReport, 0, len(s.matrix))
 	for _, c := range s.matrix {
 		out = append(out, CellReport{
-			Design:       c.design.String(),
-			Workload:     c.workload,
-			Load:         c.load,
-			Utilization:  c.utilization,
-			Seconds:      c.seconds,
-			OoORetired:   c.oooRetired,
-			InORetired:   c.inoRetired,
-			BatchRetired: c.batchRetired,
-			RemotesPerS:  c.remotesPerS,
-			Requests:     c.requests,
-			MicroP99Us:   c.microP99Us,
+			Design:       c.Design.String(),
+			Workload:     c.Workload,
+			Load:         c.Load,
+			Utilization:  c.Utilization,
+			Seconds:      c.Seconds,
+			OoORetired:   c.OoORetired,
+			InORetired:   c.InORetired,
+			BatchRetired: c.BatchRetired,
+			RemotesPerS:  c.RemotesPerS,
+			Requests:     c.Requests,
+			MicroP99Us:   c.MicroP99Us,
 		})
 	}
 	return out

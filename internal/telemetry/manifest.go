@@ -40,13 +40,20 @@ type Manifest struct {
 	// Spans are the reconstructed request timelines (capped by the
 	// producer to keep manifests reviewable).
 	Spans []Span `json:"spans,omitempty"`
+	// Campaign is the experiment-campaign engine's accounting (worker
+	// count, cache hits/misses, per-cell wall times) for runs that fan
+	// simulation cells through internal/campaign. Typed as interface{}
+	// to keep telemetry free of simulator imports; producers embed
+	// campaign.Summary here.
+	Campaign interface{} `json:"campaign,omitempty"`
 	// Extra carries tool-specific sections (e.g. cmd/duplexity's
 	// per-experiment timings and per-design campaign summary).
 	Extra map[string]interface{} `json:"extra,omitempty"`
 }
 
 // ManifestVersion is the current manifest format version.
-const ManifestVersion = 1
+// Version history: 1 = initial; 2 = adds the campaign section.
+const ManifestVersion = 2
 
 // GitDescribe returns `git describe --always --dirty` for the current
 // directory, or "unknown" when git or the repository is unavailable.

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# bench.sh — campaign-engine performance trajectory.
+#
+# Runs the Figure 5 matrix (the 105-cell design × workload × load
+# campaign, via the figures that consume it) three ways:
+#
+#   1. sequential  (-workers 1, cold cache)
+#   2. parallel    (-workers N, cold cache)   N = BENCH_WORKERS or nproc
+#   3. warm        (-workers N, warm cache from run 2)
+#
+# and writes BENCH_campaign.json with wall times, cells/sec, cache-hit
+# rates, and speedups. It also asserts the engine's core guarantee:
+# stdout tables from all three runs are byte-identical (modulo the
+# per-experiment "took" timing lines).
+#
+# Tunables: BENCH_SCALE (default 0.05), BENCH_WORKERS (default nproc).
+# Note: the parallel speedup is only meaningful on a multi-core host;
+# the warm-cache speedup is meaningful anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${BENCH_SCALE:-0.05}"
+WORKERS="${BENCH_WORKERS:-$(nproc)}"
+EXPTS=(fig5a fig5b fig5c fig5f fig6)
+OUT="BENCH_campaign.json"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== build =="
+go build -o "$tmp/duplexity" ./cmd/duplexity
+
+# run <name> <workers> <cachedir>: executes the matrix figures, records
+# wall seconds to $tmp/<name>.wall and the campaign summary counters to
+# $tmp/<name>.cells/.hits/.misses.
+run() {
+    local name="$1" workers="$2" cdir="$3"
+    echo "== $name: -workers $workers =="
+    local t0 t1
+    t0="$(date +%s.%N)"
+    "$tmp/duplexity" -scale "$SCALE" -seed 1 -workers "$workers" -cachedir "$cdir" \
+        "${EXPTS[@]}" >"$tmp/$name.out" 2>"$tmp/$name.err"
+    t1="$(date +%s.%N)"
+    awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", b-a}' >"$tmp/$name.wall"
+    # Last campaign summary line: campaign: workers=N cells=C hits=H misses=M ...
+    local line
+    line="$(grep '^campaign:' "$tmp/$name.err" | tail -1)"
+    echo "$line"
+    echo "$line" | sed 's/.*cells=\([0-9]*\).*/\1/'  >"$tmp/$name.cells"
+    echo "$line" | sed 's/.*hits=\([0-9]*\).*/\1/'   >"$tmp/$name.hits"
+    echo "$line" | sed 's/.*misses=\([0-9]*\).*/\1/' >"$tmp/$name.misses"
+    grep -v " took " "$tmp/$name.out" >"$tmp/$name.tables"
+}
+
+run sequential 1          "$tmp/cache-seq"
+run parallel   "$WORKERS" "$tmp/cache-par"
+run warm       "$WORKERS" "$tmp/cache-par"
+
+echo "== determinism check =="
+cmp "$tmp/sequential.tables" "$tmp/parallel.tables" \
+    || { echo "FAIL: -workers $WORKERS tables differ from -workers 1"; exit 1; }
+cmp "$tmp/sequential.tables" "$tmp/warm.tables" \
+    || { echo "FAIL: warm-cache tables differ"; exit 1; }
+if [[ "$(cat "$tmp/warm.misses")" != "0" ]]; then
+    echo "FAIL: warm run re-simulated $(cat "$tmp/warm.misses") cells"
+    exit 1
+fi
+echo "tables byte-identical across sequential/parallel/warm; warm run simulated 0 cells"
+
+awk -v scale="$SCALE" -v workers="$WORKERS" -v ncpu="$(nproc)" \
+    -v sw="$(cat "$tmp/sequential.wall")" -v sc="$(cat "$tmp/sequential.cells")" \
+    -v pw="$(cat "$tmp/parallel.wall")"   -v pc="$(cat "$tmp/parallel.cells")" \
+    -v ww="$(cat "$tmp/warm.wall")"       -v wh="$(cat "$tmp/warm.hits")" \
+    -v wc="$(cat "$tmp/warm.cells")" 'BEGIN {
+    printf "{\n"
+    printf "  \"bench\": \"campaign-fig5-matrix\",\n"
+    printf "  \"scale\": %s,\n", scale
+    printf "  \"host_cpus\": %d,\n", ncpu
+    printf "  \"experiments\": [\"fig5a\", \"fig5b\", \"fig5c\", \"fig5f\", \"fig6\"],\n"
+    printf "  \"sequential\": {\"workers\": 1, \"wall_seconds\": %s, \"cells\": %d, \"cells_per_sec\": %.3f},\n", sw, sc, sc/sw
+    printf "  \"parallel\": {\"workers\": %d, \"wall_seconds\": %s, \"cells\": %d, \"cells_per_sec\": %.3f, \"speedup_vs_sequential\": %.2f},\n", workers, pw, pc, pc/pw, sw/pw
+    printf "  \"warm_cache\": {\"workers\": %d, \"wall_seconds\": %s, \"cells\": %d, \"hits\": %d, \"hit_rate\": %.3f, \"speedup_vs_sequential\": %.2f}\n", workers, ww, wc, wh, wh/wc, sw/ww
+    printf "}\n"
+}' >"$OUT"
+
+echo "== $OUT =="
+cat "$OUT"

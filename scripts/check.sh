@@ -25,12 +25,16 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race (telemetry, core, e2e) =="
+echo "== go test -race (telemetry, core, campaign, expt, e2e) =="
 # -short skips the multi-million-cycle core simulations, which exceed
 # go test's timeout under the race detector's ~10-20x slowdown; the
 # race-relevant code paths (telemetry emission, collection, spans) are
 # covered by the telemetry suite and the root TestE2E tests below.
 go test -race -short -timeout 15m ./internal/telemetry/... ./internal/core/...
+# The campaign engine fans simulation cells across a worker pool; these
+# suites run real cycle-level cells concurrently (full-matrix tests
+# self-skip under race via the raceEnabled build-tag guard).
+go test -race -timeout 15m ./internal/campaign ./internal/expt
 go test -race -run 'TestE2E' -timeout 15m .
 
 if [[ "${CHECK_SKIP_BENCH:-0}" == "1" ]]; then
