@@ -1,0 +1,156 @@
+// Command simbench measures the cycle-level simulator's own speed: for
+// each requested design it builds the same dyad twice — one stepped
+// cycle by cycle, one with event-driven fast-forward — runs both for the
+// same simulated-cycle budget, and prints a JSON report with simulated
+// cycles per wall second, the fast-forward speedup, and the skip ratio
+// (fraction of simulated cycles advanced by jumps rather than steps).
+//
+// Usage:
+//
+//	simbench [-cycles n] [-seed n] [-load f] [-workload name] [-designs a,b]
+//
+// The two runs double as a live equivalence check: simbench exits
+// non-zero if the stepped and fast-forwarded dyads disagree on retired
+// instructions or completed requests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"duplexity"
+)
+
+type row struct {
+	design          duplexity.Design
+	cycles          uint64
+	stepSec, ffSec  float64
+	skipped         uint64
+	retired         uint64
+	requestsStepped uint64
+	requestsFF      uint64
+}
+
+func main() {
+	cycles := flag.Uint64("cycles", 3_000_000, "simulated cycles per run")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	load := flag.Float64("load", 0.5, "offered load in (0,1)")
+	wlName := flag.String("workload", "mcrouter", "flann-ha|flann-ll|rsc|mcrouter|wordstem")
+	designs := flag.String("designs", "baseline,duplexity", "comma-separated design list")
+	flag.Parse()
+
+	spec, err := findWorkload(*wlName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(2)
+	}
+
+	var rows []row
+	for _, name := range strings.Split(*designs, ",") {
+		design, err := findDesign(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(2)
+		}
+		r, err := measure(design, spec, *load, *seed, *cycles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, r)
+	}
+
+	fmt.Println("{")
+	fmt.Printf("  %q: %q,\n", "bench", "simcore")
+	fmt.Printf("  %q: %q,\n", "workload", spec.Name)
+	fmt.Printf("  %q: %g,\n", "load", *load)
+	fmt.Printf("  %q: %d,\n", "cycles", *cycles)
+	fmt.Printf("  %q: [\n", "designs")
+	for i, r := range rows {
+		comma := ","
+		if i == len(rows)-1 {
+			comma = ""
+		}
+		fmt.Printf("    {\"design\": %q, \"step_cycles_per_sec\": %.0f, \"ff_cycles_per_sec\": %.0f, "+
+			"\"speedup\": %.2f, \"skip_ratio\": %.4f, \"retired\": %d, \"requests\": %d}%s\n",
+			r.design.String(), float64(r.cycles)/r.stepSec, float64(r.cycles)/r.ffSec,
+			r.stepSec/r.ffSec, float64(r.skipped)/float64(r.cycles), r.retired, r.requestsFF, comma)
+	}
+	fmt.Println("  ]")
+	fmt.Println("}")
+}
+
+// build constructs one dyad for the measurement; both runs of a design
+// call it with identical arguments so their streams are identical.
+func build(design duplexity.Design, spec *duplexity.Workload, load float64, seed uint64) (*duplexity.Dyad, error) {
+	master, err := spec.NewMaster(load, design.FreqGHz(), seed)
+	if err != nil {
+		return nil, err
+	}
+	g, err := duplexity.NewGraph(4096, 12, 0.5, seed+3)
+	if err != nil {
+		return nil, err
+	}
+	fillers, _, _, err := duplexity.FillerSet(g, 32, seed+4)
+	if err != nil {
+		return nil, err
+	}
+	return duplexity.NewDyad(duplexity.DyadConfig{
+		Design:       design,
+		MasterStream: master,
+		BatchStreams: fillers,
+	})
+}
+
+func measure(design duplexity.Design, spec *duplexity.Workload, load float64, seed, cycles uint64) (row, error) {
+	r := row{design: design, cycles: cycles}
+
+	slow, err := build(design, spec, load, seed)
+	if err != nil {
+		return r, err
+	}
+	slow.FastForward = false
+	t0 := time.Now()
+	slow.Run(cycles)
+	r.stepSec = time.Since(t0).Seconds()
+	r.requestsStepped = slow.MasterOoO.ThreadStats(0).RequestsCompleted
+
+	fast, err := build(design, spec, load, seed)
+	if err != nil {
+		return r, err
+	}
+	t0 = time.Now()
+	fast.Run(cycles)
+	r.ffSec = time.Since(t0).Seconds()
+	r.skipped = fast.SkippedCycles
+	r.retired = fast.MasterOoO.Stats.TotalRetired
+	r.requestsFF = fast.MasterOoO.ThreadStats(0).RequestsCompleted
+
+	if r.retired != slow.MasterOoO.Stats.TotalRetired || r.requestsFF != r.requestsStepped {
+		return r, fmt.Errorf("%v: fast-forward diverged from stepping: retired %d vs %d, requests %d vs %d",
+			design, r.retired, slow.MasterOoO.Stats.TotalRetired, r.requestsFF, r.requestsStepped)
+	}
+	return r, nil
+}
+
+func findDesign(s string) (duplexity.Design, error) {
+	for _, d := range duplexity.AllDesigns {
+		if strings.EqualFold(strings.ReplaceAll(d.String(), "+repl", "-repl"), s) ||
+			strings.EqualFold(d.String(), s) {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown design %q", s)
+}
+
+func findWorkload(s string) (*duplexity.Workload, error) {
+	for _, w := range duplexity.Microservices() {
+		if strings.EqualFold(w.Name, s) {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q", s)
+}

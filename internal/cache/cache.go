@@ -4,6 +4,12 @@
 // I/D TLBs. Caches track per-line owners so the simulator can account for
 // cross-thread pollution (filler-threads evicting master-thread state),
 // the central effect Duplexity's state segregation eliminates.
+//
+// Like the memory ports built on top of them (memsys.Port), caches are
+// passive in simulated time: state changes only inside Lookup/Install
+// calls issued by a stepping core, so the event-driven fast-forward path
+// (core.Dyad.NextEvent) can jump quiescent spans without consulting
+// them.
 package cache
 
 import "fmt"

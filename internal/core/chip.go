@@ -88,10 +88,48 @@ func (c *Chip) Step() {
 	c.now++
 }
 
-// Run advances n cycles.
+// Run advances n cycles. Dyads share the LLC and must stay in lockstep,
+// so the clock only fast-forwards when every dyad is quiescent, jumping
+// to the chip-wide earliest event; any dyad with FastForward disabled
+// pins the whole chip to cycle-by-cycle stepping.
 func (c *Chip) Run(n uint64) {
-	for i := uint64(0); i < n; i++ {
-		c.Step()
+	end := c.now + n
+	ff := true
+	for _, d := range c.Dyads {
+		ff = ff && d.FastForward
+	}
+	for c.now < end {
+		if !ff {
+			c.Step()
+			continue
+		}
+		idle := true
+		for _, d := range c.Dyads {
+			if !d.stepQuiet() {
+				idle = false
+			}
+		}
+		c.now++
+		if !idle || c.now >= end {
+			continue
+		}
+		target := end
+		for _, d := range c.Dyads {
+			ev := d.NextEvent()
+			if ev <= c.now {
+				target = c.now
+				break
+			}
+			if ev < target {
+				target = ev
+			}
+		}
+		if target > c.now {
+			for _, d := range c.Dyads {
+				d.skipTo(target)
+			}
+			c.now = target
+		}
 	}
 }
 

@@ -85,6 +85,20 @@ type Dyad struct {
 	// master stream implements RequestTracker.
 	Latencies *stats.LatencyRecorder
 
+	// FastForward enables event-driven cycle skipping in Run and
+	// RunUntilRequests (default on): spans in which no component can
+	// fetch, issue, or retire are jumped in one step, with the skipped
+	// cycles bulk-charged to the same stall/idle counters the
+	// cycle-by-cycle path would have used. Results are bit-identical
+	// either way (see DESIGN.md, "Event-driven fast-forward"); the flag
+	// exists for the equivalence tests and for debugging.
+	FastForward bool
+	// SkippedCycles counts cycles advanced by fast-forward jumps. It is
+	// a diagnostic for the skip ratio only — deliberately not part of
+	// CollectInto or any printed table, so outputs and campaign cache
+	// keys are unaffected by how time advanced.
+	SkippedCycles uint64
+
 	tracker      RequestTracker
 	masterStream isa.Stream
 	now          uint64
@@ -111,6 +125,7 @@ func NewDyad(cfg Config) (*Dyad, error) {
 		Freq:         freq,
 		Latencies:    stats.NewLatencyRecorder(1 << 12),
 		masterStream: cfg.MasterStream,
+		FastForward:  true,
 	}
 
 	// Shared LLC: 1MB per core x 2 cores in the dyad (Table I), unless
@@ -274,20 +289,126 @@ func (d *Dyad) Step() {
 	d.now++
 }
 
+// NextEvent returns the earliest cycle >= Now() at which any dyad
+// component (master side, lender scheduler, lender datapath) can change
+// observable state. A result <= Now() means some component would make
+// progress this cycle; cpu.NoEvent means the dyad is fully drained with
+// nothing scheduled.
+func (d *Dyad) NextEvent() uint64 {
+	now := d.now
+	var ev uint64
+	if d.Master != nil {
+		ev = d.Master.NextEvent(now)
+	} else {
+		ev = d.MasterOoO.NextEvent(now)
+	}
+	if ev <= now {
+		return now
+	}
+	if le := d.Lender.NextEvent(now); le < ev {
+		ev = le
+	}
+	if lc := d.LenderCore.NextEvent(now); lc < ev {
+		ev = lc
+	}
+	return ev
+}
+
+// skipTo jumps the clock to target, bulk-charging every component for
+// the quiescent span. The caller must have established that
+// NextEvent() >= target.
+func (d *Dyad) skipTo(target uint64) {
+	n := target - d.now
+	if d.Master != nil {
+		d.Master.SkipCycles(d.now, n)
+	} else {
+		d.MasterOoO.SkipCycles(d.now, n)
+	}
+	d.Lender.SkipCycles(d.now, n)
+	d.LenderCore.SkipCycles(d.now, n)
+	d.SkippedCycles += n
+	d.now = target
+}
+
+// coreMark snapshots a core's progress-visible counters so the fast
+// path can detect, in a few comparisons, whether a Step did anything.
+type coreMark struct{ cycles, work, fstall uint64 }
+
+func markCore(s *cpu.CoreStats) coreMark {
+	return coreMark{s.Cycles, s.TotalRetired + s.IssueSlotsUsed, s.FetchStallCycles}
+}
+
+// advancedSince reports whether the core made visible forward progress
+// after the mark: it was stepped and either retired/issued something or
+// fetched (no fetch-stall charge that cycle).
+func advancedSince(s *cpu.CoreStats, m coreMark) bool {
+	if s.Cycles == m.cycles {
+		return false // not stepped at all (e.g. master OoO in filler mode)
+	}
+	return s.TotalRetired+s.IssueSlotsUsed != m.work || s.FetchStallCycles == m.fstall
+}
+
+// stepQuiet steps the dyad one cycle and reports whether the step made
+// no visible progress anywhere — the cheap gate (a handful of counter
+// comparisons) that decides whether paying for an exact NextEvent scan
+// could be worthwhile.
+func (d *Dyad) stepQuiet() bool {
+	mm := markCore(&d.MasterOoO.Stats)
+	lm := markCore(&d.LenderCore.Stats)
+	var fm coreMark
+	var fstats *cpu.CoreStats
+	if d.Master != nil {
+		fstats = &d.Master.FillerCore().Stats
+		fm = markCore(fstats)
+	}
+	d.Step()
+	return !advancedSince(&d.MasterOoO.Stats, mm) && !advancedSince(&d.LenderCore.Stats, lm) &&
+		(fstats == nil || !advancedSince(fstats, fm))
+}
+
+// stepOrSkip advances at least one cycle (never past end). After a Step
+// that made no visible progress it consults NextEvent and jumps any
+// quiescent span in one go — the expensive exact scan runs only on idle
+// cycles, so busy spans pay just the counter comparisons of stepQuiet.
+func (d *Dyad) stepOrSkip(end uint64) {
+	if !d.stepQuiet() || d.now >= end {
+		return
+	}
+	if ev := d.NextEvent(); ev > d.now {
+		target := ev
+		if target > end {
+			target = end
+		}
+		d.skipTo(target)
+	}
+}
+
 // Run advances n cycles.
 func (d *Dyad) Run(n uint64) {
-	for i := uint64(0); i < n; i++ {
-		d.Step()
+	end := d.now + n
+	if !d.FastForward {
+		for d.now < end {
+			d.Step()
+		}
+		return
+	}
+	for d.now < end {
+		d.stepOrSkip(end)
 	}
 }
 
 // RunUntilRequests advances until the master-thread has completed at
 // least n requests or maxCycles elapse; it returns the completed count.
 func (d *Dyad) RunUntilRequests(n uint64, maxCycles uint64) uint64 {
-	for d.MasterOoO.ThreadStats(0).RequestsCompleted < n && d.now < maxCycles {
-		d.Step()
+	ts := d.MasterOoO.ThreadStats(0)
+	for ts.RequestsCompleted < n && d.now < maxCycles {
+		if d.FastForward {
+			d.stepOrSkip(maxCycles)
+		} else {
+			d.Step()
+		}
 	}
-	return d.MasterOoO.ThreadStats(0).RequestsCompleted
+	return ts.RequestsCompleted
 }
 
 // MasterUtilization returns the Fig 5(a) metric: instructions retired on

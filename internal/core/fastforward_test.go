@@ -1,0 +1,201 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"duplexity/internal/telemetry"
+	"duplexity/internal/workload"
+)
+
+// hashSink folds every telemetry event into an order-sensitive FNV-1a
+// hash. Comparing hashes between two runs asserts that the full event
+// streams — kinds, cycle stamps, sources, and arguments, in emission
+// order — are identical.
+type hashSink struct {
+	h uint64
+	n uint64
+}
+
+func newHashSink() *hashSink { return &hashSink{h: 1469598103934665603} }
+
+func (s *hashSink) word(v uint64) {
+	for i := 0; i < 8; i++ {
+		s.h ^= v & 0xff
+		s.h *= 1099511628211
+		v >>= 8
+	}
+}
+
+func (s *hashSink) Emit(e telemetry.Event) {
+	s.word(e.Cycle)
+	s.word(uint64(e.Kind))
+	s.word(uint64(e.Src))
+	s.word(e.A)
+	s.word(e.B)
+	s.n++
+}
+
+// makeTracedDyad is makeDyad with an explicit fast-forward setting and a
+// hashing telemetry sink attached before any cycle runs.
+func makeTracedDyad(t *testing.T, design Design, qps float64, ff bool) (*Dyad, *hashSink) {
+	t.Helper()
+	gen := masterGen(1, true)
+	master, err := workload.NewRequestStream(gen, qps, design.FreqGHz(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDyad(Config{
+		Design:       design,
+		MasterStream: master,
+		BatchStreams: batchStreams(32, 100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.FastForward = ff
+	sink := newHashSink()
+	d.EnableTelemetry(sink)
+	return d, sink
+}
+
+// compareDyads asserts that a fast-forwarded dyad and a cycle-by-cycle
+// dyad ended in externally identical states: clock, every stats struct,
+// the telemetry event stream, the collected metric registry, the
+// formatted thread report, and the raw latency samples.
+func compareDyads(t *testing.T, design Design, ff, slow *Dyad, ffSink, slowSink *hashSink) {
+	t.Helper()
+	if ff.Now() != slow.Now() {
+		t.Fatalf("%v: clock diverged: ff %d vs slow %d", design, ff.Now(), slow.Now())
+	}
+	if ffSink.n != slowSink.n || ffSink.h != slowSink.h {
+		t.Fatalf("%v: telemetry streams diverged: ff %d events hash %x, slow %d events hash %x",
+			design, ffSink.n, ffSink.h, slowSink.n, slowSink.h)
+	}
+	if a, b := *ff.MasterOoO.ThreadStats(0), *slow.MasterOoO.ThreadStats(0); a != b {
+		t.Fatalf("%v: master thread stats diverged:\nff   %+v\nslow %+v", design, a, b)
+	}
+	if ff.MasterOoO.Stats != slow.MasterOoO.Stats {
+		t.Fatalf("%v: master core stats diverged:\nff   %+v\nslow %+v",
+			design, ff.MasterOoO.Stats, slow.MasterOoO.Stats)
+	}
+	if (ff.Master == nil) != (slow.Master == nil) {
+		t.Fatalf("%v: master-core presence diverged", design)
+	}
+	if ff.Master != nil && ff.Master.Stats != slow.Master.Stats {
+		t.Fatalf("%v: morph stats diverged:\nff   %+v\nslow %+v",
+			design, ff.Master.Stats, slow.Master.Stats)
+	}
+	if got, want := ff.Latencies.Samples(), slow.Latencies.Samples(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("%v: latency samples diverged: ff %d samples, slow %d", design, len(got), len(want))
+	}
+	ffReg, slowReg := telemetry.NewRegistry(), telemetry.NewRegistry()
+	ff.CollectInto(ffReg)
+	slow.CollectInto(slowReg)
+	if a, b := ffReg.Snapshot(ff.Now()), slowReg.Snapshot(slow.Now()); !reflect.DeepEqual(a, b) {
+		t.Fatalf("%v: collected registries diverged:\nff   %+v\nslow %+v", design, a, b)
+	}
+	if a, b := ff.ThreadReport(), slow.ThreadReport(); a != b {
+		t.Fatalf("%v: thread reports diverged:\nff:\n%s\nslow:\n%s", design, a, b)
+	}
+}
+
+// TestFastForwardEquivalence is the fast-forward invariant check: for
+// every design, a dyad run with event-driven cycle skipping must be
+// bit-identical — stats, telemetry counters, event stream, latency
+// samples — to the same dyad stepped cycle by cycle.
+func TestFastForwardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
+	const budget = 1_200_000
+	for _, design := range AllDesigns {
+		ff, ffSink := makeTracedDyad(t, design, 100_000, true)
+		slow, slowSink := makeTracedDyad(t, design, 100_000, false)
+		ff.Run(budget)
+		slow.Run(budget)
+		compareDyads(t, design, ff, slow, ffSink, slowSink)
+		if slow.SkippedCycles != 0 {
+			t.Fatalf("%v: cycle-by-cycle dyad reports %d skipped cycles", design, slow.SkippedCycles)
+		}
+		if design == DesignBaseline && ff.SkippedCycles == 0 {
+			t.Fatalf("%v: fast-forward never skipped (remote stalls should quiesce the dyad)", design)
+		}
+	}
+}
+
+// TestFastForwardEquivalenceUntilRequests exercises the RunUntilRequests
+// path, which interleaves skip decisions with request-completion checks.
+func TestFastForwardEquivalenceUntilRequests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
+	for _, design := range []Design{DesignBaseline, DesignDuplexity} {
+		ff, ffSink := makeTracedDyad(t, design, 100_000, true)
+		slow, slowSink := makeTracedDyad(t, design, 100_000, false)
+		nff := ff.RunUntilRequests(60, 6_000_000)
+		nslow := slow.RunUntilRequests(60, 6_000_000)
+		if nff != nslow {
+			t.Fatalf("%v: completed requests diverged: ff %d vs slow %d", design, nff, nslow)
+		}
+		compareDyads(t, design, ff, slow, ffSink, slowSink)
+	}
+}
+
+// TestChipFastForwardEquivalence checks the chip-level lockstep skip: a
+// two-dyad chip sharing an LLC must produce identical per-dyad stats with
+// fast-forward on and off.
+func TestChipFastForwardEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle simulation; skipped with -short")
+	}
+	build := func(ff bool) *Chip {
+		t.Helper()
+		cfg := ChipConfig{Design: DesignDuplexity}
+		for i := uint64(0); i < 2; i++ {
+			gen := masterGen(1+i, true)
+			master, err := workload.NewRequestStream(gen, 100_000, cfg.Design.FreqGHz(), 7+i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Masters = append(cfg.Masters, master)
+			cfg.Batches = append(cfg.Batches, batchStreams(32, 100+100*i))
+		}
+		c, err := NewChip(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range c.Dyads {
+			d.FastForward = ff
+		}
+		return c
+	}
+	ff := build(true)
+	slow := build(false)
+	ff.Run(800_000)
+	slow.Run(800_000)
+	if ff.Now() != slow.Now() {
+		t.Fatalf("chip clock diverged: ff %d vs slow %d", ff.Now(), slow.Now())
+	}
+	for i := range ff.Dyads {
+		a, b := ff.Dyads[i], slow.Dyads[i]
+		if a.MasterOoO.Stats != b.MasterOoO.Stats {
+			t.Fatalf("dyad %d: master core stats diverged:\nff   %+v\nslow %+v",
+				i, a.MasterOoO.Stats, b.MasterOoO.Stats)
+		}
+		if a.Master.Stats != b.Master.Stats {
+			t.Fatalf("dyad %d: morph stats diverged:\nff   %+v\nslow %+v",
+				i, a.Master.Stats, b.Master.Stats)
+		}
+		if !reflect.DeepEqual(a.Latencies.Samples(), b.Latencies.Samples()) {
+			t.Fatalf("dyad %d: latency samples diverged", i)
+		}
+		if a.ThreadReport() != b.ThreadReport() {
+			t.Fatalf("dyad %d: thread reports diverged", i)
+		}
+	}
+	if ff.Shared.LLC.Stats != slow.Shared.LLC.Stats {
+		t.Fatalf("shared LLC stats diverged:\nff   %+v\nslow %+v",
+			ff.Shared.LLC.Stats, slow.Shared.LLC.Stats)
+	}
+}

@@ -44,6 +44,12 @@ type fillerEngine interface {
 	EvictAll(now uint64)
 	// Core exposes the underlying datapath for statistics.
 	Core() *cpu.InOCore
+	// NextEvent returns the earliest cycle >= now at which a Step could
+	// change observable state (cpu.NoEvent if none is scheduled).
+	NextEvent(now uint64) uint64
+	// SkipCycles bulk-charges a quiescent span [now, now+n) exactly as n
+	// per-cycle Steps would have.
+	SkipCycles(now, n uint64)
 	// setTelemetry attaches an event sink, tagging emissions with src.
 	setTelemetry(sink telemetry.Sink, src uint8)
 }
@@ -54,6 +60,17 @@ type hsmtFiller struct{ sched *hsmt.Scheduler }
 func (h hsmtFiller) Step(now uint64)     { h.sched.StepCore(now) }
 func (h hsmtFiller) EvictAll(now uint64) { h.sched.EvictAll(now) }
 func (h hsmtFiller) Core() *cpu.InOCore  { return h.sched.Core() }
+func (h hsmtFiller) NextEvent(now uint64) uint64 {
+	ev := h.sched.NextEvent(now)
+	if ce := h.sched.Core().NextEvent(now); ce < ev {
+		ev = ce
+	}
+	return ev
+}
+func (h hsmtFiller) SkipCycles(now, n uint64) {
+	h.sched.SkipCycles(now, n)
+	h.sched.Core().SkipCycles(now, n)
+}
 func (h hsmtFiller) setTelemetry(sink telemetry.Sink, src uint8) {
 	h.sched.Telemetry = sink
 	h.sched.TelemetrySrc = src
@@ -84,7 +101,9 @@ func (f *fixedFiller) Step(now uint64) {
 			f.core.Bind(i, s, now, 0) // swap cost charged via MorphInLat
 			if len(f.pending[i]) > 0 {
 				f.core.Preload(i, f.pending[i])
-				f.pending[i] = nil
+				// Keep the backing array for the next eviction's
+				// UnbindInto, so morph churn does not allocate.
+				f.pending[i] = f.pending[i][:0]
 			}
 			if f.sink != nil {
 				f.sink.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvFillerBorrow,
@@ -102,7 +121,7 @@ func (f *fixedFiller) EvictAll(now uint64) {
 	}
 	for i := 0; i < f.core.Slots(); i++ {
 		if f.core.Slot(i).Active() {
-			_, f.pending[i] = f.core.Unbind(i)
+			_, f.pending[i] = f.core.UnbindInto(i, f.pending[i][:0])
 			if f.sink != nil {
 				f.sink.Emit(telemetry.Event{Cycle: now, Kind: telemetry.EvFillerEvict,
 					Src: f.sinkSrc, A: uint64(i), B: telemetry.EvictMasterRestart})
@@ -113,6 +132,15 @@ func (f *fixedFiller) EvictAll(now uint64) {
 }
 
 func (f *fixedFiller) Core() *cpu.InOCore { return f.core }
+
+func (f *fixedFiller) NextEvent(now uint64) uint64 {
+	if !f.bound {
+		return now // next Step binds the filler streams
+	}
+	return f.core.NextEvent(now)
+}
+
+func (f *fixedFiller) SkipCycles(now, n uint64) { f.core.SkipCycles(now, n) }
 
 func (f *fixedFiller) setTelemetry(sink telemetry.Sink, src uint8) {
 	f.sink = sink
@@ -277,6 +305,90 @@ func (m *MasterCore) Step(now uint64) {
 		if now >= m.modeReadyAt {
 			m.filler.Step(now)
 		}
+	}
+}
+
+// NextEvent returns the earliest cycle >= now at which a Step could
+// change observable state, per mode: the OoO engine's own events in
+// master/draining modes (plus "now" whenever a mode transition would
+// fire this cycle), and the master-ready time, morph-in completion, and
+// filler-engine events in filler mode. Conservative: returning now is
+// always legal and merely prevents a skip.
+func (m *MasterCore) NextEvent(now uint64) uint64 {
+	switch m.mode {
+	case ModeMaster:
+		// An idle-triggered morph fires the same cycle its condition
+		// holds, and the condition can only become true at an OoO event
+		// (commit draining the ROB) or a stream arrival — both priced
+		// by the engine's NextEvent.
+		if m.signaler != nil && m.ooo.Drained(0) && !m.signaler.HasWork(now) {
+			return now
+		}
+		return m.ooo.NextEvent(now)
+
+	case ModeDraining:
+		// Drain-complete checks run every cycle; once they hold the
+		// transition fires immediately.
+		if m.ooo.DrainedToRemote(0) || m.ooo.Drained(0) {
+			return now
+		}
+		return m.ooo.NextEvent(now)
+
+	default: // ModeFiller
+		var ev uint64 = cpu.NoEvent
+		// Master-thread wake-up.
+		if m.stalledOnRemote {
+			if m.remoteReadyAt <= now {
+				return now
+			}
+			ev = m.remoteReadyAt
+		} else if sig, ok := m.signaler.(isa.Eventer); ok {
+			w := sig.NextWorkAt(now)
+			if w <= now {
+				return now
+			}
+			if w < ev {
+				ev = w
+			}
+		} else {
+			return now // cannot bound HasWork: check every cycle
+		}
+		// Filler side: parked until the morph-in completes, then the
+		// engine's own events.
+		if now < m.modeReadyAt {
+			if m.modeReadyAt < ev {
+				ev = m.modeReadyAt
+			}
+		} else if fe := m.filler.NextEvent(now); fe < ev {
+			ev = fe
+		}
+		return ev
+	}
+}
+
+// SkipCycles bulk-charges a quiescent span [now, now+n) exactly as n
+// per-cycle Steps would: the mode-cycle counter, plus the active
+// engine's own per-cycle state. The caller must have established
+// now+n <= NextEvent(now). In filler mode the OoO engine is not stepped
+// (it holds no cycle charges), and the filler engine is charged only
+// once its morph-in latency has elapsed.
+func (m *MasterCore) SkipCycles(now, n uint64) {
+	m.now = now + n
+	switch m.mode {
+	case ModeMaster:
+		m.Stats.MasterCycles += n
+		m.ooo.SkipCycles(now, n)
+	case ModeDraining:
+		m.Stats.DrainCycles += n
+		m.ooo.SkipCycles(now, n)
+	default: // ModeFiller
+		m.Stats.FillerCycles += n
+		if now >= m.modeReadyAt {
+			m.filler.SkipCycles(now, n)
+		}
+		// now < modeReadyAt implies the whole span predates the
+		// morph-in completion (NextEvent capped it), so the filler
+		// engine was never stepped and takes no charges.
 	}
 }
 

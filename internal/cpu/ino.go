@@ -27,8 +27,13 @@ const (
 type InOSlot struct {
 	stream isa.Stream
 	active bool
+	idx    int // position in InOCore.slots
 
+	// buf is consumed from bufHead (ring-head index: re-slicing with
+	// [1:] would shed backing-array capacity on every issue and force an
+	// allocation every few instructions).
 	buf        []isa.Instr
+	bufHead    int
 	regReadyAt [isa.NumArchRegs]uint64
 	// headWakeAt caches the cycle at which the head instruction's sources
 	// become ready; the issue loop skips the slot until then. Reset to 0
@@ -50,6 +55,31 @@ type InOSlot struct {
 
 // Active reports whether a context is bound to the slot.
 func (s *InOSlot) Active() bool { return s.active }
+
+// bufLen returns the fetch-buffer occupancy.
+func (s *InOSlot) bufLen() int { return len(s.buf) - s.bufHead }
+
+// popBuf removes and returns the oldest buffered instruction.
+func (s *InOSlot) popBuf() isa.Instr {
+	in := s.buf[s.bufHead]
+	s.bufHead++
+	if s.bufHead == len(s.buf) {
+		s.buf = s.buf[:0]
+		s.bufHead = 0
+	}
+	return in
+}
+
+// pushBuf appends to the fetch buffer, compacting the consumed head
+// region instead of growing the backing array.
+func (s *InOSlot) pushBuf(in isa.Instr) {
+	if len(s.buf) == cap(s.buf) && s.bufHead > 0 {
+		n := copy(s.buf, s.buf[s.bufHead:])
+		s.buf = s.buf[:n]
+		s.bufHead = 0
+	}
+	s.buf = append(s.buf, in)
+}
 
 // Blocked reports whether the slot is blocked on a remote op at now.
 func (s *InOSlot) Blocked(now uint64) bool { return s.blockedUntil > now }
@@ -100,7 +130,7 @@ func NewInOCore(cfg PipelineConfig, nSlots int, iport, dport *memsys.Port, pred 
 	c := &InOCore{cfg: cfg, iport: iport, dport: dport, pred: pred}
 	c.slots = make([]*InOSlot, nSlots)
 	for i := range c.slots {
-		c.slots[i] = &InOSlot{buf: make([]isa.Instr, 0, cfg.FetchBufEntries)}
+		c.slots[i] = &InOSlot{idx: i, buf: make([]isa.Instr, 0, cfg.FetchBufEntries)}
 	}
 	return c, nil
 }
@@ -122,6 +152,7 @@ func (c *InOCore) Bind(slot int, stream isa.Stream, now, swapLat uint64) {
 	s.stream = stream
 	s.active = true
 	s.buf = s.buf[:0]
+	s.bufHead = 0
 	s.unavailableUntil = now + swapLat
 	s.blockedUntil = 0
 	s.fetchResumeAt = 0
@@ -138,16 +169,21 @@ func (c *InOCore) Bind(slot int, stream isa.Stream, now, swapLat uint64) {
 // when it is next bound — streams are consuming generators). Statistics
 // remain with the slot (per-physical-context, matching hardware counters).
 func (c *InOCore) Unbind(slot int) (isa.Stream, []isa.Instr) {
+	return c.UnbindInto(slot, nil)
+}
+
+// UnbindInto is Unbind with a caller-supplied destination for the
+// pending instructions (typically the context's previous Pending slice,
+// truncated), so steady-state context churn does not allocate.
+func (c *InOCore) UnbindInto(slot int, dst []isa.Instr) (isa.Stream, []isa.Instr) {
 	s := c.slots[slot]
 	st := s.stream
-	var pending []isa.Instr
-	if len(s.buf) > 0 {
-		pending = append(pending, s.buf...)
-	}
+	dst = append(dst, s.buf[s.bufHead:]...)
 	s.stream = nil
 	s.active = false
 	s.buf = s.buf[:0]
-	return st, pending
+	s.bufHead = 0
+	return st, dst
 }
 
 // Preload seeds slot i's fetch buffer with a previously unbound context's
@@ -155,6 +191,7 @@ func (c *InOCore) Unbind(slot int) (isa.Stream, []isa.Instr) {
 func (c *InOCore) Preload(slot int, instrs []isa.Instr) {
 	s := c.slots[slot]
 	s.buf = s.buf[:0]
+	s.bufHead = 0
 	s.buf = append(s.buf, instrs...)
 	s.headWakeAt = 0
 }
@@ -189,8 +226,8 @@ func (c *InOCore) issue(now uint64) {
 		if s.headWakeAt > now {
 			continue
 		}
-		for total > 0 && len(s.buf) > 0 {
-			in := s.buf[0]
+		for total > 0 && s.bufLen() > 0 {
+			in := s.buf[s.bufHead]
 			if wake := max64(s.regReadyAt[in.Src1], s.regReadyAt[in.Src2]); wake > now {
 				s.headWakeAt = wake
 				break // in-order: head not ready blocks the slot
@@ -215,7 +252,7 @@ func (c *InOCore) issue(now uint64) {
 					goto nextSlot
 				}
 			}
-			s.buf = s.buf[1:]
+			s.popBuf()
 			s.headWakeAt = 0
 			total--
 			c.Stats.IssueSlotsUsed++
@@ -278,7 +315,7 @@ func (c *InOCore) issue(now uint64) {
 					c.OnRequestEnd(c.slotIndex(s), now)
 				}
 			}
-			if in.Op == isa.OpBranch && s.fetchBlocked && len(s.buf) == 0 {
+			if in.Op == isa.OpBranch && s.fetchBlocked && s.bufLen() == 0 {
 				// The mispredicted branch (always the last fetched) just
 				// resolved: charge the front-end redirect from here.
 				s.fetchBlocked = false
@@ -292,14 +329,7 @@ func (c *InOCore) issue(now uint64) {
 	}
 }
 
-func (c *InOCore) slotIndex(s *InOSlot) int {
-	for i, x := range c.slots {
-		if x == s {
-			return i
-		}
-	}
-	return -1
-}
+func (c *InOCore) slotIndex(s *InOSlot) int { return s.idx }
 
 func (c *InOCore) fetch(now uint64) {
 	budget := c.cfg.Width
@@ -313,10 +343,10 @@ func (c *InOCore) fetch(now uint64) {
 			s.fetchResumeAt > now || s.fetchBlocked {
 			continue
 		}
-		for budget > 0 && len(s.buf) < c.cfg.FetchBufEntries {
+		for budget > 0 && s.bufLen() < c.cfg.FetchBufEntries {
 			in, ok := s.stream.Next(now)
 			if !ok {
-				if len(s.buf) == 0 {
+				if s.bufLen() == 0 {
 					s.Stats.IdleCycles++
 				}
 				break
@@ -330,10 +360,10 @@ func (c *InOCore) fetch(now uint64) {
 					s.fetchResumeAt = now + ilat
 				}
 			}
-			if len(s.buf) == 0 {
+			if s.bufLen() == 0 {
 				s.headWakeAt = 0 // head is changing
 			}
-			s.buf = append(s.buf, in)
+			s.pushBuf(in)
 			budget--
 			fetchedAny = true
 			if in.Op == isa.OpBranch {
@@ -357,11 +387,111 @@ func (c *InOCore) fetch(now uint64) {
 	}
 }
 
-// Run steps the core for n cycles starting at cycle start and returns the
-// next cycle value (start+n).
-func (c *InOCore) Run(start, n uint64) uint64 {
-	for i := uint64(0); i < n; i++ {
-		c.Step(start + i)
+// NextEvent returns the earliest cycle >= now at which the core's
+// observable state can change: now if any slot would issue or fetch this
+// cycle, otherwise the minimum over swap-in completions, remote-block
+// completions, head wake-up times, fetch resumes, and stream arrival
+// events (NoEvent if every slot is drained with no future work). The
+// result is conservative: returning now is always legal.
+func (c *InOCore) NextEvent(now uint64) uint64 {
+	ev := uint64(NoEvent)
+	for _, s := range c.slots {
+		if !s.active {
+			continue
+		}
+		gate := max64(s.unavailableUntil, s.blockedUntil)
+		if s.bufLen() > 0 {
+			if gate > now {
+				if gate < ev {
+					ev = gate
+				}
+			} else {
+				in := s.buf[s.bufHead]
+				wake := max64(s.regReadyAt[in.Src1], s.regReadyAt[in.Src2])
+				if wake <= now {
+					return now // head issues this cycle
+				}
+				if wake < ev {
+					ev = wake
+				}
+			}
+		}
+		// Fetch side. fetchBlocked clears when the latched branch
+		// issues, which the issue-side events above already price.
+		if gate > now {
+			if gate < ev {
+				ev = gate
+			}
+			continue
+		}
+		if s.fetchBlocked {
+			continue
+		}
+		if s.fetchResumeAt > now {
+			if s.fetchResumeAt < ev {
+				ev = s.fetchResumeAt
+			}
+			continue
+		}
+		if s.bufLen() >= c.cfg.FetchBufEntries {
+			continue
+		}
+		w := streamNextWork(s.stream, now)
+		if w <= now {
+			return now
+		}
+		if w < ev {
+			ev = w
+		}
 	}
-	return start + n
+	return ev
+}
+
+// SkipCycles advances the core's deterministic per-cycle state by n
+// cycles starting at now, exactly as n quiescent Step calls would:
+// cycle and fetch-stall counters, idle cycles for fetch-eligible empty
+// slots, and the fetch/issue round-robin pointers. The caller must have
+// established now+n <= NextEvent(now).
+func (c *InOCore) SkipCycles(now, n uint64) {
+	c.Stats.Cycles += n
+	c.Stats.FetchStallCycles += n
+	nslots := uint64(len(c.slots))
+	c.issueRR = int((uint64(c.issueRR) + n) % nslots)
+	c.fetchRR = int((uint64(c.fetchRR) + n) % nslots)
+	for _, s := range c.slots {
+		if !s.active || s.fetchBlocked {
+			continue
+		}
+		if s.unavailableUntil > now || s.blockedUntil > now || s.fetchResumeAt > now {
+			continue
+		}
+		if s.bufLen() == 0 {
+			// The slow path charges one idle cycle per eligible
+			// empty-handed probe of the stream.
+			s.Stats.IdleCycles += n
+		}
+	}
+}
+
+// Run steps the core for n cycles starting at cycle start and returns the
+// next cycle value (start+n). Quiescent spans — every bound slot blocked
+// on a remote, a dependence, or an empty stream — are fast-forwarded via
+// NextEvent/SkipCycles; the result is bit-identical to n plain Steps.
+func (c *InOCore) Run(start, n uint64) uint64 {
+	end := start + n
+	now := start
+	for now < end {
+		if ev := c.NextEvent(now); ev > now+1 {
+			target := ev
+			if target > end {
+				target = end
+			}
+			c.SkipCycles(now, target-now)
+			now = target
+			continue
+		}
+		c.Step(now)
+		now++
+	}
+	return end
 }

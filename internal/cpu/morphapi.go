@@ -45,7 +45,9 @@ func (c *OoOCore) SquashYoungerThanRemote(tid int) bool {
 	// Squash entries younger than the remote, youngest first, collecting
 	// them for replay: a stream is a consuming generator, so squashed
 	// instructions must be re-fetched after the master-thread resumes.
-	var squashed []isa.Instr
+	// The rebuild goes through squashBuf, double-buffered with the replay
+	// queue, so steady-state morph churn does not allocate.
+	squashed := t.squashBuf[:0]
 	for t.size > remoteIdx+1 {
 		e := t.robAt(t.size - 1)
 		c.refund(t, e)
@@ -66,9 +68,13 @@ func (c *OoOCore) SquashYoungerThanRemote(tid int) bool {
 	for i, j := 0, len(squashed)-1; i < j; i, j = i+1, j-1 {
 		squashed[i], squashed[j] = squashed[j], squashed[i]
 	}
-	squashed = append(squashed, t.fetchBuf...)
-	t.replay = append(squashed, t.replay...)
+	squashed = append(squashed, t.fetchBuf[t.fetchHead:]...)
+	squashed = append(squashed, t.replay[t.replayHead:]...)
+	t.squashBuf = t.replay[:0] // old replay backing becomes the next scratch
+	t.replay = squashed
+	t.replayHead = 0
 	t.fetchBuf = t.fetchBuf[:0]
+	t.fetchHead = 0
 	// If the buffer still held an undispatched mispredicted branch, the
 	// fetch-blocked latch must be released here — its ROB entry will
 	// never exist to release it at completion.
@@ -76,6 +82,7 @@ func (c *OoOCore) SquashYoungerThanRemote(tid int) bool {
 		t.fetchBlocked = false
 		t.pendingMispredict = false
 	}
+	t.noReady = false // conservative: re-pay one issue scan after a squash
 	return true
 }
 
@@ -88,7 +95,7 @@ func (e *robEntry) hasPhysDst() bool { return e.in.Dst != isa.RegNone }
 // is a pending remote operation — the morph's "drained" condition.
 func (c *OoOCore) DrainedToRemote(tid int) bool {
 	t := c.threads[tid]
-	return len(t.fetchBuf) == 0 && t.size == 1 && t.robAt(0).in.Op == isa.OpRemote
+	return t.fetchLen() == 0 && t.size == 1 && t.robAt(0).in.Op == isa.OpRemote
 }
 
 // Drained reports whether thread tid has no in-flight work at all

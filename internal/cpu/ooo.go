@@ -62,12 +62,21 @@ type oooThread struct {
 	// its latest in-flight writer.
 	regProducer [isa.NumArchRegs]prodLink
 
-	fetchBuf []isa.Instr
+	// fetchBuf is consumed from fetchHead (a ring-head index, so the
+	// steady-state pop does not shed backing-array capacity the way
+	// re-slicing with [1:] would — dispatch pops every cycle, and the
+	// lost capacity would force an allocation every few instructions).
+	fetchBuf  []isa.Instr
+	fetchHead int
 	// replay holds squashed-but-not-retired instructions that must be
 	// re-fetched in program order before pulling from the stream again
 	// (a stream is a consuming generator, so squashed work would
-	// otherwise be silently lost).
+	// otherwise be silently lost). Consumed from replayHead; squashBuf
+	// is the double-buffer SquashYoungerThanRemote rebuilds into, so
+	// steady-state morph churn does not allocate.
 	replay        []isa.Instr
+	replayHead    int
+	squashBuf     []isa.Instr
 	fetchResumeAt uint64
 	fetchBlocked  bool // fetch disabled until mispredicted branch resolves
 	// pendingMispredict marks that the last fetch-buffer entry is a
@@ -78,10 +87,55 @@ type oooThread struct {
 
 	iqCount, lqCount, sqCount, physCount int
 
+	// minCompleteAt lower-bounds the earliest completion time of any
+	// issued-but-not-done entry (NoEvent when none): complete() skips its
+	// ROB scan until the bound elapses, and NextEvent uses it directly.
+	// The bound may be stale-low after a squash (harmless: one spurious
+	// scan recomputes it), never stale-high.
+	minCompleteAt uint64
+
+	// noReady memoizes "a full issue scan found no ready waiting entry",
+	// letting issue() and NextEvent skip the O(ROB) readiness scan on the
+	// cycles a µs-scale stall pins the in-order window. Readiness is a
+	// pure function of producer done-ness, so it can only appear at a
+	// completion (complete clears the memo when any entry turns done), a
+	// dispatch (a new entry may have no live producers), or a squash
+	// (cleared conservatively). Clearing is always safe: it re-pays one
+	// scan.
+	noReady bool
+
 	Stats ThreadStats
 }
 
-func (t *oooThread) inflight() int { return t.size + len(t.fetchBuf) }
+func (t *oooThread) inflight() int { return t.size + t.fetchLen() }
+
+// fetchLen returns the fetch-buffer occupancy.
+func (t *oooThread) fetchLen() int { return len(t.fetchBuf) - t.fetchHead }
+
+// popFetch removes and returns the oldest fetch-buffer entry.
+func (t *oooThread) popFetch() isa.Instr {
+	in := t.fetchBuf[t.fetchHead]
+	t.fetchHead++
+	if t.fetchHead == len(t.fetchBuf) {
+		t.fetchBuf = t.fetchBuf[:0]
+		t.fetchHead = 0
+	}
+	return in
+}
+
+// pushFetch appends to the fetch buffer, compacting the consumed head
+// region instead of growing the backing array.
+func (t *oooThread) pushFetch(in isa.Instr) {
+	if len(t.fetchBuf) == cap(t.fetchBuf) && t.fetchHead > 0 {
+		n := copy(t.fetchBuf, t.fetchBuf[t.fetchHead:])
+		t.fetchBuf = t.fetchBuf[:n]
+		t.fetchHead = 0
+	}
+	t.fetchBuf = append(t.fetchBuf, in)
+}
+
+// replayLen returns the number of pending replay instructions.
+func (t *oooThread) replayLen() int { return len(t.replay) - t.replayHead }
 
 // robAt returns the entry at ring offset i from head (0 = oldest).
 func (t *oooThread) robAt(i int) *robEntry { return &t.rob[(t.head+i)%len(t.rob)] }
@@ -98,6 +152,10 @@ type OoOCore struct {
 
 	threads []*oooThread
 	rrPtr   int
+	// orderBuf is the scratch slice issue and fetch build their
+	// thread-priority order in each cycle (capacity len(threads), so the
+	// per-cycle ordering never allocates in steady state).
+	orderBuf []int
 
 	Stats CoreStats
 
@@ -148,12 +206,14 @@ func NewOoOCore(cfg PipelineConfig, streams []isa.Stream, iport, dport *memsys.P
 			share = 4
 		}
 		c.threads = append(c.threads, &oooThread{
-			stream:   s,
-			rob:      make([]robEntry, share),
-			fetchBuf: make([]isa.Instr, 0, cfg.FetchBufEntries),
-			lastLine: ^uint64(0),
+			stream:        s,
+			rob:           make([]robEntry, share),
+			fetchBuf:      make([]isa.Instr, 0, cfg.FetchBufEntries),
+			lastLine:      ^uint64(0),
+			minCompleteAt: NoEvent,
 		})
 	}
+	c.orderBuf = make([]int, 0, len(c.threads))
 	return c, nil
 }
 
@@ -272,19 +332,33 @@ func (c *OoOCore) refund(t *oooThread, e *robEntry) {
 }
 
 // complete marks issued instructions whose latency elapsed as done and
-// resumes fetch after mispredicted branches resolve.
+// resumes fetch after mispredicted branches resolve. The per-thread
+// minCompleteAt bound skips the ROB scan on cycles where no issued entry
+// can cross its completion time (the scan is exact, so gating it on the
+// bound changes nothing observable).
 func (c *OoOCore) complete(now uint64) {
 	for _, t := range c.threads {
+		if t.minCompleteAt > now {
+			continue
+		}
+		next := uint64(NoEvent)
 		for i := 0; i < t.size; i++ {
 			e := t.robAt(i)
-			if e.state == robIssued && e.completeAt <= now {
+			if e.state != robIssued {
+				continue
+			}
+			if e.completeAt <= now {
 				e.state = robDone
+				t.noReady = false // a finished producer may wake waiters
 				if e.mispredicted && t.fetchBlocked {
 					t.fetchBlocked = false
 					t.fetchResumeAt = now + uint64(c.cfg.MispredictPenalty)
 				}
+			} else if e.completeAt < next {
+				next = e.completeAt
 			}
 		}
+		t.minCompleteAt = next
 	}
 }
 
@@ -309,7 +383,7 @@ func (c *OoOCore) issue(now uint64) {
 	total := c.cfg.Width
 	ldst, fp, mul, ialu := c.cfg.LdStPorts, c.cfg.FPUs, c.cfg.Muls, c.cfg.IntALUs
 
-	order := make([]int, 0, len(c.threads))
+	order := c.orderBuf[:0]
 	if c.cfg.PriorityThread >= 0 && c.cfg.PriorityThread < len(c.threads) {
 		order = append(order, c.cfg.PriorityThread)
 		for i := range c.threads {
@@ -330,11 +404,24 @@ func (c *OoOCore) issue(now uint64) {
 		if total == 0 {
 			break
 		}
-		for i := 0; i < t.size && total > 0; i++ {
+		if t.iqCount == 0 {
+			continue // no waiting entries: the scan below would find nothing
+		}
+		if t.noReady {
+			continue // memoized: no waiting entry is ready (oooThread.noReady)
+		}
+		anyReady := false
+		fullScan := true
+		for i := 0; i < t.size; i++ {
+			if total == 0 {
+				fullScan = false
+				break
+			}
 			e := t.robAt(i)
 			if e.state != robWaiting || !c.ready(t, e) {
 				continue
 			}
+			anyReady = true
 			switch e.in.Op {
 			case isa.OpLoad, isa.OpStore, isa.OpRemote:
 				if ldst == 0 {
@@ -407,6 +494,15 @@ func (c *OoOCore) issue(now uint64) {
 				ialu--
 				e.completeAt = now + LatIntAlu
 			}
+			if e.completeAt < t.minCompleteAt {
+				t.minCompleteAt = e.completeAt
+			}
+		}
+		if fullScan && !anyReady {
+			// The whole window was examined and nothing is ready (entries
+			// blocked only by structural hazards count as ready and keep
+			// the memo unset): skip further scans until an invalidation.
+			t.noReady = true
 		}
 	}
 }
@@ -419,8 +515,8 @@ func (c *OoOCore) dispatch(now uint64) {
 	for k := 0; k < n && budget > 0; k++ {
 		tid := (start + k) % n
 		t := c.threads[tid]
-		for budget > 0 && len(t.fetchBuf) > 0 {
-			in := t.fetchBuf[0]
+		for budget > 0 && t.fetchLen() > 0 {
+			in := t.fetchBuf[t.fetchHead]
 			if t.size == len(t.rob) {
 				break // per-thread ROB full
 			}
@@ -441,12 +537,12 @@ func (c *OoOCore) dispatch(now uint64) {
 					break
 				}
 			}
-			t.fetchBuf = t.fetchBuf[1:]
+			t.popFetch()
 			pos := (t.head + t.size) % len(t.rob)
 			t.nextSeq++
 			e := &t.rob[pos]
 			*e = robEntry{seq: t.nextSeq, in: in, state: robWaiting}
-			if t.pendingMispredict && len(t.fetchBuf) == 0 {
+			if t.pendingMispredict && t.fetchLen() == 0 {
 				e.mispredicted = true
 				t.pendingMispredict = false
 			}
@@ -472,6 +568,7 @@ func (c *OoOCore) dispatch(now uint64) {
 			}
 			t.iqCount++
 			t.size++
+			t.noReady = false // the new entry may have no live producers
 			budget--
 		}
 	}
@@ -481,7 +578,7 @@ func (c *OoOCore) dispatch(now uint64) {
 // by the fetch policy (ICOUNT by default; priority thread first for SMT+).
 func (c *OoOCore) fetch(now uint64) {
 	// Select thread order.
-	order := make([]int, 0, len(c.threads))
+	order := c.orderBuf[:0]
 	switch {
 	case c.cfg.PriorityThread >= 0 && c.cfg.PriorityThread < len(c.threads):
 		order = append(order, c.cfg.PriorityThread)
@@ -512,12 +609,16 @@ func (c *OoOCore) fetch(now uint64) {
 		if t.fetchHalted || t.fetchBlocked || t.fetchResumeAt > now {
 			continue
 		}
-		for budget > 0 && len(t.fetchBuf) < c.cfg.FetchBufEntries {
+		for budget > 0 && t.fetchLen() < c.cfg.FetchBufEntries {
 			var in isa.Instr
 			var ok bool
-			if len(t.replay) > 0 {
-				in, ok = t.replay[0], true
-				t.replay = t.replay[1:]
+			if t.replayLen() > 0 {
+				in, ok = t.replay[t.replayHead], true
+				t.replayHead++
+				if t.replayHead == len(t.replay) {
+					t.replay = t.replay[:0]
+					t.replayHead = 0
+				}
 			} else {
 				in, ok = t.stream.Next(now)
 			}
@@ -535,7 +636,7 @@ func (c *OoOCore) fetch(now uint64) {
 					t.fetchResumeAt = now + ilat
 				}
 			}
-			t.fetchBuf = append(t.fetchBuf, in)
+			t.pushFetch(in)
 			budget--
 			fetchedAny = true
 			if in.Op == isa.OpBranch {
@@ -561,10 +662,26 @@ func (c *OoOCore) fetch(now uint64) {
 }
 
 // Run steps the core for n cycles starting at cycle start and returns the
-// next cycle value (start+n).
+// next cycle value (start+n). Quiescent spans — every thread stalled on a
+// long-latency completion or an empty stream — are fast-forwarded via
+// NextEvent/SkipCycles; the result is bit-identical to n plain Steps.
 func (c *OoOCore) Run(start, n uint64) uint64 {
-	for i := uint64(0); i < n; i++ {
-		c.Step(start + i)
+	end := start + n
+	now := start
+	for now < end {
+		if c.maybeQuiescent() {
+			if ev := c.NextEvent(now); ev > now+1 {
+				target := ev
+				if target > end {
+					target = end
+				}
+				c.SkipCycles(now, target-now)
+				now = target
+				continue
+			}
+		}
+		c.Step(now)
+		now++
 	}
-	return start + n
+	return end
 }

@@ -193,7 +193,11 @@ type bspWorker struct {
 	id  int
 	rng *stats.RNG
 
+	// q is consumed from qHead; produce only ever appends to a fully
+	// drained queue, so the backing array is reused run after run
+	// (popping with q = q[1:] would shed capacity and reallocate).
 	q        []isa.Instr
+	qHead    int
 	codeBase uint64
 	pcIdx    uint64
 
@@ -302,11 +306,13 @@ func (w *bspWorker) touch(base uint64, u int32) {
 
 // Next implements isa.Stream.
 func (w *bspWorker) Next(uint64) (isa.Instr, bool) {
-	for len(w.q) == 0 {
+	for w.qHead == len(w.q) {
+		w.q = w.q[:0]
+		w.qHead = 0
 		w.produce()
 	}
-	in := w.q[0]
-	w.q = w.q[1:]
+	in := w.q[w.qHead]
+	w.qHead++
 	return in, true
 }
 

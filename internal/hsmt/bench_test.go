@@ -1,0 +1,83 @@
+package hsmt
+
+import (
+	"testing"
+
+	"duplexity/internal/bpred"
+	"duplexity/internal/cache"
+	"duplexity/internal/cpu"
+	"duplexity/internal/memsys"
+)
+
+func benchScheduler(b *testing.B) *Scheduler {
+	b.Helper()
+	cm := memsys.NewTableICoreMem("lender")
+	sh := memsys.NewTableIShared("chip", 3.4)
+	iport, dport := memsys.LocalPorts(cm, sh, cache.OwnerFiller)
+	core, err := cpu.NewInOCore(cpu.TableIConfig(), 8, iport, dport, bpred.NewLenderUnit())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := NewPool()
+	for i := 0; i < 24; i++ {
+		pool.Add(&VirtualContext{ID: i, Stream: batch(uint64(40+i), true)})
+	}
+	s, err := NewScheduler(core, pool, DefaultSwapLat, QuantumCycles(3.4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSchedulerStepCore measures the HSMT lender under its design
+// load: 8 physical slots backed by 24 remote-stalling virtual contexts,
+// so swaps, quantum preemptions, and pending-buffer replays all run
+// every few hundred cycles. Steady state must not allocate.
+func BenchmarkSchedulerStepCore(b *testing.B) {
+	s := benchScheduler(b)
+	now := uint64(0)
+	for ; now < 100_000; now++ {
+		s.StepCore(now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.StepCore(now)
+		now++
+	}
+}
+
+// TestSchedulerStepZeroAlloc pins the zero-allocation property of the
+// lender hot loop, including context swap-out (UnbindInto reuses the
+// virtual context's pending buffer) and swap-in (bind replays it).
+func TestSchedulerStepZeroAlloc(t *testing.T) {
+	cm := memsys.NewTableICoreMem("lender")
+	sh := memsys.NewTableIShared("chip", 3.4)
+	iport, dport := memsys.LocalPorts(cm, sh, cache.OwnerFiller)
+	core, err := cpu.NewInOCore(cpu.TableIConfig(), 8, iport, dport, bpred.NewLenderUnit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool()
+	for i := 0; i < 24; i++ {
+		pool.Add(&VirtualContext{ID: i, Stream: batch(uint64(40+i), true)})
+	}
+	s, err := NewScheduler(core, pool, DefaultSwapLat, QuantumCycles(3.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := uint64(0)
+	for ; now < 300_000; now++ {
+		s.StepCore(now)
+	}
+	swaps := s.Swaps
+	if n := testing.AllocsPerRun(20_000, func() {
+		s.StepCore(now)
+		now++
+	}); n != 0 {
+		t.Fatalf("scheduler StepCore allocates %.4f objects/cycle in steady state, want 0", n)
+	}
+	if s.Swaps == swaps {
+		t.Fatal("steady-state window exercised no context swaps; benchmark not representative")
+	}
+}

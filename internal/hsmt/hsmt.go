@@ -197,7 +197,7 @@ func (s *Scheduler) handleRemote(slot int, _ isa.Instr, completeAt uint64) cpu.R
 	if vc == nil {
 		return cpu.RemoteBlock
 	}
-	_, vc.Pending = s.core.Unbind(slot)
+	_, vc.Pending = s.core.UnbindInto(slot, vc.Pending[:0])
 	s.pool.Push(vc, completeAt)
 	s.bound[slot] = nil
 	s.Swaps++
@@ -224,7 +224,7 @@ func (s *Scheduler) Step(now uint64) {
 		}
 		// Quantum preemption, only if someone ready is waiting.
 		if now-s.boundAt[i] >= s.Quantum && s.pool.EarliestReady() <= now && s.pool.ReadyCount(now) > 0 {
-			_, vc.Pending = s.core.Unbind(i)
+			_, vc.Pending = s.core.UnbindInto(i, vc.Pending[:0])
 			s.pool.Push(vc, now)
 			s.bound[i] = nil
 			s.Preempts++
@@ -243,7 +243,9 @@ func (s *Scheduler) bind(slot int, vc *VirtualContext, now uint64) {
 	s.core.Bind(slot, vc.Stream, now, s.SwapLat)
 	if len(vc.Pending) > 0 {
 		s.core.Preload(slot, vc.Pending)
-		vc.Pending = nil
+		// Keep the backing array: the next swap-out reuses it via
+		// UnbindInto, so steady-state context churn does not allocate.
+		vc.Pending = vc.Pending[:0]
 	}
 	s.bound[slot] = vc
 	s.boundAt[slot] = now
@@ -265,7 +267,7 @@ func (s *Scheduler) EvictAll(now uint64) int {
 			continue
 		}
 		vc := s.bound[i]
-		_, vc.Pending = s.core.Unbind(i)
+		_, vc.Pending = s.core.UnbindInto(i, vc.Pending[:0])
 		s.pool.Push(vc, now)
 		s.bound[i] = nil
 		n++
@@ -283,3 +285,46 @@ func (s *Scheduler) StepCore(now uint64) {
 	s.Step(now)
 	s.core.Step(now)
 }
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NextEvent returns the earliest cycle >= now at which the scheduler
+// could take an action: binding a queued context into an empty slot, or
+// quantum-preempting a bound one in favour of a ready waiter. The bound
+// is conservative — Pool.EarliestReady may be stale-low, so the result
+// can be spuriously early (the caller simply steps and the pool tightens
+// its bound), never late. The datapath's own events are priced
+// separately by the InOCore's NextEvent.
+func (s *Scheduler) NextEvent(now uint64) uint64 {
+	ev := uint64(cpu.NoEvent)
+	if s.pool.Len() == 0 {
+		return ev // no queued context: nothing to bind or preempt for
+	}
+	ready := s.pool.EarliestReady()
+	for i := range s.bound {
+		var cand uint64
+		if s.bound[i] == nil {
+			cand = ready
+		} else {
+			cand = max64(s.boundAt[i]+s.Quantum, ready)
+		}
+		if cand <= now {
+			return now
+		}
+		if cand < ev {
+			ev = cand
+		}
+	}
+	return ev
+}
+
+// SkipCycles advances the scheduler across a quiescent span. The
+// scheduler keeps no per-cycle counters — its only per-cycle effects are
+// pool-bound tightening (a pure cache) — so only the cycle mirror used
+// for telemetry stamping moves.
+func (s *Scheduler) SkipCycles(now, n uint64) { s.now = now + n }

@@ -109,6 +109,27 @@ type Stream interface {
 	Next(nowCycle uint64) (Instr, bool)
 }
 
+// NoEvent is the NextWorkAt sentinel for "never": the stream has no
+// scheduled future work.
+const NoEvent = ^uint64(0)
+
+// Eventer is implemented by streams that can report, WITHOUT consuming
+// input or mutating any state, the earliest cycle >= now at which Next
+// may return an instruction. Implementations must be pure: the
+// event-driven fast-forward path calls NextWorkAt on cycles where the
+// cycle-by-cycle path would not have called Next at all, so any side
+// effect (consuming RNG draws, emitting telemetry, admitting arrivals)
+// would break the bit-identical-results invariant.
+//
+// A return value w <= now means "work may be available right now";
+// w > now promises Next would return ok=false on every cycle in
+// [now, w); NoEvent means the stream will never produce work again.
+// Streams that cannot promise anything simply do not implement the
+// interface — callers must then assume work can appear on any cycle.
+type Eventer interface {
+	NextWorkAt(now uint64) uint64
+}
+
 // Fixed is a Stream that replays a fixed slice of instructions, cyclically
 // if Loop is set. It supports the trace-based simulation mode the paper
 // uses for multi-threaded throughput workloads.
@@ -116,6 +137,18 @@ type Fixed struct {
 	Instrs []Instr
 	Loop   bool
 	pos    int
+}
+
+// NextWorkAt implements Eventer: a fixed trace has work immediately or
+// never again.
+func (f *Fixed) NextWorkAt(now uint64) uint64 {
+	if len(f.Instrs) == 0 {
+		return NoEvent
+	}
+	if f.pos >= len(f.Instrs) && !f.Loop {
+		return NoEvent
+	}
+	return now
 }
 
 // Next implements Stream.

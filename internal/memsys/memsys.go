@@ -98,6 +98,14 @@ func NewTableIShared(name string, freqGHz float64) *Shared {
 // Port is the memory interface a pipeline uses for one access class
 // (instruction fetch or data). Access returns the latency of a
 // synchronous access through the configured levels.
+//
+// A Port is passive with respect to simulated time: it holds no
+// per-cycle state and mutates (cache contents, prefetch trackers,
+// missFreeAt) only inside Access calls made by a stepping core. The
+// event-driven fast-forward path (see core.Dyad.NextEvent) therefore
+// needs no NextEvent from the memory system — a span with no core
+// activity cannot change it, and missFreeAt comparisons against a
+// later now yield exactly what cycle-by-cycle stepping would have.
 type Port struct {
 	Name string
 	// L0 is an optional filter cache in front of L1 (filler mode only).

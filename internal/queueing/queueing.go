@@ -4,6 +4,11 @@
 // distribution scaled by IPC slowdowns from the micro-architecture
 // simulation, run until the 99th percentile's 95% confidence interval is
 // within 5% of the estimate.
+//
+// The simulator is already discrete-event — it advances from arrival to
+// departure directly, never ticking a cycle clock — so the event-driven
+// fast-forward machinery of the cycle-level layers (core.Dyad.NextEvent)
+// does not apply here: there are no dead cycles to skip.
 package queueing
 
 import (

@@ -25,11 +25,15 @@ type RequestStream struct {
 
 	meanGapCycles float64
 	nextArrival   uint64
-	// queue holds arrival cycles of requests not yet fully fetched.
+	// queue holds arrival cycles of requests not yet fully fetched,
+	// consumed from qHead (ring-head index: re-slicing with [1:] would
+	// shed backing-array capacity and reallocate on every request).
 	queue []uint64
+	qHead int
 	// pending holds arrival cycles of requests whose last instruction has
-	// been fetched but not yet committed.
+	// been fetched but not yet committed; consumed from pHead.
 	pending   []uint64
+	pHead     int
 	inService bool
 	// dispatched counts requests that have begun service; service is FIFO,
 	// so it doubles as the next dispatch's sequence number.
@@ -70,9 +74,16 @@ func NewRequestStream(gen isa.Stream, qps, freqGHz float64, seed uint64) (*Reque
 	return r, nil
 }
 
+func (r *RequestStream) qLen() int { return len(r.queue) - r.qHead }
+
 // admit moves due arrivals into the queue.
 func (r *RequestStream) admit(now uint64) {
 	for r.nextArrival <= now {
+		if len(r.queue) == cap(r.queue) && r.qHead > 0 {
+			n := copy(r.queue, r.queue[r.qHead:])
+			r.queue = r.queue[:n]
+			r.qHead = 0
+		}
 		r.queue = append(r.queue, r.nextArrival)
 		if r.Telemetry != nil {
 			r.Telemetry.Emit(telemetry.Event{Cycle: r.nextArrival, Kind: telemetry.EvRequestArrive,
@@ -91,7 +102,7 @@ func (r *RequestStream) admit(now uint64) {
 func (r *RequestStream) Next(now uint64) (isa.Instr, bool) {
 	r.admit(now)
 	if !r.inService {
-		if len(r.queue) == 0 {
+		if r.qLen() == 0 {
 			return isa.Instr{}, false
 		}
 		r.inService = true
@@ -103,8 +114,17 @@ func (r *RequestStream) Next(now uint64) (isa.Instr, bool) {
 	}
 	in, _ := r.gen.Next(now)
 	if in.EndOfRequest {
-		r.pending = append(r.pending, r.queue[0])
-		r.queue = r.queue[1:]
+		if len(r.pending) == cap(r.pending) && r.pHead > 0 {
+			n := copy(r.pending, r.pending[r.pHead:])
+			r.pending = r.pending[:n]
+			r.pHead = 0
+		}
+		r.pending = append(r.pending, r.queue[r.qHead])
+		r.qHead++
+		if r.qHead == len(r.queue) {
+			r.queue = r.queue[:0]
+			r.qHead = 0
+		}
 		r.inService = false
 	}
 	return in, true
@@ -113,22 +133,39 @@ func (r *RequestStream) Next(now uint64) (isa.Instr, bool) {
 // HasWork implements cpu.WorkSignaler.
 func (r *RequestStream) HasWork(now uint64) bool {
 	r.admit(now)
-	return r.inService || len(r.queue) > 0
+	return r.inService || r.qLen() > 0
+}
+
+// NextWorkAt implements isa.Eventer: with a request queued or in
+// service there is work now; otherwise the next Poisson arrival is the
+// earliest cycle work can appear. Pure by construction — the arrival is
+// only admitted (with its RNG draw and telemetry event) when Next or
+// HasWork observes it, and those stamp the event with the arrival cycle
+// itself, so deferring admission across a skipped span is invisible.
+func (r *RequestStream) NextWorkAt(now uint64) uint64 {
+	if r.inService || r.qLen() > 0 {
+		return now
+	}
+	return r.nextArrival
 }
 
 // PopCompleted implements core.RequestTracker.
 func (r *RequestStream) PopCompleted() (uint64, bool) {
-	if len(r.pending) == 0 {
+	if len(r.pending)-r.pHead == 0 {
 		return 0, false
 	}
-	a := r.pending[0]
-	r.pending = r.pending[1:]
+	a := r.pending[r.pHead]
+	r.pHead++
+	if r.pHead == len(r.pending) {
+		r.pending = r.pending[:0]
+		r.pHead = 0
+	}
 	return a, true
 }
 
 // QueueDepth returns the number of requests waiting or in service.
 func (r *RequestStream) QueueDepth() int {
-	n := len(r.queue)
+	n := r.qLen()
 	if r.inService {
 		n++
 	}
@@ -154,3 +191,7 @@ func (c *ClosedStream) Next(now uint64) (isa.Instr, bool) { return c.gen.Next(no
 
 // HasWork implements cpu.WorkSignaler: a closed loop is never idle.
 func (c *ClosedStream) HasWork(uint64) bool { return true }
+
+// NextWorkAt implements isa.Eventer: a closed loop always has work, so
+// the fast-forward path never skips on its account.
+func (c *ClosedStream) NextWorkAt(now uint64) uint64 { return now }

@@ -13,6 +13,10 @@
 # stdout tables from all three runs are byte-identical (modulo the
 # per-experiment "took" timing lines).
 #
+# It then runs cmd/simbench and writes BENCH_simcore.json: simulated
+# cycles/sec stepped vs fast-forwarded, the cycle-skip ratio, and the
+# sequential campaign throughput in cells/sec.
+#
 # Tunables: BENCH_SCALE (default 0.05), BENCH_WORKERS (default nproc).
 # Note: the parallel speedup is only meaningful on a multi-core host;
 # the warm-cache speedup is meaningful anywhere.
@@ -85,3 +89,31 @@ awk -v scale="$SCALE" -v workers="$WORKERS" -v ncpu="$(nproc)" \
 
 echo "== $OUT =="
 cat "$OUT"
+
+# --- simulator-core benchmark -------------------------------------------
+# BENCH_simcore.json reports how fast the cycle-level simulator itself
+# runs: simulated cycles per wall second with cycle-by-cycle stepping vs
+# event-driven fast-forward, the skip ratio (cycles advanced by jumps),
+# and the campaign throughput in cells/sec from the sequential cold run
+# above. simbench also cross-checks that both time-advancement modes
+# retire identical work, failing the benchmark on any divergence.
+SIMOUT="BENCH_simcore.json"
+echo "== simbench =="
+go build -o "$tmp/simbench" ./cmd/simbench
+"$tmp/simbench" -cycles "${BENCH_SIM_CYCLES:-3000000}" -seed 1 >"$tmp/simbench.json"
+cat "$tmp/simbench.json"
+
+{
+    echo "{"
+    echo "  \"bench\": \"simcore\","
+    awk -v sw="$(cat "$tmp/sequential.wall")" -v sc="$(cat "$tmp/sequential.cells")" \
+        'BEGIN { printf "  \"campaign_cells_per_sec\": %.3f,\n", sc/sw }'
+    # Inline the simbench report (drop its outer braces and bench tag).
+    echo "  \"simulator\": {"
+    sed -e '1d' -e '$d' -e '/"bench"/d' "$tmp/simbench.json"
+    echo "  }"
+    echo "}"
+} >"$SIMOUT"
+
+echo "== $SIMOUT =="
+cat "$SIMOUT"
