@@ -29,7 +29,9 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"duplexity"
@@ -74,6 +76,23 @@ func main() {
 	if err := s.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "duplexity:", err)
 		os.Exit(1)
+	}
+	// An interrupted campaign still flushes its cache checkpoint, so the
+	// next -resume run knows exactly which cells completed; completed
+	// cells were already journaled as they finished.
+	if *cacheDir != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if eng := s.Engine(); eng != nil {
+				if err := eng.Checkpoint(false); err != nil {
+					fmt.Fprintln(os.Stderr, "duplexity: checkpoint:", err)
+				}
+			}
+			fmt.Fprintln(os.Stderr, "duplexity: interrupted; campaign checkpoint flushed")
+			os.Exit(130)
+		}()
 	}
 	if prior := s.CampaignStats().PriorCells; prior > 0 {
 		fmt.Fprintf(os.Stderr, "duplexity: campaign cache %s holds %d completed cells\n",

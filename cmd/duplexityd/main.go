@@ -1,0 +1,406 @@
+// Command duplexityd runs the simulation campaign engine as a
+// long-running HTTP/JSON daemon, plus the client tooling to drive it.
+//
+// Usage:
+//
+//	duplexityd serve   [-addr a] [-scale f] [-seed n] [-workers n]
+//	                   [-cachedir dir] [-resume] [-queue n] [-rps f]
+//	                   [-burst n] [-timeout d] [-drain-timeout d]
+//	duplexityd submit  [-addr a] [-campaign] [-kind k] [-designs l]
+//	                   [-workloads l] [-loads l] [-design d] [-workload w]
+//	                   [-load f] [-timeout-ms n]
+//	duplexityd status  [-addr a]
+//	duplexityd loadgen [-addr a] [-conc n] [-requests n] [-qps f]
+//	                   [-duration d] [-spread n] [-design d] [-workload w]
+//
+// serve exposes the campaign engine over HTTP: POST /v1/cells for
+// synchronous single cells, POST /v1/campaigns + GET /v1/campaigns/{id}
+// for streamed batches, GET /v1/healthz and /v1/statz for operations.
+// The daemon serves one fixed (scale, seed) world; requests name only
+// the cell axes (kind, design, workload, load). SIGTERM or SIGINT
+// drains gracefully: new work is refused, admitted cells finish, and
+// the campaign checkpoint is flushed.
+//
+// submit posts one cell (default) or a campaign (-campaign) to a
+// running daemon and writes results to stdout — campaign results stream
+// as NDJSON in submission order. status pretty-prints /v1/statz.
+//
+// loadgen drives a running daemon closed-loop (-conc workers issuing
+// -requests total) or open-loop (-qps arrivals for -duration), spreads
+// requests over -spread distinct load points so the cache doesn't
+// absorb everything, and reports a single-line JSON envelope with
+// throughput and latency quantiles.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"duplexity/internal/expt"
+	"duplexity/internal/serve"
+	"duplexity/internal/telemetry"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "duplexityd: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "duplexityd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: duplexityd <command> [flags]
+
+commands:
+  serve    run the simulation daemon
+  submit   submit a cell or campaign to a running daemon
+  status   print a running daemon's /v1/statz
+  loadgen  drive a running daemon with closed- or open-loop load
+
+run "duplexityd <command> -h" for per-command flags
+`)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	scale := fs.Float64("scale", 1.0, "simulation fidelity (1.0 = paper scale)")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	workers := fs.Int("workers", 0, "simulation pool width (0 = one per CPU)")
+	cacheDir := fs.String("cachedir", "", "content-addressed result cache directory")
+	resume := fs.Bool("resume", false, "use the default cache (.duplexity-cache) when -cachedir is unset")
+	queue := fs.Int("queue", 0, "submission queue depth (0 = default 64)")
+	rps := fs.Float64("rps", 0, "token-bucket rate limit on POST /v1/cells (0 = unlimited)")
+	burst := fs.Int("burst", 0, "token-bucket burst (0 = derived from -rps)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "default per-cell deadline")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "how long a drain waits for in-flight cells")
+	fs.Parse(args)
+	if *resume && *cacheDir == "" {
+		*cacheDir = ".duplexity-cache"
+	}
+
+	suite := expt.NewSuite(expt.Options{Scale: *scale, Seed: *seed, Workers: *workers, CacheDir: *cacheDir})
+	srv, err := serve.New(serve.Config{
+		Suite: suite, Workers: *workers, QueueDepth: *queue,
+		RatePerSec: *rps, Burst: *burst, DefaultTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Bind before announcing so scripts can poll the printed address.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "duplexityd: serving on %s (scale=%g seed=%d cachedir=%q)\n",
+		ln.Addr(), *scale, *seed, *cacheDir)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "duplexityd: %v: draining (finishing in-flight cells)...\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		// The checkpoint may be lost but the cache and journal are still
+		// consistent; report and exit nonzero.
+		_ = hs.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "duplexityd: drained; checkpoint flushed")
+	shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shCancel()
+	return hs.Shutdown(shCtx)
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8077", "daemon address")
+	campaign := fs.Bool("campaign", false, "submit a campaign instead of one cell")
+	kind := fs.String("kind", "matrix", "cell or campaign kind (matrix | slowdown | fig5 | slowdowns)")
+	design := fs.String("design", "Baseline", "cell design")
+	workload := fs.String("workload", "RSC", "cell workload")
+	load := fs.Float64("load", 0.5, "cell offered load (0 for slowdown cells)")
+	timeoutMs := fs.Int64("timeout-ms", 0, "per-request deadline in ms (0 = server default)")
+	designs := fs.String("designs", "", "campaign designs, comma-separated (empty = all)")
+	workloads := fs.String("workloads", "", "campaign workloads, comma-separated (empty = all)")
+	loads := fs.String("loads", "", "campaign loads, comma-separated (empty = default grid)")
+	fs.Parse(args)
+	base := "http://" + *addr
+
+	if !*campaign {
+		body, err := postExpectOK(base+"/v1/cells", serve.CellRequest{
+			CellSpec: expt.CellSpec{Kind: *kind, Design: *design, Workload: *workload, Load: *load},
+			TimeoutMs: *timeoutMs,
+		}, http.StatusOK)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(body)
+		return nil
+	}
+
+	spec := expt.CampaignSpec{Kind: *kind}
+	if *designs != "" {
+		spec.Designs = strings.Split(*designs, ",")
+	}
+	if *workloads != "" {
+		spec.Workloads = strings.Split(*workloads, ",")
+	}
+	if *loads != "" {
+		for _, f := range strings.Split(*loads, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return fmt.Errorf("parsing -loads: %w", err)
+			}
+			spec.Loads = append(spec.Loads, v)
+		}
+	}
+	body, err := postExpectOK(base+"/v1/campaigns", spec, http.StatusAccepted)
+	if err != nil {
+		return err
+	}
+	var acc serve.CampaignAccepted
+	if err := json.Unmarshal(body, &acc); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "duplexityd: campaign %s accepted (%d cells); streaming...\n", acc.ID, acc.Cells)
+	resp, err := http.Get(base + acc.Stream)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("streaming %s: HTTP %d", acc.ID, resp.StatusCode)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8077", "daemon address")
+	fs.Parse(args)
+	resp, err := http.Get("http://" + *addr + "/v1/statz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("statz: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, data, "", "  "); err != nil {
+		return err
+	}
+	buf.WriteByte('\n')
+	_, err = buf.WriteTo(os.Stdout)
+	return err
+}
+
+// loadReport is loadgen's single-line JSON envelope (bench.sh parses
+// it into BENCH_serve.json).
+type loadReport struct {
+	Mode         string  `json:"mode"` // "closed" | "open"
+	Conc         int     `json:"conc,omitempty"`
+	TargetQPS    float64 `json:"target_qps,omitempty"`
+	Sent         int64   `json:"sent"`
+	OK           int64   `json:"ok"`
+	Shed         int64   `json:"shed"`
+	Errors       int64   `json:"errors"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	RPS          float64 `json:"rps"`
+	LatencyP50Us uint64  `json:"latency_p50_us"`
+	LatencyP99Us uint64  `json:"latency_p99_us"`
+}
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8077", "daemon address")
+	conc := fs.Int("conc", 4, "closed-loop concurrency")
+	requests := fs.Int("requests", 0, "closed-loop total requests (0 = open loop)")
+	qps := fs.Float64("qps", 0, "open-loop arrival rate")
+	duration := fs.Duration("duration", 10*time.Second, "open-loop run length")
+	spread := fs.Int("spread", 8, "distinct load points to cycle through (defeats pure cache hits)")
+	design := fs.String("design", "Baseline", "cell design")
+	workload := fs.String("workload", "RSC", "cell workload")
+	fs.Parse(args)
+	if *requests <= 0 && *qps <= 0 {
+		return fmt.Errorf("loadgen: need -requests (closed loop) or -qps (open loop)")
+	}
+	if *spread < 1 {
+		*spread = 1
+	}
+	base := "http://" + *addr
+
+	// Distinct loads on a fine grid: request i exercises load
+	// 0.05 + (i mod spread) * step, all within the valid (0, 0.95] range.
+	cellFor := func(i int64) expt.CellSpec {
+		step := 0.90 / float64(*spread)
+		return expt.CellSpec{
+			Kind: expt.KindMatrix, Design: *design, Workload: *workload,
+			Load: math.Round((0.05+float64(i%int64(*spread))*step)*1e6) / 1e6,
+		}
+	}
+
+	var (
+		mu   sync.Mutex
+		hist telemetry.Histogram
+		rep  loadReport
+	)
+	issue := func(i int64) {
+		body, err := json.Marshal(cellFor(i))
+		if err != nil {
+			return
+		}
+		start := time.Now()
+		resp, err := http.Post(base+"/v1/cells", "application/json", bytes.NewReader(body))
+		us := uint64(time.Since(start).Microseconds())
+		mu.Lock()
+		defer mu.Unlock()
+		rep.Sent++
+		if err != nil {
+			rep.Errors++
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			rep.OK++
+			hist.Observe(us)
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			rep.Shed++
+		default:
+			rep.Errors++
+		}
+	}
+
+	start := time.Now()
+	if *requests > 0 {
+		rep.Mode, rep.Conc = "closed", *conc
+		var next int64
+		var wg sync.WaitGroup
+		nextCh := make(chan int64)
+		go func() {
+			for next = 0; next < int64(*requests); next++ {
+				nextCh <- next
+			}
+			close(nextCh)
+		}()
+		for w := 0; w < *conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range nextCh {
+					issue(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		rep.Mode, rep.TargetQPS = "open", *qps
+		interval := time.Duration(float64(time.Second) / *qps)
+		deadline := time.Now().Add(*duration)
+		var wg sync.WaitGroup
+		var i int64
+		for t := time.Now(); t.Before(deadline); t = t.Add(interval) {
+			if d := time.Until(t); d > 0 {
+				time.Sleep(d)
+			}
+			wg.Add(1)
+			go func(i int64) { defer wg.Done(); issue(i) }(i)
+			i++
+		}
+		wg.Wait()
+	}
+
+	rep.WallSeconds = time.Since(start).Seconds()
+	if rep.WallSeconds > 0 {
+		rep.RPS = float64(rep.Sent) / rep.WallSeconds
+	}
+	rep.LatencyP50Us = hist.Quantile(0.50)
+	rep.LatencyP99Us = hist.Quantile(0.99)
+	out := bufio.NewWriter(os.Stdout)
+	enc := json.NewEncoder(out)
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	return out.Flush()
+}
+
+// postExpectOK posts v as JSON and returns the body, erroring on any
+// status other than want (429s include the server's Retry-After hint).
+func postExpectOK(url string, v any, want int) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != want {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			return nil, fmt.Errorf("HTTP %d (retry after %ss): %s", resp.StatusCode, ra, bytes.TrimSpace(body))
+		}
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return body, nil
+}

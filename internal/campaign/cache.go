@@ -85,8 +85,8 @@ func (c *Cache) Put(digest string, e Entry) error {
 	return nil
 }
 
-// Len counts the complete entries currently in the cache (temporaries
-// and the journal are excluded).
+// Len counts the complete entries currently in the cache (temporaries,
+// the journal, and the progress checkpoint are excluded).
 func (c *Cache) Len() (int, error) {
 	des, err := os.ReadDir(c.dir)
 	if err != nil {
@@ -94,7 +94,7 @@ func (c *Cache) Len() (int, error) {
 	}
 	n := 0
 	for _, de := range des {
-		if !de.IsDir() && strings.HasSuffix(de.Name(), ".json") {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".json") && de.Name() != "checkpoint.json" {
 			n++
 		}
 	}

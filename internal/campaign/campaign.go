@@ -116,7 +116,7 @@ func Run[R any](e *Engine, tasks []Task[R]) ([]R, error) {
 				if failed.Load() {
 					continue // drain the queue without starting new cells
 				}
-				r, err := runOne(e, tasks[i])
+				r, _, err := runOne(e, tasks[i])
 				results[i], errs[i] = r, err
 				if err != nil {
 					failed.Store(true)
@@ -137,12 +137,26 @@ func Run[R any](e *Engine, tasks []Task[R]) ([]R, error) {
 				k.Kind, k.Design, k.Workload, k.Load, err)
 		}
 	}
+	// Clean batch completion: flush a checkpoint so out-of-band tooling
+	// can see how far the campaign has progressed (non-fatal, like the
+	// journal itself).
+	_ = e.Checkpoint(true)
 	return results, nil
 }
 
+// Do resolves a single cell outside any batch: the asynchronous
+// submission hook used by long-running services (internal/serve) that
+// admit cells one at a time instead of in Run batches. It shares the
+// cache, journal, and stats accounting with Run and is safe for
+// concurrent use. The second return reports whether the cache answered
+// the cell.
+func Do[R any](e *Engine, t Task[R]) (R, bool, error) {
+	return runOne(e, t)
+}
+
 // runOne resolves one cell: cache probe, then simulation plus
-// journaling on a miss.
-func runOne[R any](e *Engine, t Task[R]) (R, error) {
+// journaling on a miss. The bool reports a cache hit.
+func runOne[R any](e *Engine, t Task[R]) (R, bool, error) {
 	var zero R
 	digest := t.Key.Digest()
 
@@ -151,7 +165,7 @@ func runOne[R any](e *Engine, t Task[R]) (R, error) {
 			var r R
 			if err := json.Unmarshal(raw, &r); err == nil {
 				e.finish(t.Key, digest, true, 0)
-				return r, nil
+				return r, true, nil
 			}
 			// Undecodable entry (format drift, torn write that slipped
 			// through): fall through and recompute; Put overwrites it.
@@ -163,21 +177,21 @@ func runOne[R any](e *Engine, t Task[R]) (R, error) {
 	wall := time.Since(start).Seconds()
 	if err != nil {
 		e.stats.recordError()
-		return zero, err
+		return zero, false, err
 	}
 	if e.cache != nil {
 		raw, err := json.Marshal(r)
 		if err != nil {
 			e.stats.recordError()
-			return zero, fmt.Errorf("encoding result: %w", err)
+			return zero, false, fmt.Errorf("encoding result: %w", err)
 		}
 		if err := e.cache.Put(digest, Entry{Key: t.Key, WallSeconds: wall, Result: raw}); err != nil {
 			e.stats.recordError()
-			return zero, err
+			return zero, false, err
 		}
 	}
 	e.finish(t.Key, digest, false, wall)
-	return r, nil
+	return r, false, nil
 }
 
 // finish records accounting and journals the completion.

@@ -24,7 +24,22 @@ type JournalEntry struct {
 	Load        float64 `json:"load"`
 	Cached      bool    `json:"cached"`
 	WallSeconds float64 `json:"wall_seconds"`
+	// Status is empty for a completed cell. Incomplete cells — admitted
+	// by a serving layer but never finished — are journaled with
+	// StatusCancelled (abandoned before execution, e.g. a deadline
+	// expired while queued) or StatusPanic (the cell's Run panicked), so
+	// an audit of a drained or killed daemon can distinguish "finished
+	// and cached" from "accepted but lost".
+	Status string `json:"status,omitempty"`
 }
+
+// Journal status values for incomplete cells.
+const (
+	// StatusCancelled marks a cell abandoned before execution.
+	StatusCancelled = "cancelled"
+	// StatusPanic marks a cell whose Run panicked.
+	StatusPanic = "panic"
+)
 
 // Journal appends completion records to a JSON-lines file. Each append
 // opens, writes, and closes the file, so no descriptor outlives a cell

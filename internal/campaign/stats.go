@@ -27,6 +27,9 @@ type Summary struct {
 	Hits   int `json:"hits"`
 	Misses int `json:"misses"`
 	Errors int `json:"errors,omitempty"`
+	// Incomplete counts admitted cells journaled as cancelled or
+	// panicked by a serving layer (never part of Cells).
+	Incomplete int `json:"incomplete,omitempty"`
 	// HitRate is Hits/Cells (0 when no cells completed).
 	HitRate float64 `json:"hit_rate"`
 	// SimWallSeconds sums per-cell simulation wall time. With several
@@ -40,14 +43,16 @@ type Summary struct {
 // Stats accumulates campaign accounting under a mutex; cells finish on
 // many goroutines.
 type Stats struct {
-	mu      sync.Mutex
-	workers int
-	prior   int
-	hits    int
-	misses  int
-	errors  int
-	simWall float64
-	timings []CellTiming
+	mu         sync.Mutex
+	workers    int
+	prior      int
+	seq        int
+	hits       int
+	misses     int
+	errors     int
+	incomplete int
+	simWall    float64
+	timings    []CellTiming
 }
 
 func newStats() *Stats { return &Stats{} }
@@ -70,7 +75,18 @@ func (s *Stats) record(t CellTiming) int {
 	}
 	s.simWall += t.WallSeconds
 	s.timings = append(s.timings, t)
-	return len(s.timings)
+	s.seq++
+	return s.seq
+}
+
+// recordIncomplete logs a cancelled or panicked cell and returns its
+// journal sequence number.
+func (s *Stats) recordIncomplete() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.incomplete++
+	s.seq++
+	return s.seq
 }
 
 func (s *Stats) recordError() {
@@ -88,6 +104,7 @@ func (s *Stats) summary() Summary {
 		Hits:           s.hits,
 		Misses:         s.misses,
 		Errors:         s.errors,
+		Incomplete:     s.incomplete,
 		SimWallSeconds: s.simWall,
 		Timings:        append([]CellTiming(nil), s.timings...),
 	}

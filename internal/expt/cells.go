@@ -1,0 +1,309 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"duplexity/internal/campaign"
+	"duplexity/internal/core"
+	"duplexity/internal/workload"
+)
+
+// This file is the serving boundary of the experiment harness: it
+// resolves externally submitted cell requests (internal/serve's HTTP
+// API) onto the exact same campaign tasks the CLI figures submit.
+// Served cells therefore hit the same content-addressed cache keys and
+// produce byte-identical cache entries — the serve layer adds
+// scheduling, never semantics.
+
+// Cell kinds accepted at the API boundary.
+const (
+	// KindMatrix is one open-loop design × workload × load point (the
+	// Figure 5/6 campaign cell).
+	KindMatrix = "matrix"
+	// KindSlowdown is one saturated closed-loop service-time cell (the
+	// Figure 5d-e slowdown measurement).
+	KindSlowdown = "slowdown"
+)
+
+// CellSpec is a single simulation cell requested over the serve API.
+// Scale and seed are properties of the serving harness (Options), not
+// the request: a daemon serves one (scale, seed, model-version) world,
+// so identical requests always map to identical cache keys.
+type CellSpec struct {
+	Kind     string  `json:"kind"`
+	Design   string  `json:"design"`
+	Workload string  `json:"workload"`
+	// Load is the offered load in (0, 0.95] for matrix cells; slowdown
+	// cells are saturated closed-loop runs and must leave it 0.
+	Load float64 `json:"load,omitempty"`
+}
+
+// FieldError locates one invalid request field.
+type FieldError struct {
+	Field   string `json:"field"`
+	Message string `json:"message"`
+}
+
+// ValidationError aggregates every invalid field of a request, so API
+// clients see all problems in one structured 400 instead of fixing them
+// one round-trip at a time.
+type ValidationError struct {
+	Fields []FieldError `json:"fields"`
+}
+
+func (e *ValidationError) Error() string {
+	parts := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		parts[i] = f.Field + ": " + f.Message
+	}
+	return "invalid request: " + strings.Join(parts, "; ")
+}
+
+// ParseDesign resolves a design-point name (core.Design.String form,
+// e.g. "Duplexity", "SMT+").
+func ParseDesign(name string) (core.Design, bool) {
+	for _, d := range core.AllDesigns {
+		if d.String() == name {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// KnownDesignNames lists the design points in evaluation order.
+func KnownDesignNames() []string {
+	names := make([]string, len(core.AllDesigns))
+	for i, d := range core.AllDesigns {
+		names[i] = d.String()
+	}
+	return names
+}
+
+// KnownWorkloadNames lists the Section V microservices in suite order.
+func KnownWorkloadNames() []string {
+	specs := workload.Microservices()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func workloadByName(name string) *workload.Spec {
+	for _, s := range workload.Microservices() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Validate checks a cell request at the API boundary, before any
+// queueing or simulation, returning a *ValidationError naming every bad
+// field (the serve layer maps it to a structured 400).
+func (cs CellSpec) Validate() error {
+	var errs []FieldError
+	switch cs.Kind {
+	case KindMatrix:
+		if math.IsNaN(cs.Load) || cs.Load <= 0 || cs.Load > 0.95 {
+			errs = append(errs, FieldError{"load", fmt.Sprintf("matrix cells need 0 < load <= 0.95, got %v", cs.Load)})
+		}
+	case KindSlowdown:
+		if cs.Load != 0 {
+			errs = append(errs, FieldError{"load", "slowdown cells are saturated closed-loop runs; leave load 0"})
+		}
+	default:
+		errs = append(errs, FieldError{"kind", fmt.Sprintf("unknown kind %q (known: %s, %s)", cs.Kind, KindMatrix, KindSlowdown)})
+	}
+	if _, ok := ParseDesign(cs.Design); !ok {
+		errs = append(errs, FieldError{"design", fmt.Sprintf("unknown design %q (known: %s)", cs.Design, strings.Join(KnownDesignNames(), ", "))})
+	}
+	if workloadByName(cs.Workload) == nil {
+		errs = append(errs, FieldError{"workload", fmt.Sprintf("unknown workload %q (known: %s)", cs.Workload, strings.Join(KnownWorkloadNames(), ", "))})
+	}
+	if len(errs) > 0 {
+		return &ValidationError{Fields: errs}
+	}
+	return nil
+}
+
+// ServedResult is the API-facing outcome of one served cell. Cell (for
+// matrix kinds) carries exactly the fields the CLI's campaign report
+// exposes; the underlying cache entry is byte-identical to a CLI run's.
+type ServedResult struct {
+	Kind     string  `json:"kind"`
+	Design   string  `json:"design"`
+	Workload string  `json:"workload"`
+	Load     float64 `json:"load"`
+	// Digest is the cell's content address in the campaign cache.
+	Digest string `json:"digest"`
+	// Cached reports whether the on-disk cache answered the cell (false
+	// when this request simulated it, or received a coalesced result
+	// from a concurrent identical request's simulation).
+	Cached bool `json:"cached"`
+	// Cell is the matrix-cell payload (nil for slowdown cells).
+	Cell *CellReport `json:"cell,omitempty"`
+	// CyclesPerReq is the slowdown-cell payload (0 for matrix cells).
+	CyclesPerReq float64 `json:"cycles_per_req,omitempty"`
+}
+
+// Engine exposes the suite's campaign engine to the serving layer
+// (single-cell submission, drain-time checkpoint, incomplete-cell
+// journaling).
+func (s *Suite) Engine() *campaign.Engine { return s.eng }
+
+// ServedKey returns the content-address key a validated spec resolves
+// to — the same key the CLI path would use for the identical cell.
+func (s *Suite) ServedKey(cs CellSpec) (campaign.Key, error) {
+	if err := cs.Validate(); err != nil {
+		return campaign.Key{}, err
+	}
+	design, _ := ParseDesign(cs.Design)
+	spec := workloadByName(cs.Workload)
+	return s.cellKey(cs.Kind, design, spec, cs.Load), nil
+}
+
+// RunServed resolves one validated cell through the campaign engine:
+// cache probe, simulation on a miss, journaling — identical accounting
+// to a CLI batch. Unlike the figure methods, RunServed is safe for
+// concurrent use (it touches no Suite memoization), which is what lets
+// the serve layer fan cells across its pool with one shared Suite.
+func (s *Suite) RunServed(cs CellSpec) (ServedResult, error) {
+	if s.engErr != nil {
+		return ServedResult{}, s.engErr
+	}
+	if err := cs.Validate(); err != nil {
+		return ServedResult{}, err
+	}
+	design, _ := ParseDesign(cs.Design)
+	spec := workloadByName(cs.Workload)
+	key := s.cellKey(cs.Kind, design, spec, cs.Load)
+	out := ServedResult{
+		Kind: cs.Kind, Design: cs.Design, Workload: cs.Workload, Load: cs.Load,
+		Digest: key.Digest(),
+	}
+	switch cs.Kind {
+	case KindMatrix:
+		c, cached, err := campaign.Do(s.eng, campaign.Task[cell]{
+			Key: key,
+			Run: func() (cell, error) { return s.runCell(design, spec, cs.Load) },
+		})
+		if err != nil {
+			return ServedResult{}, err
+		}
+		out.Cached = cached
+		out.Cell = &CellReport{
+			Design:       c.Design.String(),
+			Workload:     c.Workload,
+			Load:         c.Load,
+			Utilization:  c.Utilization,
+			Seconds:      c.Seconds,
+			OoORetired:   c.OoORetired,
+			InORetired:   c.InORetired,
+			BatchRetired: c.BatchRetired,
+			RemotesPerS:  c.RemotesPerS,
+			Requests:     c.Requests,
+			MicroP99Us:   c.MicroP99Us,
+		}
+	case KindSlowdown:
+		v, cached, err := campaign.Do(s.eng, campaign.Task[float64]{
+			Key: key,
+			Run: func() (float64, error) { return s.measureSlowdown(design, spec) },
+		})
+		if err != nil {
+			return ServedResult{}, err
+		}
+		out.Cached = cached
+		out.CyclesPerReq = v
+	}
+	return out, nil
+}
+
+// Campaign kinds accepted at the API boundary: the matrix campaign
+// ("fig5" is the CLI-familiar alias) and the closed-loop slowdown
+// campaign, mirroring the experiment families the duplexity CLI
+// validates up front.
+const (
+	CampaignMatrix    = "matrix"
+	CampaignFig5      = "fig5"
+	CampaignSlowdowns = "slowdowns"
+)
+
+// CampaignSpec is a batch submission: a cell family crossed over design
+// × workload (× load for matrix kinds). Empty lists default to the full
+// paper campaign for that axis.
+type CampaignSpec struct {
+	Kind      string    `json:"kind"`
+	Designs   []string  `json:"designs,omitempty"`
+	Workloads []string  `json:"workloads,omitempty"`
+	Loads     []float64 `json:"loads,omitempty"`
+}
+
+// Expand validates a campaign submission and enumerates its cells in
+// canonical (paper) order: design-major, then workload, then load —
+// the same order the CLI's matrixTasks uses, so streamed results line
+// up with figure rows.
+func (c CampaignSpec) Expand() ([]CellSpec, error) {
+	var errs []FieldError
+	cellKind := ""
+	switch c.Kind {
+	case CampaignMatrix, CampaignFig5:
+		cellKind = KindMatrix
+	case CampaignSlowdowns:
+		cellKind = KindSlowdown
+		if len(c.Loads) > 0 {
+			errs = append(errs, FieldError{"loads", "slowdown campaigns are closed-loop; leave loads empty"})
+		}
+	default:
+		errs = append(errs, FieldError{"kind", fmt.Sprintf("unknown campaign kind %q (known: %s, %s, %s)",
+			c.Kind, CampaignMatrix, CampaignFig5, CampaignSlowdowns)})
+	}
+	designs := c.Designs
+	if len(designs) == 0 {
+		designs = KnownDesignNames()
+	}
+	for _, d := range designs {
+		if _, ok := ParseDesign(d); !ok {
+			errs = append(errs, FieldError{"designs", fmt.Sprintf("unknown design %q (known: %s)", d, strings.Join(KnownDesignNames(), ", "))})
+		}
+	}
+	workloads := c.Workloads
+	if len(workloads) == 0 {
+		workloads = KnownWorkloadNames()
+	}
+	for _, w := range workloads {
+		if workloadByName(w) == nil {
+			errs = append(errs, FieldError{"workloads", fmt.Sprintf("unknown workload %q (known: %s)", w, strings.Join(KnownWorkloadNames(), ", "))})
+		}
+	}
+	loads := c.Loads
+	if cellKind == KindMatrix {
+		if len(loads) == 0 {
+			loads = append([]float64(nil), Loads...)
+		}
+		for _, l := range loads {
+			if math.IsNaN(l) || l <= 0 || l > 0.95 {
+				errs = append(errs, FieldError{"loads", fmt.Sprintf("matrix loads need 0 < load <= 0.95, got %v", l)})
+			}
+		}
+	} else {
+		loads = []float64{0}
+	}
+	if len(errs) > 0 {
+		// Report each field once even when several values are bad.
+		sort.SliceStable(errs, func(i, j int) bool { return errs[i].Field < errs[j].Field })
+		return nil, &ValidationError{Fields: errs}
+	}
+	var cells []CellSpec
+	for _, d := range designs {
+		for _, w := range workloads {
+			for _, l := range loads {
+				cells = append(cells, CellSpec{Kind: cellKind, Design: d, Workload: w, Load: l})
+			}
+		}
+	}
+	return cells, nil
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// errDraining rejects work submitted after a drain began.
+var errDraining = errors.New("server is draining")
+
+// shedError is a load-shedding rejection: an HTTP status plus a
+// Retry-After hint.
+type shedError struct {
+	status     int
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *shedError) Error() string { return e.msg }
+
+// tokenBucket is the admission rate limiter: rate tokens/sec with a
+// burst-sized bucket, refilled lazily on take.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// take consumes one token if available; otherwise it reports how long
+// until the next token accrues (the Retry-After hint).
+func (b *tokenBucket) take(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// admitRate applies the token bucket to one open-loop submission.
+func (s *Server) admitRate() error {
+	if s.bucket == nil {
+		return nil
+	}
+	ok, wait := s.bucket.take(time.Now())
+	if ok {
+		return nil
+	}
+	s.m.shedRateLimited.Add(1)
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return &shedError{status: http.StatusTooManyRequests, retryAfter: wait, msg: "rate limit exceeded"}
+}

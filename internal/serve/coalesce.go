@@ -1,0 +1,27 @@
+package serve
+
+import (
+	"duplexity/internal/campaign"
+	"duplexity/internal/expt"
+)
+
+// flight is one in-flight cell shared by every concurrent identical
+// submission (singleflight keyed on the cell's SHA-256 cache digest).
+// The first submitter is the leader and occupies a queue slot and a
+// worker; followers wait on done and read the leader's result, so a
+// burst of duplicate submissions costs exactly one simulation — and
+// afterwards the on-disk cache answers repeats across time as well.
+//
+// waiters is guarded by Server.fmu. When it reaches zero before the
+// leader's work starts executing (every requester's deadline expired in
+// the queue), the worker cancels the cell and journals it incomplete
+// instead of simulating for nobody.
+type flight struct {
+	key     campaign.Key
+	digest  string
+	waiters int
+
+	done chan struct{}
+	res  expt.ServedResult
+	err  error
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"duplexity/internal/expt"
+)
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cells", s.handleCell)
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
+	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStreamCampaign)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/statz", s.handleStatz)
+	return mux
+}
+
+// handleCell is the synchronous single-cell path: validate at the
+// boundary, rate-limit, then admission → coalesce → pool, answering
+// with the served result or a structured rejection.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	var req CellRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	// Validate before spending any admission budget: a malformed cell
+	// must fail with a 400 naming its fields, never deep inside a worker.
+	if err := req.CellSpec.Validate(); err != nil {
+		writeExecError(w, err)
+		return
+	}
+	if err := s.admitRate(); err != nil {
+		writeExecError(w, err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	res, err := s.execCell(ctx, req.CellSpec, false)
+	if err != nil {
+		writeExecError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleSubmitCampaign expands a batch submission into cells and starts
+// an asynchronous job; results stream from GET /v1/campaigns/{id}.
+func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	var spec expt.CampaignSpec
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		writeExecError(w, err)
+		return
+	}
+	if s.Draining() {
+		writeExecError(w, errDraining)
+		return
+	}
+	j := s.jobs.add(spec.Kind, cells)
+	s.startJob(j)
+	writeJSON(w, http.StatusAccepted, CampaignAccepted{
+		ID: j.id, Cells: len(cells), Stream: "/v1/campaigns/" + j.id,
+	})
+}
+
+func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.list())
+}
+
+// handleStreamCampaign streams a job's per-cell results as they
+// complete, in submission order: NDJSON lines by default, SSE frames
+// when the client asks for text/event-stream. Completed lines replay
+// first (byte-stable), then the stream follows live completions and
+// ends with a status summary.
+func (s *Server) handleStreamCampaign(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown campaign id"})
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	flusher, _ := w.(http.Flusher)
+	writeLine := func(event string, data []byte) {
+		if sse {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		} else {
+			w.Write(data)
+			w.Write([]byte("\n"))
+		}
+	}
+
+	sent := 0
+	for {
+		lines, done, wait := j.next(sent)
+		for _, l := range lines {
+			writeLine("cell", l)
+			sent++
+		}
+		if done {
+			final, _ := json.Marshal(j.status())
+			writeLine("done", final)
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, Healthz{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, Healthz{Status: "ok"})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	st := Statz{
+		Draining:      s.Draining(),
+		Workers:       s.cfg.Workers,
+		QueueCapacity: cap(s.runq),
+		QueueLength:   len(s.runq),
+		Metrics:       s.metricsSnapshot(),
+		Jobs:          s.jobs.list(),
+	}
+	if eng := s.suite.Engine(); eng != nil {
+		st.Campaign = eng.Stats()
+		// Per-cell timings grow without bound in a long-lived daemon;
+		// statz reports the aggregate accounting only.
+		st.Campaign.Timings = nil
+	}
+	writeJSON(w, http.StatusOK, st)
+}

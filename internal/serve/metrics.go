@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"duplexity/internal/telemetry"
+)
+
+// metrics is the serving layer's own accounting. The telemetry
+// registry's counters are deliberately unsynchronized (single-goroutine
+// simulators), so the multi-goroutine serve path keeps atomics and a
+// mutex-guarded histogram here and mirrors them into a registry
+// snapshot on demand — the same keep-your-own-stats-and-collect pattern
+// the pipelines use.
+type metrics struct {
+	admitted        atomic.Int64
+	shedQueueFull   atomic.Int64
+	shedRateLimited atomic.Int64
+	shedDraining    atomic.Int64
+	coalesceLeaders atomic.Int64
+	coalesceHits    atomic.Int64
+	completed       atomic.Int64
+	failed          atomic.Int64
+	cacheHits       atomic.Int64
+	cancelled       atomic.Int64
+	panics          atomic.Int64
+
+	histMu    sync.Mutex
+	latencyUs telemetry.Histogram
+}
+
+func (m *metrics) observeLatency(us uint64) {
+	m.histMu.Lock()
+	m.latencyUs.Observe(us)
+	m.histMu.Unlock()
+}
+
+// snapshot mirrors the counters into a fresh telemetry registry and
+// returns its snapshot: hierarchical names, log2 latency histogram with
+// p50/p95/p99, deterministic JSON.
+func (s *Server) metricsSnapshot() telemetry.Snapshot {
+	reg := telemetry.NewRegistry()
+	sc := reg.Scope("serve")
+	set := func(name string, v int64) { sc.Counter(name).Set(uint64(v)) }
+	set("admitted", s.m.admitted.Load())
+	set("shed.queue_full", s.m.shedQueueFull.Load())
+	set("shed.rate_limited", s.m.shedRateLimited.Load())
+	set("shed.draining", s.m.shedDraining.Load())
+	set("coalesce.leaders", s.m.coalesceLeaders.Load())
+	set("coalesce.hits", s.m.coalesceHits.Load())
+	set("cells.completed", s.m.completed.Load())
+	set("cells.failed", s.m.failed.Load())
+	set("cells.cache_hits", s.m.cacheHits.Load())
+	set("cells.cancelled", s.m.cancelled.Load())
+	set("panics", s.m.panics.Load())
+	sc.Gauge("queue.depth").Set(float64(len(s.runq)))
+	sc.Gauge("queue.capacity").Set(float64(cap(s.runq)))
+	s.m.histMu.Lock()
+	sc.Histogram("latency_us").Merge(&s.m.latencyUs)
+	s.m.histMu.Unlock()
+	return reg.Snapshot(0)
+}

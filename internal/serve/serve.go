@@ -1,0 +1,387 @@
+// Package serve exposes the experiment-campaign engine as a
+// long-running HTTP/JSON service: the daemon form of the one-shot
+// duplexity CLI, built for the paper's own serving regime — bursty,
+// latency-sensitive submissions over a pool of heavyweight simulation
+// cells.
+//
+// The request path is admission → coalesce → campaign pool:
+//
+//   - Admission: a token bucket rate-limits open-loop submissions and a
+//     bounded queue caps memory; when either saturates the server sheds
+//     load with 429 + Retry-After instead of queueing unboundedly.
+//     Per-request deadlines cancel cells that are still queued when the
+//     deadline expires; cancelled cells are journaled as incomplete.
+//   - Coalesce: concurrent identical submissions (same SHA-256 cache
+//     key) share one in-flight simulation with singleflight semantics;
+//     afterwards the content-addressed on-disk cache answers repeats.
+//   - Pool: a fixed worker pool executes cells through
+//     campaign.Do — the same cache, journal, and accounting as CLI
+//     batches, so served results are byte-identical to CLI runs.
+//
+// One bad cell cannot take the daemon down: worker panics are caught,
+// journaled, and surfaced as request errors while sibling cells keep
+// running. SIGTERM-style drain (Drain) refuses new work, finishes every
+// admitted cell, and flushes a campaign checkpoint.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"duplexity/internal/campaign"
+	"duplexity/internal/expt"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Suite is the experiment harness the daemon serves: its scale,
+	// seed, and cache directory fix the (model, scale, seed) world all
+	// requests resolve against. Required, and Suite.Err() must be nil.
+	Suite *expt.Suite
+	// Workers is the simulation pool width; <= 0 means one per CPU.
+	Workers int
+	// QueueDepth bounds the submission queue; <= 0 means 64. When the
+	// queue is full, open-loop submissions are shed with 429.
+	QueueDepth int
+	// RatePerSec enables a token-bucket rate limit on POST /v1/cells
+	// (<= 0 disables). Burst is the bucket size (<= 0 means max(1, rate)).
+	RatePerSec float64
+	Burst      int
+	// DefaultTimeout is the per-request deadline for POST /v1/cells when
+	// the request doesn't set one; <= 0 means 10 minutes.
+	DefaultTimeout time.Duration
+	// MaxBodyBytes caps request bodies; <= 0 means 1 MiB.
+	MaxBodyBytes int64
+}
+
+// work is one enqueued leader cell.
+type work struct {
+	flight *flight
+	spec   expt.CellSpec
+}
+
+// Server is the serving layer: an http.Handler plus the admission,
+// coalescing, and execution machinery behind it.
+type Server struct {
+	cfg   Config
+	suite *expt.Suite
+
+	// run executes one validated cell; swapped by tests to decouple
+	// admission/coalescing behavior from multi-second simulations.
+	run func(expt.CellSpec) (expt.ServedResult, error)
+
+	bucket *tokenBucket
+	m      metrics
+
+	runq    chan *work
+	quit    chan struct{}
+	drainCh chan struct{}
+
+	// admitMu serializes admission against drain: admitters hold the
+	// read side across the draining check and the inflight.Add, so
+	// Drain's Wait can never race a late Add.
+	admitMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	wg sync.WaitGroup
+
+	fmu     sync.Mutex
+	flights map[string]*flight
+
+	jobs *jobTable
+
+	drainOnce sync.Once
+	quitOnce  sync.Once
+
+	mux *http.ServeMux
+}
+
+// New builds a server and starts its worker pool. Callers must Drain
+// (or abandon the process) to stop it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Suite == nil {
+		return nil, fmt.Errorf("serve: Config.Suite is required")
+	}
+	if err := cfg.Suite.Err(); err != nil {
+		return nil, fmt.Errorf("serve: suite: %w", err)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Minute
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{
+		cfg:     cfg,
+		suite:   cfg.Suite,
+		runq:    make(chan *work, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		drainCh: make(chan struct{}),
+		flights: make(map[string]*flight),
+		jobs:    newJobTable(),
+	}
+	s.run = s.suite.RunServed
+	if cfg.RatePerSec > 0 {
+		burst := cfg.Burst
+		if burst <= 0 {
+			burst = int(cfg.RatePerSec)
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		s.bucket = newTokenBucket(cfg.RatePerSec, burst)
+	}
+	s.mux = s.routes()
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether a drain has begun.
+func (s *Server) Draining() bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	return s.draining
+}
+
+// Drain gracefully stops the server: refuse new work, finish every
+// admitted cell, stop the pool, and flush the campaign journal
+// checkpoint. Safe to call more than once; ctx bounds how long to wait
+// for in-flight cells (expiry leaves the pool running so a later Drain
+// can retry).
+func (s *Server) Drain(ctx context.Context) error {
+	s.admitMu.Lock()
+	s.draining = true
+	s.admitMu.Unlock()
+	s.drainOnce.Do(func() { close(s.drainCh) })
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with cells in flight: %w", ctx.Err())
+	}
+	s.quitOnce.Do(func() { close(s.quit) })
+	s.wg.Wait()
+	if eng := s.suite.Engine(); eng != nil {
+		if err := eng.Checkpoint(false); err != nil {
+			return fmt.Errorf("serve: drain checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// execCell runs one validated cell through admission → coalesce → pool.
+// Blocking submissions (campaign cells) wait for queue space with
+// backpressure; non-blocking ones (the open-loop /v1/cells path) are
+// shed with 429 when the queue is full.
+func (s *Server) execCell(ctx context.Context, spec expt.CellSpec, block bool) (expt.ServedResult, error) {
+	var zero expt.ServedResult
+	key, err := s.suite.ServedKey(spec)
+	if err != nil {
+		return zero, err
+	}
+	digest := key.Digest()
+
+	s.admitMu.RLock()
+	if s.draining {
+		s.admitMu.RUnlock()
+		s.m.shedDraining.Add(1)
+		return zero, errDraining
+	}
+
+	// Coalesce: join an identical in-flight cell instead of submitting a
+	// duplicate. Followers consume no queue slot and no worker.
+	s.fmu.Lock()
+	if f, ok := s.flights[digest]; ok {
+		f.waiters++
+		s.fmu.Unlock()
+		s.admitMu.RUnlock()
+		s.m.coalesceHits.Add(1)
+		return s.await(ctx, f)
+	}
+	f := &flight{key: key, digest: digest, waiters: 1, done: make(chan struct{})}
+	s.flights[digest] = f
+	s.fmu.Unlock()
+	// Count the leader before releasing admitMu so Drain's inflight.Wait
+	// can never miss it; the enqueue itself must happen outside the lock
+	// (a blocked backpressure send while holding it would deadlock
+	// Drain).
+	s.inflight.Add(1)
+	s.admitMu.RUnlock()
+	s.m.coalesceLeaders.Add(1)
+
+	enqueued := false
+	if block {
+		select {
+		case s.runq <- &work{flight: f, spec: spec}:
+			enqueued = true
+		case <-s.drainCh:
+			err = errDraining
+			s.m.shedDraining.Add(1)
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	} else {
+		select {
+		case s.runq <- &work{flight: f, spec: spec}:
+			enqueued = true
+		default:
+			err = &shedError{status: http.StatusTooManyRequests, retryAfter: s.retryAfter(), msg: "submission queue full"}
+			s.m.shedQueueFull.Add(1)
+		}
+	}
+	if !enqueued {
+		s.inflight.Done()
+		// The flight never reached the pool: fail every follower that
+		// coalesced onto it (their result will never come).
+		s.failFlight(f, err)
+		return zero, err
+	}
+	s.m.admitted.Add(1)
+	return s.await(ctx, f)
+}
+
+// await waits for a flight to resolve, or abandons it on deadline
+// expiry. An abandoned flight still runs if any other waiter remains;
+// when the last waiter leaves before execution starts, the worker
+// cancels the cell and journals it incomplete.
+func (s *Server) await(ctx context.Context, f *flight) (expt.ServedResult, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		s.fmu.Lock()
+		f.waiters--
+		s.fmu.Unlock()
+		return expt.ServedResult{}, ctx.Err()
+	}
+}
+
+// failFlight resolves a never-enqueued flight with an admission error.
+func (s *Server) failFlight(f *flight, err error) {
+	s.fmu.Lock()
+	delete(s.flights, f.digest)
+	s.fmu.Unlock()
+	f.err = err
+	close(f.done)
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// Prefer queued work over quit so drain finishes every admitted
+		// cell before the pool exits.
+		select {
+		case w := <-s.runq:
+			s.runFlight(w)
+			continue
+		default:
+		}
+		select {
+		case w := <-s.runq:
+			s.runFlight(w)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// runFlight executes one leader cell with panic isolation.
+func (s *Server) runFlight(w *work) {
+	defer s.inflight.Done()
+	f := w.flight
+
+	s.fmu.Lock()
+	if f.waiters == 0 {
+		// Every requester's deadline expired while the cell was queued:
+		// cancel instead of simulating into the void, and journal the
+		// cancellation so the daemon's audit trail shows accepted-but-
+		// unfinished work.
+		delete(s.flights, f.digest)
+		s.fmu.Unlock()
+		s.m.cancelled.Add(1)
+		if eng := s.suite.Engine(); eng != nil {
+			eng.JournalIncomplete(f.key, campaign.StatusCancelled)
+		}
+		f.err = context.DeadlineExceeded
+		close(f.done)
+		return
+	}
+	s.fmu.Unlock()
+
+	start := time.Now()
+	res, err := s.safeRun(w.spec, f)
+	elapsed := time.Since(start)
+
+	s.fmu.Lock()
+	delete(s.flights, f.digest)
+	s.fmu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+
+	if err != nil {
+		s.m.failed.Add(1)
+		return
+	}
+	s.m.completed.Add(1)
+	if res.Cached {
+		s.m.cacheHits.Add(1)
+	}
+	s.m.observeLatency(uint64(elapsed.Microseconds()))
+}
+
+// safeRun is the panic-isolation boundary: a panicking cell becomes a
+// request error and a journal record, never a dead daemon.
+func (s *Server) safeRun(spec expt.CellSpec, f *flight) (res expt.ServedResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cell panicked: %v", r)
+			s.m.panics.Add(1)
+			if eng := s.suite.Engine(); eng != nil {
+				eng.JournalIncomplete(f.key, campaign.StatusPanic)
+			}
+		}
+	}()
+	return s.run(spec)
+}
+
+// retryAfter estimates when a shed submission is worth retrying: the
+// queued work divided across the pool, using the engine's measured
+// mean simulation time (1s when nothing has been measured yet).
+func (s *Server) retryAfter() time.Duration {
+	mean := 1.0
+	if eng := s.suite.Engine(); eng != nil {
+		if st := eng.Stats(); st.Misses > 0 {
+			mean = st.SimWallSeconds / float64(st.Misses)
+		}
+	}
+	est := time.Duration(float64(len(s.runq)) * mean / float64(s.cfg.Workers) * float64(time.Second))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 60*time.Second {
+		est = 60 * time.Second
+	}
+	return est
+}

@@ -17,7 +17,15 @@
 # cycles/sec stepped vs fast-forwarded, the cycle-skip ratio, and the
 # sequential campaign throughput in cells/sec.
 #
-# Tunables: BENCH_SCALE (default 0.05), BENCH_WORKERS (default nproc).
+# Finally it boots duplexityd on a loopback port and drives it with the
+# built-in load generator — one closed-loop run (cold cache, real
+# simulations) and one open-loop run (warm, mostly cache hits) — and
+# writes BENCH_serve.json with both envelopes: sent/ok/shed counts,
+# request throughput, and p50/p99 request latency.
+#
+# Tunables: BENCH_SCALE (default 0.05), BENCH_WORKERS (default nproc),
+# BENCH_SERVE_ADDR (default 127.0.0.1:8124), BENCH_SERVE_REQUESTS
+# (default 32).
 # Note: the parallel speedup is only meaningful on a multi-core host;
 # the warm-cache speedup is meaningful anywhere.
 set -euo pipefail
@@ -29,7 +37,11 @@ EXPTS=(fig5a fig5b fig5c fig5f fig6)
 OUT="BENCH_campaign.json"
 
 tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
+cleanup() {
+    [[ -n "${serve_pid:-}" ]] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
 
 echo "== build =="
 go build -o "$tmp/duplexity" ./cmd/duplexity
@@ -117,3 +129,51 @@ cat "$tmp/simbench.json"
 
 echo "== $SIMOUT =="
 cat "$SIMOUT"
+
+# --- serving-layer benchmark --------------------------------------------
+# BENCH_serve.json reports the daemon's request envelope under the two
+# canonical load regimes. The closed-loop run hits a cold cache, so its
+# latency is dominated by real simulation time; the open-loop run reuses
+# the now-warm cache, so its latency is the serving overhead itself
+# (admission, coalescing, HTTP). Shed counts quantify the admission
+# controller rather than failing the bench: overload answers 429.
+SERVEOUT="BENCH_serve.json"
+SADDR="${BENCH_SERVE_ADDR:-127.0.0.1:8124}"
+SREQS="${BENCH_SERVE_REQUESTS:-32}"
+echo "== duplexityd loadgen =="
+go build -o "$tmp/duplexityd" ./cmd/duplexityd
+"$tmp/duplexityd" serve -addr "$SADDR" -scale "$SCALE" -seed 1 \
+    -workers "$WORKERS" -cachedir "$tmp/serve-cache" 2>"$tmp/served.log" &
+serve_pid=$!
+for i in $(seq 1 100); do
+    curl -fsS "http://$SADDR/v1/healthz" >/dev/null 2>&1 && break
+    kill -0 "$serve_pid" 2>/dev/null \
+        || { echo "FAIL: duplexityd died during boot"; cat "$tmp/served.log"; exit 1; }
+    sleep 0.1
+done
+
+"$tmp/duplexityd" loadgen -addr "$SADDR" -conc "$WORKERS" -requests "$SREQS" \
+    -spread 16 >"$tmp/serve-closed.json"
+cat "$tmp/serve-closed.json"
+"$tmp/duplexityd" loadgen -addr "$SADDR" -qps 100 -duration 3s \
+    -spread 16 >"$tmp/serve-open.json"
+cat "$tmp/serve-open.json"
+
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "FAIL: duplexityd drain exited nonzero"; cat "$tmp/served.log"; exit 1; }
+serve_pid=""
+[[ -f "$tmp/serve-cache/checkpoint.json" ]] \
+    || { echo "FAIL: no checkpoint after drain"; exit 1; }
+
+{
+    echo "{"
+    echo "  \"bench\": \"serve-loadgen\","
+    echo "  \"scale\": $SCALE,"
+    echo "  \"workers\": $WORKERS,"
+    echo "  \"closed_cold\": $(cat "$tmp/serve-closed.json"),"
+    echo "  \"open_warm\": $(cat "$tmp/serve-open.json")"
+    echo "}"
+} >"$SERVEOUT"
+
+echo "== $SERVEOUT =="
+cat "$SERVEOUT"

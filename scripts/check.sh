@@ -25,7 +25,7 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race (telemetry, core, campaign, expt, e2e) =="
+echo "== go test -race (telemetry, core, campaign, expt, serve, e2e) =="
 # -short skips the multi-million-cycle core simulations, which exceed
 # go test's timeout under the race detector's ~10-20x slowdown; the
 # race-relevant code paths (telemetry emission, collection, spans) are
@@ -35,6 +35,10 @@ go test -race -short -timeout 15m ./internal/telemetry/... ./internal/core/...
 # suites run real cycle-level cells concurrently (full-matrix tests
 # self-skip under race via the raceEnabled build-tag guard).
 go test -race -timeout 15m ./internal/campaign ./internal/expt
+# The serving layer is the most concurrency-dense package in the repo
+# (admission, coalescing, drain, panic isolation all cross goroutines);
+# its whole suite, including the real-simulator e2e tests, runs raced.
+go test -race -timeout 15m ./internal/serve
 go test -race -run 'TestE2E' -timeout 15m .
 
 if [[ "${CHECK_SKIP_BENCH:-0}" == "1" ]]; then
