@@ -3,7 +3,8 @@
 // Usage:
 //
 //	duplexity [-scale f] [-seed n] [-workers n] [-cachedir dir] [-resume]
-//	          [-telemetry out.json] [-progress] [-pprof addr] <experiment>...
+//	          [-fleet url1,url2,...] [-telemetry out.json] [-progress]
+//	          [-pprof addr] <experiment>...
 //
 // Experiments: fig1a fig1b fig1c fig2a fig2b table1 table2 fig5a fig5b
 // fig5c fig5d fig5e fig5f fig6 workloads slowdowns all motivation
@@ -21,9 +22,16 @@
 // campaign cache hit/miss and per-cell wall-time stats, and the
 // per-design campaign summary (every simulated design × workload × load
 // cell).
+//
+// With -fleet, simulation cells resolve through a fleet of duplexityd
+// worker daemons instead of the local CPU: cells shard across workers
+// by rendezvous hashing on their cache digests, stragglers are hedged,
+// and results are byte-identical to a local run. The workers must serve
+// this run's (scale, seed) world.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -35,8 +43,42 @@ import (
 	"time"
 
 	"duplexity"
+	"duplexity/internal/campaign"
+	"duplexity/internal/core"
+	"duplexity/internal/expt"
+	"duplexity/internal/fleet"
 	"duplexity/internal/telemetry"
 )
+
+// dialFleet builds and registers a fleet coordinator over -fleet worker
+// URLs, pinning the world to this run's scale and seed so a mismatched
+// worker is a startup error, not a wrong result.
+func dialFleet(fleetList string, scale float64, seed uint64) (*fleet.Coordinator, error) {
+	var urls []string
+	for _, u := range strings.Split(fleetList, ",") {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls = append(urls, u)
+	}
+	coord, err := fleet.New(fleet.Options{
+		Workers: urls,
+		World:   expt.World{Model: core.ModelVersion, Scale: scale, Seed: seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.Register(ctx); err != nil {
+		return nil, err
+	}
+	return coord, nil
+}
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "simulation fidelity (1.0 = paper scale)")
@@ -44,6 +86,7 @@ func main() {
 	workers := flag.Int("workers", 0, "campaign worker goroutines (0 = one per CPU, 1 = sequential)")
 	cacheDir := flag.String("cachedir", "", "content-addressed result cache directory (empty = no persistence)")
 	resume := flag.Bool("resume", false, "resume from the default cache (.duplexity-cache) when -cachedir is unset")
+	fleetList := flag.String("fleet", "", "comma-separated duplexityd worker URLs to run cells on (empty = local CPU)")
 	telemetryPath := flag.String("telemetry", "", "write a JSON campaign manifest to this file")
 	progress := flag.Bool("progress", false, "report per-experiment progress on stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -70,8 +113,18 @@ func main() {
 			}
 		}()
 	}
+	var remote campaign.Remote
+	if *fleetList != "" {
+		coord, err := dialFleet(*fleetList, *scale, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "duplexity:", err)
+			os.Exit(1)
+		}
+		remote = coord
+	}
 	s := duplexity.NewSuite(duplexity.SuiteOptions{
 		Scale: *scale, Seed: *seed, Workers: *workers, CacheDir: *cacheDir,
+		Remote: remote,
 	})
 	if err := s.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "duplexity:", err)
@@ -184,8 +237,8 @@ func main() {
 	// byte-comparable across runs (and scripts/bench.sh can parse it).
 	cs := s.CampaignStats()
 	if cs.Cells > 0 {
-		fmt.Fprintf(os.Stderr, "campaign: workers=%d cells=%d hits=%d misses=%d sim_wall_s=%.3f\n",
-			cs.Workers, cs.Cells, cs.Hits, cs.Misses, cs.SimWallSeconds)
+		fmt.Fprintf(os.Stderr, "campaign: workers=%d cells=%d hits=%d misses=%d remote=%d sim_wall_s=%.3f\n",
+			cs.Workers, cs.Cells, cs.Hits, cs.Misses, cs.Remote, cs.SimWallSeconds)
 	}
 
 	if *telemetryPath != "" {

@@ -6,6 +6,10 @@
 //	duplexityd serve   [-addr a] [-scale f] [-seed n] [-workers n]
 //	                   [-cachedir dir] [-resume] [-queue n] [-rps f]
 //	                   [-burst n] [-timeout d] [-drain-timeout d]
+//	duplexityd coordinate -fleet url1,url2,... [-addr a] [-scale f]
+//	                   [-seed n] [-workers n] [-cachedir dir] [-resume]
+//	                   [-queue n] [-rps f] [-burst n] [-timeout d]
+//	                   [-drain-timeout d] [-hedge-after d]
 //	duplexityd submit  [-addr a] [-campaign] [-kind k] [-designs l]
 //	                   [-workloads l] [-loads l] [-design d] [-workload w]
 //	                   [-load f] [-timeout-ms n]
@@ -20,6 +24,16 @@
 // the cell axes (kind, design, workload, load). SIGTERM or SIGINT
 // drains gracefully: new work is refused, admitted cells finish, and
 // the campaign checkpoint is flushed.
+//
+// coordinate runs the same HTTP surface but resolves cells through a
+// worker fleet instead of the local simulation pool: cells shard across
+// the -fleet workers by rendezvous hashing on their cache digests,
+// stragglers are hedged to a second worker after an adaptive p99-based
+// threshold, failed workers are retried with backoff, and merged
+// results land in the coordinator's cache byte-identical to a
+// single-node run. With -scale/-seed unset the coordinator adopts the
+// workers' world; set them to pin (and verify) it. GET /v1/fleetz
+// reports per-worker dispatch state.
 //
 // submit posts one cell (default) or a campaign (-campaign) to a
 // running daemon and writes results to stdout — campaign results stream
@@ -51,7 +65,9 @@ import (
 	"syscall"
 	"time"
 
+	"duplexity/internal/core"
 	"duplexity/internal/expt"
+	"duplexity/internal/fleet"
 	"duplexity/internal/serve"
 	"duplexity/internal/telemetry"
 )
@@ -65,6 +81,8 @@ func main() {
 	switch os.Args[1] {
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "coordinate":
+		err = cmdCoordinate(os.Args[2:])
 	case "submit":
 		err = cmdSubmit(os.Args[2:])
 	case "status":
@@ -89,10 +107,11 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: duplexityd <command> [flags]
 
 commands:
-  serve    run the simulation daemon
-  submit   submit a cell or campaign to a running daemon
-  status   print a running daemon's /v1/statz
-  loadgen  drive a running daemon with closed- or open-loop load
+  serve       run the simulation daemon
+  coordinate  run the daemon as a fleet coordinator over -fleet workers
+  submit      submit a cell or campaign to a running daemon
+  status      print a running daemon's /v1/statz
+  loadgen     drive a running daemon with closed- or open-loop load
 
 run "duplexityd <command> -h" for per-command flags
 `)
@@ -125,15 +144,22 @@ func cmdServe(args []string) error {
 		return err
 	}
 
+	banner := fmt.Sprintf("serving on %%s (scale=%g seed=%d cachedir=%q)", *scale, *seed, *cacheDir)
+	return serveUntilSignal(srv, srv.Handler(), *addr, banner, *drainTimeout)
+}
+
+// serveUntilSignal binds addr, serves handler, and on SIGTERM/SIGINT
+// drains srv (refusing new work, finishing in-flight cells, flushing
+// the campaign checkpoint) before shutting the listener down.
+func serveUntilSignal(srv *serve.Server, handler http.Handler, addr, banner string, drainTimeout time.Duration) error {
 	// Bind before announcing so scripts can poll the printed address.
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "duplexityd: serving on %s (scale=%g seed=%d cachedir=%q)\n",
-		ln.Addr(), *scale, *seed, *cacheDir)
+	fmt.Fprintf(os.Stderr, "duplexityd: "+banner+"\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -146,7 +172,7 @@ func cmdServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "duplexityd: %v: draining (finishing in-flight cells)...\n", s)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
 		// The checkpoint may be lost but the cache and journal are still
@@ -158,6 +184,95 @@ func cmdServe(args []string) error {
 	shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer shCancel()
 	return hs.Shutdown(shCtx)
+}
+
+func cmdCoordinate(args []string) error {
+	fs := flag.NewFlagSet("coordinate", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	fleetList := fs.String("fleet", "", "comma-separated worker base URLs (required), e.g. http://h1:8077,http://h2:8077")
+	scale := fs.Float64("scale", 0, "world scale the workers must serve (0 = adopt from workers)")
+	seed := fs.Uint64("seed", 0, "world seed the workers must serve (0 = adopt from workers)")
+	workers := fs.Int("workers", 0, "campaign engine width feeding the fleet (0 = one per CPU)")
+	cacheDir := fs.String("cachedir", "", "coordinator-side content-addressed result cache directory")
+	resume := fs.Bool("resume", false, "use the default cache (.duplexity-cache) when -cachedir is unset")
+	queue := fs.Int("queue", 0, "submission queue depth (0 = default 64)")
+	rps := fs.Float64("rps", 0, "token-bucket rate limit on POST /v1/cells (0 = unlimited)")
+	burst := fs.Int("burst", 0, "token-bucket burst (0 = derived from -rps)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "default per-cell deadline")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "how long a drain waits for in-flight cells")
+	hedgeAfter := fs.Duration("hedge-after", 0, "straggler hedge threshold before p99 history accrues (0 = default 2s)")
+	fs.Parse(args)
+	if *resume && *cacheDir == "" {
+		*cacheDir = ".duplexity-cache"
+	}
+
+	coord, err := newCoordinator(*fleetList, *scale, *seed, *hedgeAfter)
+	if err != nil {
+		return err
+	}
+	world := coord.World()
+	fmt.Fprintf(os.Stderr, "duplexityd: fleet registered: %d workers, world model=%s scale=%g seed=%d\n",
+		len(strings.Split(*fleetList, ",")), world.Model, world.Scale, world.Seed)
+
+	suite := expt.NewSuite(expt.Options{
+		Scale: world.Scale, Seed: world.Seed, Workers: *workers,
+		CacheDir: *cacheDir, Remote: coord,
+	})
+	srv, err := serve.New(serve.Config{
+		Suite: suite, Workers: *workers, QueueDepth: *queue,
+		RatePerSec: *rps, Burst: *burst, DefaultTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	// The coordinator serves the standard daemon surface plus its own
+	// fleet introspection route.
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/fleetz", coord.Handler())
+	mux.Handle("/", srv.Handler())
+
+	banner := fmt.Sprintf("coordinating on %%s (scale=%g seed=%d cachedir=%q fleet=%s)",
+		world.Scale, world.Seed, *cacheDir, *fleetList)
+	return serveUntilSignal(srv, mux, *addr, banner, *drainTimeout)
+}
+
+// newCoordinator parses a -fleet worker list, builds the fleet
+// coordinator, and registers it (verifying world identity). A zero
+// scale+seed adopts the workers' world; otherwise the workers must
+// match this binary's model at the given scale and seed.
+func newCoordinator(fleetList string, scale float64, seed uint64, hedgeAfter time.Duration) (*fleet.Coordinator, error) {
+	if fleetList == "" {
+		return nil, fmt.Errorf("-fleet is required: comma-separated worker base URLs")
+	}
+	var urls []string
+	for _, u := range strings.Split(fleetList, ",") {
+		u = strings.TrimSuffix(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls = append(urls, u)
+	}
+	o := fleet.Options{Workers: urls, HedgeAfter: hedgeAfter}
+	if scale != 0 || seed != 0 {
+		o.World = expt.World{Model: core.ModelVersion, Scale: scale, Seed: seed}
+	}
+	coord, err := fleet.New(o)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.Register(ctx); err != nil {
+		return nil, err
+	}
+	if w := coord.World(); w.Model != core.ModelVersion {
+		return nil, fmt.Errorf("fleet serves model %q but this binary is %q", w.Model, core.ModelVersion)
+	}
+	return coord, nil
 }
 
 func cmdSubmit(args []string) error {

@@ -48,15 +48,26 @@ func (c *Cache) entryPath(digest string) string {
 // undecodable entry is a miss: the caller recomputes and Put overwrites
 // whatever was there.
 func (c *Cache) Get(digest string) (json.RawMessage, bool) {
-	data, err := os.ReadFile(c.entryPath(digest))
-	if err != nil {
-		return nil, false
-	}
-	var e Entry
-	if err := json.Unmarshal(data, &e); err != nil || len(e.Result) == 0 {
+	e, ok := c.GetEntry(digest)
+	if !ok {
 		return nil, false
 	}
 	return e.Result, true
+}
+
+// GetEntry returns the full cached envelope for a digest — what a fleet
+// worker ships back to its coordinator, so the coordinator can store an
+// identical entry. Miss semantics match Get.
+func (c *Cache) GetEntry(digest string) (Entry, bool) {
+	data, err := os.ReadFile(c.entryPath(digest))
+	if err != nil {
+		return Entry{}, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil || len(e.Result) == 0 {
+		return Entry{}, false
+	}
+	return e, true
 }
 
 // Put stores an entry under its digest, atomically.

@@ -37,6 +37,23 @@ type Options struct {
 	// (and its completion journal) rooted at this directory. Empty means
 	// no persistence: every cell simulates.
 	CacheDir string
+	// Remote, when non-nil, is consulted after the local cache and before
+	// local computation: cells are dispatched to it (a fleet of worker
+	// daemons, in practice) and its entries are written into the local
+	// cache verbatim, so a remote-executed campaign leaves the same cache
+	// bytes a local run would. A Remote error falls back to local
+	// computation when the task has a Run body.
+	Remote Remote
+}
+
+// Remote executes a cell somewhere else and returns the same Entry a
+// local computation would have cached: the full key, the producing
+// worker's simulation wall time, and the raw result JSON. The bool
+// reports whether the remote answered from its own cache. Implementations
+// must be safe for concurrent use; internal/fleet provides the
+// rendezvous-sharded, hedged implementation.
+type Remote interface {
+	Exec(k Key) (Entry, bool, error)
 }
 
 // Engine executes campaign cells on a bounded worker pool with optional
@@ -46,6 +63,7 @@ type Engine struct {
 	workers int
 	cache   *Cache
 	journal *Journal
+	remote  Remote
 	stats   *Stats
 }
 
@@ -57,7 +75,7 @@ func New(o Options) (*Engine, error) {
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
-	e := &Engine{workers: w, stats: newStats()}
+	e := &Engine{workers: w, remote: o.Remote, stats: newStats()}
 	if o.CacheDir != "" {
 		c, err := OpenCache(o.CacheDir)
 		if err != nil {
@@ -158,47 +176,101 @@ func Do[R any](e *Engine, t Task[R]) (R, bool, error) {
 // journaling on a miss. The bool reports a cache hit.
 func runOne[R any](e *Engine, t Task[R]) (R, bool, error) {
 	var zero R
-	digest := t.Key.Digest()
+	var run func() (json.RawMessage, error)
+	if t.Run != nil {
+		run = func() (json.RawMessage, error) {
+			r, err := t.Run()
+			if err != nil {
+				return nil, err
+			}
+			raw, err := json.Marshal(r)
+			if err != nil {
+				return nil, fmt.Errorf("encoding result: %w", err)
+			}
+			return raw, nil
+		}
+	}
+	ent, cached, err := e.DoRaw(t.Key, run)
+	if err != nil {
+		return zero, false, err
+	}
+	var r R
+	if err := json.Unmarshal(ent.Result, &r); err != nil {
+		return zero, false, fmt.Errorf("decoding result: %w", err)
+	}
+	return r, cached, nil
+}
+
+// DoRaw resolves one cell at the cache-entry level: local cache probe,
+// then the remote executor (if configured), then local computation via
+// run. The returned Entry is exactly what the cache holds (or would
+// hold, sans cache dir), which is what lets a fleet worker ship its
+// envelope to a coordinator that then stores byte-identical entries.
+// The bool reports whether any cache — local or a remote worker's —
+// answered the cell. run may be nil when the caller cannot compute
+// locally; such a cell fails if it is neither cached nor remotely
+// executable.
+func (e *Engine) DoRaw(k Key, run func() (json.RawMessage, error)) (Entry, bool, error) {
+	digest := k.Digest()
 
 	if e.cache != nil {
-		if raw, ok := e.cache.Get(digest); ok {
-			var r R
-			if err := json.Unmarshal(raw, &r); err == nil {
-				e.finish(t.Key, digest, true, 0)
-				return r, true, nil
-			}
-			// Undecodable entry (format drift, torn write that slipped
-			// through): fall through and recompute; Put overwrites it.
+		if ent, ok := e.cache.GetEntry(digest); ok {
+			e.finish(k, digest, true, false, 0)
+			return ent, true, nil
 		}
+	}
+
+	if e.remote != nil {
+		ent, remoteCached, err := e.remote.Exec(k)
+		if err == nil {
+			if e.cache != nil {
+				if perr := e.cache.Put(digest, ent); perr != nil {
+					e.stats.recordError()
+					return Entry{}, false, perr
+				}
+			}
+			// Cached reports the worker's cache; WallSeconds is the
+			// worker's simulation time, so SimWallSeconds still sums
+			// real compute fleet-wide.
+			e.finish(k, digest, remoteCached, true, ent.WallSeconds)
+			return ent, remoteCached, nil
+		}
+		if run == nil {
+			e.stats.recordError()
+			return Entry{}, false, err
+		}
+		// Remote exhausted its retries; fall back to computing locally so
+		// a coordinator outlives its whole fleet.
+	}
+
+	if run == nil {
+		e.stats.recordError()
+		return Entry{}, false, fmt.Errorf("cell %s not cached and not computable", digest[:12])
 	}
 
 	start := time.Now()
-	r, err := t.Run()
+	raw, err := run()
 	wall := time.Since(start).Seconds()
 	if err != nil {
 		e.stats.recordError()
-		return zero, false, err
+		return Entry{}, false, err
 	}
+	ent := Entry{Key: k, WallSeconds: wall, Result: raw}
 	if e.cache != nil {
-		raw, err := json.Marshal(r)
-		if err != nil {
+		if err := e.cache.Put(digest, ent); err != nil {
 			e.stats.recordError()
-			return zero, false, fmt.Errorf("encoding result: %w", err)
-		}
-		if err := e.cache.Put(digest, Entry{Key: t.Key, WallSeconds: wall, Result: raw}); err != nil {
-			e.stats.recordError()
-			return zero, false, err
+			return Entry{}, false, err
 		}
 	}
-	e.finish(t.Key, digest, false, wall)
-	return r, false, nil
+	e.finish(k, digest, false, false, wall)
+	return ent, false, nil
 }
 
 // finish records accounting and journals the completion.
-func (e *Engine) finish(k Key, digest string, cached bool, wall float64) {
+func (e *Engine) finish(k Key, digest string, cached, remote bool, wall float64) {
 	seq := e.stats.record(CellTiming{
 		Kind: k.Kind, Design: k.Design, Workload: k.Workload, Load: k.Load,
-		Cached: cached, WallSeconds: wall,
+		Cached: cached, Remote: remote, WallSeconds: wall,
 	})
 	if e.journal != nil {
 		// Journal failures are deliberately non-fatal: the journal is an
@@ -207,7 +279,7 @@ func (e *Engine) finish(k Key, digest string, cached bool, wall float64) {
 		_ = e.journal.Append(JournalEntry{
 			Seq: seq, Digest: digest, Kind: k.Kind,
 			Design: k.Design, Workload: k.Workload, Load: k.Load,
-			Cached: cached, WallSeconds: wall,
+			Cached: cached, Remote: remote, WallSeconds: wall,
 		})
 	}
 }

@@ -378,3 +378,135 @@ func TestCacheLenCountsOnlyEntries(t *testing.T) {
 		t.Fatalf("Len = %d, want 1 (journal and temp excluded)", n)
 	}
 }
+
+// fakeRemote is a scriptable Remote: it answers from a prepared entry
+// table or returns a fixed error, counting calls either way.
+type fakeRemote struct {
+	entries map[string]Entry // digest -> entry
+	cached  bool             // reported "worker cache hit" flag
+	err     error
+	calls   atomic.Int64
+}
+
+func (f *fakeRemote) Exec(k Key) (Entry, bool, error) {
+	f.calls.Add(1)
+	if f.err != nil {
+		return Entry{}, false, f.err
+	}
+	e, ok := f.entries[k.Digest()]
+	if !ok {
+		return Entry{}, false, fmt.Errorf("fakeRemote: no entry for %s", k.Digest())
+	}
+	return e, f.cached, nil
+}
+
+func remoteEntryFor(i int, wall float64) Entry {
+	raw, err := json.Marshal(compute(i))
+	if err != nil {
+		panic(err)
+	}
+	return Entry{Key: baseKey(i), WallSeconds: wall, Result: raw}
+}
+
+func TestRemoteExecutesAndCachesLocally(t *testing.T) {
+	dir := t.TempDir()
+	k := baseKey(0)
+	rem := &fakeRemote{entries: map[string]Entry{k.Digest(): remoteEntryFor(0, 1.5)}}
+	e, err := New(Options{Workers: 1, CacheDir: dir, Remote: rem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var executed atomic.Int64
+	task := Task[result]{Key: k, Run: func() (result, error) {
+		executed.Add(1)
+		return compute(0), nil
+	}}
+	r, cached, err := Do(e, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("remote miss reported as cached")
+	}
+	if r != compute(0) {
+		t.Fatalf("remote result wrong: %+v", r)
+	}
+	if executed.Load() != 0 {
+		t.Fatal("local Run executed despite healthy remote")
+	}
+	if rem.calls.Load() != 1 {
+		t.Fatalf("remote called %d times, want 1", rem.calls.Load())
+	}
+	// The remote entry landed in the local cache verbatim.
+	ent, ok := e.cache.GetEntry(k.Digest())
+	if !ok {
+		t.Fatal("remote entry not written to local cache")
+	}
+	if ent.WallSeconds != 1.5 || !reflect.DeepEqual(ent.Key, k) {
+		t.Fatalf("local entry differs from remote envelope: %+v", ent)
+	}
+	// A second resolution hits the local cache, never the remote.
+	if _, cached, err := Do(e, task); err != nil || !cached {
+		t.Fatalf("second Do: cached=%v err=%v, want local hit", cached, err)
+	}
+	if rem.calls.Load() != 1 {
+		t.Fatalf("remote consulted again after local cache warm (%d calls)", rem.calls.Load())
+	}
+	sum := e.Stats()
+	if sum.Remote != 1 || sum.Misses != 1 || sum.Hits != 1 {
+		t.Fatalf("stats remote=%d misses=%d hits=%d, want 1/1/1", sum.Remote, sum.Misses, sum.Hits)
+	}
+	if sum.SimWallSeconds != 1.5 {
+		t.Fatalf("sim wall %v, want the worker's 1.5", sum.SimWallSeconds)
+	}
+}
+
+func TestRemoteWorkerCacheHitCountsAsHit(t *testing.T) {
+	k := baseKey(3)
+	rem := &fakeRemote{entries: map[string]Entry{k.Digest(): remoteEntryFor(3, 0)}, cached: true}
+	e, err := New(Options{Workers: 1, Remote: rem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cached, err := Do(e, Task[result]{Key: k, Run: func() (result, error) { return compute(3), nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("worker cache hit not surfaced as cached")
+	}
+	sum := e.Stats()
+	if sum.Hits != 1 || sum.Remote != 1 {
+		t.Fatalf("stats hits=%d remote=%d, want 1/1", sum.Hits, sum.Remote)
+	}
+}
+
+func TestRemoteFailureFallsBackLocally(t *testing.T) {
+	rem := &fakeRemote{err: errors.New("fleet down")}
+	e, err := New(Options{Workers: 1, CacheDir: t.TempDir(), Remote: rem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var executed atomic.Int64
+	r, cached, err := Do(e, Task[result]{Key: baseKey(7), Run: func() (result, error) {
+		executed.Add(1)
+		return compute(7), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || r != compute(7) || executed.Load() != 1 {
+		t.Fatalf("fallback wrong: cached=%v r=%+v executed=%d", cached, r, executed.Load())
+	}
+}
+
+func TestRemoteFailureWithoutRunBodyErrors(t *testing.T) {
+	rem := &fakeRemote{err: errors.New("fleet down")}
+	e, err := New(Options{Workers: 1, Remote: rem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.DoRaw(baseKey(9), nil); err == nil {
+		t.Fatal("uncomputable cell with dead remote should error")
+	}
+}

@@ -23,6 +23,7 @@ type JournalEntry struct {
 	Workload    string  `json:"workload"`
 	Load        float64 `json:"load"`
 	Cached      bool    `json:"cached"`
+	Remote      bool    `json:"remote,omitempty"`
 	WallSeconds float64 `json:"wall_seconds"`
 	// Status is empty for a completed cell. Incomplete cells — admitted
 	// by a serving layer but never finished — are journaled with

@@ -6,11 +6,15 @@ import "sync"
 // which cell, whether the cache answered it, and the simulation wall
 // time (0 for cache hits).
 type CellTiming struct {
-	Kind        string  `json:"kind"`
-	Design      string  `json:"design"`
-	Workload    string  `json:"workload"`
-	Load        float64 `json:"load"`
-	Cached      bool    `json:"cached"`
+	Kind     string  `json:"kind"`
+	Design   string  `json:"design"`
+	Workload string  `json:"workload"`
+	Load     float64 `json:"load"`
+	Cached   bool    `json:"cached"`
+	// Remote marks a cell resolved by a fleet worker rather than this
+	// process (Cached then reports the worker's cache, WallSeconds the
+	// worker's simulation time).
+	Remote      bool    `json:"remote,omitempty"`
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
@@ -26,6 +30,8 @@ type Summary struct {
 	Cells  int `json:"cells"`
 	Hits   int `json:"hits"`
 	Misses int `json:"misses"`
+	// Remote counts cells resolved by fleet workers (a subset of Cells).
+	Remote int `json:"remote,omitempty"`
 	Errors int `json:"errors,omitempty"`
 	// Incomplete counts admitted cells journaled as cancelled or
 	// panicked by a serving layer (never part of Cells).
@@ -49,6 +55,7 @@ type Stats struct {
 	seq        int
 	hits       int
 	misses     int
+	remote     int
 	errors     int
 	incomplete int
 	simWall    float64
@@ -72,6 +79,9 @@ func (s *Stats) record(t CellTiming) int {
 		s.hits++
 	} else {
 		s.misses++
+	}
+	if t.Remote {
+		s.remote++
 	}
 	s.simWall += t.WallSeconds
 	s.timings = append(s.timings, t)
@@ -103,6 +113,7 @@ func (s *Stats) summary() Summary {
 		Cells:          s.hits + s.misses,
 		Hits:           s.hits,
 		Misses:         s.misses,
+		Remote:         s.remote,
 		Errors:         s.errors,
 		Incomplete:     s.incomplete,
 		SimWallSeconds: s.simWall,

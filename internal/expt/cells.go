@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -148,6 +149,22 @@ type ServedResult struct {
 	Cell *CellReport `json:"cell,omitempty"`
 	// CyclesPerReq is the slowdown-cell payload (0 for matrix cells).
 	CyclesPerReq float64 `json:"cycles_per_req,omitempty"`
+	// Raw is the cache-entry-level form this result decoded from. It is
+	// what a fleet worker ships to its coordinator (the serve layer's
+	// /v1/exec endpoint returns it); excluded from client-facing JSON.
+	Raw *RawCellResult `json:"-"`
+}
+
+// RawCellResult is one resolved cell at the cache-entry level: the
+// content address, whether a cache answered it, the producing
+// simulation's wall time, and the raw result JSON exactly as cached.
+// This is the fleet wire format — a coordinator stores the entry
+// verbatim, so its cache ends up byte-identical to a single-node run's.
+type RawCellResult struct {
+	Digest      string          `json:"digest"`
+	Cached      bool            `json:"cached"`
+	WallSeconds float64         `json:"wall_seconds"`
+	Result      json.RawMessage `json:"result"`
 }
 
 // Engine exposes the suite's campaign engine to the serving layer
@@ -166,35 +183,73 @@ func (s *Suite) ServedKey(cs CellSpec) (campaign.Key, error) {
 	return s.cellKey(cs.Kind, design, spec, cs.Load), nil
 }
 
-// RunServed resolves one validated cell through the campaign engine:
-// cache probe, simulation on a miss, journaling — identical accounting
-// to a CLI batch. Unlike the figure methods, RunServed is safe for
-// concurrent use (it touches no Suite memoization), which is what lets
-// the serve layer fan cells across its pool with one shared Suite.
-func (s *Suite) RunServed(cs CellSpec) (ServedResult, error) {
+// RunServedRaw resolves one validated cell through the campaign engine
+// at the cache-entry level: local cache probe, remote dispatch (when the
+// suite has a fleet), simulation on a miss, journaling — identical
+// accounting to a CLI batch. This is what the serve layer's /v1/exec
+// endpoint returns to a fleet coordinator. Safe for concurrent use.
+func (s *Suite) RunServedRaw(cs CellSpec) (RawCellResult, error) {
 	if s.engErr != nil {
-		return ServedResult{}, s.engErr
+		return RawCellResult{}, s.engErr
 	}
 	if err := cs.Validate(); err != nil {
-		return ServedResult{}, err
+		return RawCellResult{}, err
 	}
 	design, _ := ParseDesign(cs.Design)
 	spec := workloadByName(cs.Workload)
 	key := s.cellKey(cs.Kind, design, spec, cs.Load)
+
+	var run func() (json.RawMessage, error)
+	switch cs.Kind {
+	case KindMatrix:
+		run = func() (json.RawMessage, error) {
+			c, err := s.runCell(design, spec, cs.Load)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(c)
+		}
+	case KindSlowdown:
+		run = func() (json.RawMessage, error) {
+			v, err := s.measureSlowdown(design, spec)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(v)
+		}
+	}
+	ent, cached, err := s.eng.DoRaw(key, run)
+	if err != nil {
+		return RawCellResult{}, err
+	}
+	return RawCellResult{
+		Digest: key.Digest(), Cached: cached,
+		WallSeconds: ent.WallSeconds, Result: ent.Result,
+	}, nil
+}
+
+// RunServed resolves one validated cell and decodes it into the
+// API-facing result shape. It layers typed decoding over RunServedRaw,
+// so the local, coordinator, and worker paths all produce their
+// responses from the same cached bytes. Unlike the figure methods,
+// RunServed is safe for concurrent use (it touches no Suite
+// memoization), which is what lets the serve layer fan cells across its
+// pool with one shared Suite.
+func (s *Suite) RunServed(cs CellSpec) (ServedResult, error) {
+	raw, err := s.RunServedRaw(cs)
+	if err != nil {
+		return ServedResult{}, err
+	}
 	out := ServedResult{
 		Kind: cs.Kind, Design: cs.Design, Workload: cs.Workload, Load: cs.Load,
-		Digest: key.Digest(),
+		Digest: raw.Digest, Cached: raw.Cached, Raw: &raw,
 	}
 	switch cs.Kind {
 	case KindMatrix:
-		c, cached, err := campaign.Do(s.eng, campaign.Task[cell]{
-			Key: key,
-			Run: func() (cell, error) { return s.runCell(design, spec, cs.Load) },
-		})
-		if err != nil {
-			return ServedResult{}, err
+		var c cell
+		if err := json.Unmarshal(raw.Result, &c); err != nil {
+			return ServedResult{}, fmt.Errorf("expt: decoding matrix cell %s: %w", raw.Digest[:12], err)
 		}
-		out.Cached = cached
 		out.Cell = &CellReport{
 			Design:       c.Design.String(),
 			Workload:     c.Workload,
@@ -209,14 +264,10 @@ func (s *Suite) RunServed(cs CellSpec) (ServedResult, error) {
 			MicroP99Us:   c.MicroP99Us,
 		}
 	case KindSlowdown:
-		v, cached, err := campaign.Do(s.eng, campaign.Task[float64]{
-			Key: key,
-			Run: func() (float64, error) { return s.measureSlowdown(design, spec) },
-		})
-		if err != nil {
-			return ServedResult{}, err
+		var v float64
+		if err := json.Unmarshal(raw.Result, &v); err != nil {
+			return ServedResult{}, fmt.Errorf("expt: decoding slowdown cell %s: %w", raw.Digest[:12], err)
 		}
-		out.Cached = cached
 		out.CyclesPerReq = v
 	}
 	return out, nil

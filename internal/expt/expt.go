@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"duplexity/internal/campaign"
+	"duplexity/internal/core"
 )
 
 // Options scales experiment fidelity and configures the campaign
@@ -29,6 +30,11 @@ type Options struct {
 	// interrupted campaign resumes from its completed cells. Empty
 	// disables persistence.
 	CacheDir string
+	// Remote, when non-nil, dispatches cells that miss the local cache to
+	// a remote executor (internal/fleet's sharded worker pool) instead of
+	// simulating them in this process. Remote entries land in the local
+	// cache verbatim, so a fleet run is byte-identical to a local one.
+	Remote campaign.Remote
 }
 
 func (o Options) withDefaults() Options {
@@ -159,8 +165,24 @@ func NewSuite(opts Options) *Suite {
 	s.eng, s.engErr = campaign.New(campaign.Options{
 		Workers:  s.opts.Workers,
 		CacheDir: s.opts.CacheDir,
+		Remote:   s.opts.Remote,
 	})
 	return s
+}
+
+// World identifies the (model-version, scale, seed) world this suite
+// simulates. Every fleet member must serve the same world, or identical
+// cell specs would resolve to different cache keys on different hosts;
+// the coordinator verifies this at worker registration.
+type World struct {
+	Model string  `json:"model"`
+	Scale float64 `json:"scale"`
+	Seed  uint64  `json:"seed"`
+}
+
+// World returns this suite's world identity.
+func (s *Suite) World() World {
+	return World{Model: core.ModelVersion, Scale: s.opts.Scale, Seed: s.opts.Seed}
 }
 
 // Err reports the campaign-engine configuration error, if any.

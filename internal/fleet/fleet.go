@@ -1,0 +1,512 @@
+// Package fleet is the distributed campaign tier: a coordinator that
+// shards campaign cells across duplexityd worker daemons and implements
+// campaign.Remote, so an unmodified campaign engine fans out over
+// machines the way it already fans out over goroutines.
+//
+// Dispatch is tail-aware, practicing what the paper preaches about
+// killer microseconds in fan-out tiers:
+//
+//   - Sharding: cells route by rendezvous (HRW) hashing on their
+//     SHA-256 cache digest, so each worker's disk cache stays hot for
+//     "its" cells across campaigns and coordinator restarts.
+//   - Backpressure: per-worker in-flight windows grow additively on
+//     success and halve on 429, honoring the serving layer's
+//     Retry-After — the admission signals from PR 4 become the fleet's
+//     flow control.
+//   - Hedging: a cell that outlives an adaptive p99-based threshold is
+//     re-dispatched to the next-ranked worker; the first result wins
+//     and the loser's HTTP request is cancelled (the worker's
+//     coalescing layer then cancels the cell if it is still queued).
+//   - Retry: failed workers are down-marked with exponential backoff
+//     and their cells reshard to the next-ranked worker, so killing a
+//     worker mid-campaign delays cells instead of losing them.
+//   - L1: an in-memory singleflight result cache in front of the
+//     coordinator's disk cache absorbs duplicate submissions without a
+//     disk probe or a dispatch.
+//
+// Workers ship cache-entry-level results (expt.RawCellResult), which
+// the engine writes into the coordinator's cache verbatim — a fleet
+// campaign is byte-identical to a single-node run.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"duplexity/internal/campaign"
+	"duplexity/internal/expt"
+	"duplexity/internal/serve"
+	"duplexity/internal/stats"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers lists worker daemon base URLs ("http://host:9400").
+	// Required, at least one.
+	Workers []string
+	// World is the (model, scale, seed) world every worker must serve.
+	// Zero-valued, Register adopts the first reachable worker's world
+	// and verifies the rest against it.
+	World expt.World
+	// Client issues the fleet's HTTP requests. Default: a client with
+	// no global timeout (per-cell contexts bound each call).
+	Client *http.Client
+	// HedgeAfter is the straggler threshold before a cell is hedged to
+	// a second worker while latency history is still thin; once enough
+	// cells complete the threshold adapts to ~1.1× the observed p99.
+	// <= 0 means 2s.
+	HedgeAfter time.Duration
+	// CellTimeout bounds one cell end-to-end, across every retry and
+	// hedge. <= 0 means 15 minutes.
+	CellTimeout time.Duration
+	// MaxAttempts bounds dispatch attempts per cell. <= 0 means
+	// 3 × len(Workers), minimum 4.
+	MaxAttempts int
+}
+
+// l1flight coalesces concurrent Execs of the same digest.
+type l1flight struct {
+	done chan struct{}
+	ent  campaign.Entry
+	err  error
+}
+
+// Coordinator shards cells across a worker fleet. It implements
+// campaign.Remote and is safe for concurrent use.
+type Coordinator struct {
+	opts    Options
+	client  *http.Client
+	workers []*worker
+	world   expt.World
+
+	mu      sync.Mutex
+	l1      map[string]campaign.Entry
+	flights map[string]*l1flight
+
+	latMu sync.Mutex
+	lat   *stats.LatencyRecorder // completed-cell seconds, feeds the hedge threshold
+
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
+	retries   atomic.Int64
+	l1Hits    atomic.Int64
+}
+
+// New builds a coordinator over a static worker list. Call Register
+// before dispatching to verify world identity and size the windows.
+func New(o Options) (*Coordinator, error) {
+	if len(o.Workers) == 0 {
+		return nil, fmt.Errorf("fleet: at least one worker required")
+	}
+	seen := make(map[string]bool, len(o.Workers))
+	ws := make([]*worker, 0, len(o.Workers))
+	for _, name := range o.Workers {
+		if name == "" || seen[name] {
+			return nil, fmt.Errorf("fleet: empty or duplicate worker %q", name)
+		}
+		seen[name] = true
+		ws = append(ws, newWorker(name))
+	}
+	if o.HedgeAfter <= 0 {
+		o.HedgeAfter = 2 * time.Second
+	}
+	if o.CellTimeout <= 0 {
+		o.CellTimeout = 15 * time.Minute
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3 * len(o.Workers)
+		if o.MaxAttempts < 4 {
+			o.MaxAttempts = 4
+		}
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Coordinator{
+		opts:    o,
+		client:  client,
+		workers: ws,
+		world:   o.World,
+		l1:      make(map[string]campaign.Entry),
+		flights: make(map[string]*l1flight),
+		lat:     stats.NewLatencyRecorder(1024),
+	}, nil
+}
+
+// World returns the fleet's agreed world identity (meaningful after
+// Register; when Options.World was zero it is the adopted one).
+func (c *Coordinator) World() expt.World { return c.world }
+
+// Register probes every worker's /v1/queuez: verifies all reachable
+// workers serve the same (model, scale, seed) world and sizes each
+// in-flight window from the worker's simulation pool width. Unreachable
+// workers are down-marked, not fatal — dispatch retries them — but at
+// least one worker must answer, and any world mismatch is a hard error
+// (mismatched worlds would compute different cells for the same spec).
+func (c *Coordinator) Register(ctx context.Context) error {
+	reachable := 0
+	for _, w := range c.workers {
+		qz, err := c.queuez(ctx, w)
+		if err != nil {
+			w.connFail(time.Now())
+			continue
+		}
+		if c.world == (expt.World{}) {
+			c.world = qz.World
+		}
+		if qz.World != c.world {
+			return fmt.Errorf("fleet: worker %s serves world %+v, want %+v", w.name, qz.World, c.world)
+		}
+		w.configure(qz.Workers)
+		reachable++
+	}
+	if reachable == 0 {
+		return fmt.Errorf("fleet: no worker reachable of %d", len(c.workers))
+	}
+	return nil
+}
+
+func (c *Coordinator) queuez(ctx context.Context, w *worker) (serve.Queuez, error) {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.name+"/v1/queuez", nil)
+	if err != nil {
+		return serve.Queuez{}, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return serve.Queuez{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serve.Queuez{}, fmt.Errorf("fleet: %s queuez = %d", w.name, resp.StatusCode)
+	}
+	var qz serve.Queuez
+	if err := json.NewDecoder(resp.Body).Decode(&qz); err != nil {
+		return serve.Queuez{}, fmt.Errorf("fleet: %s queuez: %w", w.name, err)
+	}
+	return qz, nil
+}
+
+// Exec resolves one cell through the fleet: L1 probe, singleflight
+// coalescing, then sharded/hedged dispatch. It is the campaign.Remote
+// seam — the returned Entry is stored in the coordinator's disk cache
+// verbatim by the engine.
+func (c *Coordinator) Exec(k campaign.Key) (campaign.Entry, bool, error) {
+	digest := k.Digest()
+	c.mu.Lock()
+	if ent, ok := c.l1[digest]; ok {
+		c.mu.Unlock()
+		c.l1Hits.Add(1)
+		return ent, true, nil
+	}
+	if f, ok := c.flights[digest]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return campaign.Entry{}, false, f.err
+		}
+		// A coalesced follower's cell cost it nothing: a cache hit as
+		// far as its accounting is concerned.
+		return f.ent, true, nil
+	}
+	f := &l1flight{done: make(chan struct{})}
+	c.flights[digest] = f
+	c.mu.Unlock()
+
+	ent, cached, err := c.dispatch(k, digest)
+
+	c.mu.Lock()
+	delete(c.flights, digest)
+	if err == nil {
+		c.l1[digest] = ent
+	}
+	c.mu.Unlock()
+	f.ent, f.err = ent, err
+	close(f.done)
+	return ent, cached, err
+}
+
+// dispatch runs the retry loop: acquire the best-ranked available
+// worker, attempt (with hedging), reshard to the next worker on
+// failure. Validation failures and digest mismatches are fatal; 429s
+// and connection errors reshard.
+func (c *Coordinator) dispatch(k campaign.Key, digest string) (campaign.Entry, bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.CellTimeout)
+	defer cancel()
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		w, err := c.acquireWait(ctx, digest)
+		if err != nil {
+			if lastErr != nil {
+				return campaign.Entry{}, false, fmt.Errorf("fleet: cell %s: %w (last worker error: %v)", digest[:12], err, lastErr)
+			}
+			return campaign.Entry{}, false, fmt.Errorf("fleet: cell %s: %w", digest[:12], err)
+		}
+		out := c.attemptHedged(ctx, w, k, digest)
+		if out.err == nil {
+			return out.ent, out.cached, nil
+		}
+		if out.fatal {
+			return campaign.Entry{}, false, out.err
+		}
+		lastErr = out.err
+	}
+	return campaign.Entry{}, false, fmt.Errorf("fleet: cell %s failed after %d attempts: %w", digest[:12], c.opts.MaxAttempts, lastErr)
+}
+
+// acquireWait blocks until some worker in the cell's rendezvous order
+// has a free window slot (25ms poll — windows release on completions,
+// holdoffs expire on their own).
+func (c *Coordinator) acquireWait(ctx context.Context, digest string) (*worker, error) {
+	for {
+		if w := c.acquire(digest, nil); w != nil {
+			return w, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("no worker available: %w", ctx.Err())
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// acquire claims the best-ranked usable worker for a digest, skipping
+// exclude (the hedge's primary).
+func (c *Coordinator) acquire(digest string, exclude *worker) *worker {
+	now := time.Now()
+	for _, w := range rankWorkers(digest, c.workers) {
+		if w == exclude {
+			continue
+		}
+		if w.tryAcquire(now) {
+			return w
+		}
+	}
+	return nil
+}
+
+type attemptOutcome struct {
+	ent    campaign.Entry
+	cached bool
+	err    error
+	fatal  bool
+	hedged bool
+}
+
+// attemptHedged executes the cell on primary and, if it outlives the
+// hedge threshold, also on the next-ranked available worker. The first
+// success wins and cancels the other request; the worker's coalescing
+// layer cancels the losing cell if it is still queued there.
+func (c *Coordinator) attemptHedged(ctx context.Context, primary *worker, k campaign.Key, digest string) attemptOutcome {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan attemptOutcome, 2)
+	go c.attempt(ctx, primary, k, digest, false, results)
+	inFlight := 1
+	hedgeT := time.NewTimer(c.hedgeDelay())
+	defer hedgeT.Stop()
+	var firstErr attemptOutcome
+	haveErr := false
+	for {
+		select {
+		case out := <-results:
+			inFlight--
+			if out.err == nil {
+				cancel() // first result wins; the sibling is abandoned
+				if out.hedged {
+					c.hedgeWins.Add(1)
+				}
+				return out
+			}
+			if out.fatal {
+				return out
+			}
+			if inFlight > 0 {
+				// One leg failed but the other is still running — its
+				// result (or error) decides the attempt.
+				if !haveErr {
+					firstErr, haveErr = out, true
+				}
+				continue
+			}
+			if haveErr {
+				return firstErr
+			}
+			return out
+		case <-hedgeT.C:
+			if inFlight == 1 {
+				if h := c.acquire(digest, primary); h != nil {
+					c.hedges.Add(1)
+					inFlight++
+					go c.attempt(ctx, h, k, digest, true, results)
+				}
+			}
+		}
+	}
+}
+
+// hedgeDelay is the straggler threshold: ~1.1× the observed p99 of
+// completed cells once history is meaningful, the configured floor
+// before that. Never below 10ms — hedging microsecond-scale cache hits
+// would double traffic for nothing.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	if c.lat.Count() < 16 {
+		return c.opts.HedgeAfter
+	}
+	d := time.Duration(1.1 * c.lat.Quantile(0.99) * float64(time.Second))
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	return d
+}
+
+func (c *Coordinator) observe(elapsed time.Duration) {
+	c.latMu.Lock()
+	c.lat.Add(elapsed.Seconds())
+	c.latMu.Unlock()
+}
+
+// attempt performs one POST /v1/exec against one worker and classifies
+// the outcome for the dispatch loop.
+func (c *Coordinator) attempt(ctx context.Context, w *worker, k campaign.Key, digest string, hedged bool, results chan<- attemptOutcome) {
+	defer w.release()
+	out := attemptOutcome{hedged: hedged}
+	start := time.Now()
+	body, err := json.Marshal(serve.CellRequest{CellSpec: expt.CellSpec{
+		Kind: k.Kind, Design: k.Design, Workload: k.Workload, Load: k.Load,
+	}})
+	if err != nil {
+		out.err, out.fatal = err, true
+		results <- out
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.name+"/v1/exec", bytes.NewReader(body))
+	if err != nil {
+		out.err, out.fatal = err, true
+		results <- out
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			// A real connection failure, not our own hedge cancellation:
+			// down-mark so retries prefer healthy workers.
+			w.connFail(time.Now())
+		}
+		out.err = fmt.Errorf("fleet: %s: %w", w.name, err)
+		results <- out
+		return
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		if ctx.Err() == nil {
+			w.connFail(time.Now())
+		}
+		out.err = fmt.Errorf("fleet: %s: reading response: %w", w.name, err)
+		results <- out
+		return
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var raw expt.RawCellResult
+		if err := json.Unmarshal(data, &raw); err != nil {
+			w.connFail(time.Now())
+			out.err = fmt.Errorf("fleet: %s: undecodable exec response: %w", w.name, err)
+			break
+		}
+		if raw.Digest != digest {
+			// The worker resolved a different content address for the
+			// same spec: world drift the registration check should have
+			// caught. Never cache it; never retry into it.
+			out.err = fmt.Errorf("fleet: %s computed digest %s for cell %s (world drift?)", w.name, raw.Digest, digest)
+			out.fatal = true
+			break
+		}
+		w.success()
+		c.observe(time.Since(start))
+		out.ent = campaign.Entry{Key: k, WallSeconds: raw.WallSeconds, Result: raw.Result}
+		out.cached = raw.Cached
+	case http.StatusTooManyRequests:
+		ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		w.reject(time.Duration(ra)*time.Second, time.Now())
+		out.err = fmt.Errorf("fleet: %s shed cell %s (retry after %ds)", w.name, digest[:12], ra)
+	case http.StatusBadRequest:
+		out.err = fmt.Errorf("fleet: %s rejected cell %s: %s", w.name, digest[:12], data)
+		out.fatal = true
+	default:
+		// 503 (draining), 5xx, anything unexpected: back off this worker.
+		w.connFail(time.Now())
+		out.err = fmt.Errorf("fleet: %s returned %d for cell %s: %s", w.name, resp.StatusCode, digest[:12], data)
+	}
+	results <- out
+}
+
+// WorkerStatus is one worker's row in the fleet status report.
+type WorkerStatus struct {
+	Name       string `json:"name"`
+	Window     int    `json:"window"`
+	InFlight   int    `json:"in_flight"`
+	Down       bool   `json:"down"`
+	Dispatched int64  `json:"dispatched"`
+	Completed  int64  `json:"completed"`
+	Rejected   int64  `json:"rejected"`
+	Failed     int64  `json:"failed"`
+}
+
+// Status is the GET /v1/fleetz body.
+type Status struct {
+	World     expt.World     `json:"world"`
+	Workers   []WorkerStatus `json:"workers"`
+	Hedges    int64          `json:"hedges"`
+	HedgeWins int64          `json:"hedge_wins"`
+	Retries   int64          `json:"retries"`
+	L1Hits    int64          `json:"l1_hits"`
+	L1Entries int            `json:"l1_entries"`
+}
+
+// Stats snapshots the fleet's dispatch accounting.
+func (c *Coordinator) Stats() Status {
+	now := time.Now()
+	st := Status{
+		World:     c.world,
+		Hedges:    c.hedges.Load(),
+		HedgeWins: c.hedgeWins.Load(),
+		Retries:   c.retries.Load(),
+		L1Hits:    c.l1Hits.Load(),
+	}
+	for _, w := range c.workers {
+		st.Workers = append(st.Workers, w.status(now))
+	}
+	c.mu.Lock()
+	st.L1Entries = len(c.l1)
+	c.mu.Unlock()
+	return st
+}
+
+// Handler returns the coordinator's introspection API (GET /v1/fleetz),
+// mounted by duplexityd coordinate next to the serving layer's routes.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/fleetz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(c.Stats())
+	})
+	return mux
+}

@@ -1,0 +1,35 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// rendezvousScore is the highest-random-weight score of (digest,
+// worker): FNV-1a over the cell's SHA-256 digest and the worker's name,
+// separated so "ab"+"c" and "a"+"bc" never collide. Every coordinator
+// computes the same ranking from the same member list, with no shared
+// state and no ring to rebalance — and when a worker leaves, only the
+// cells it owned move, so the surviving workers' disk caches stay hot.
+func rendezvousScore(digest, worker string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(digest))
+	h.Write([]byte{0})
+	h.Write([]byte(worker))
+	return h.Sum64()
+}
+
+// rankWorkers orders workers by descending rendezvous score for a
+// digest (ties broken by name for determinism). Index 0 is the cell's
+// home worker; later indexes are the hedge/retry order.
+func rankWorkers(digest string, workers []*worker) []*worker {
+	ranked := append([]*worker(nil), workers...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := rendezvousScore(digest, ranked[i].name), rendezvousScore(digest, ranked[j].name)
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].name < ranked[j].name
+	})
+	return ranked
+}

@@ -1,0 +1,33 @@
+package queueing
+
+import (
+	"testing"
+
+	"duplexity/internal/stats"
+)
+
+// BenchmarkQueueingConverge measures a simulation that runs past the
+// MinRequests floor and through many convergence checks, the regime where
+// the per-check quantile query dominates. Before the LatencyRecorder kept
+// an incrementally sorted prefix, every check re-sorted the entire
+// growing sample array; this benchmark pins the amortized behavior.
+func BenchmarkQueueingConverge(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(Config{
+			ArrivalQPS: 80_000,
+			ServiceUs:  stats.Lognormal{MeanVal: 10, CV: 2},
+			// A high floor forces ~MinRequests/8192 convergence checks
+			// over a large sample set even when the tail converges early.
+			MinRequests: 400_000,
+			MaxRequests: 500_000,
+			Seed:        uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed < 400_000 {
+			b.Fatalf("completed %d < floor", res.Completed)
+		}
+	}
+}

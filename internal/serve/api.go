@@ -32,6 +32,19 @@ type CampaignAccepted struct {
 	Stream string `json:"stream"`
 }
 
+// Queuez is the GET /v1/queuez body: the dispatch-relevant slice of a
+// worker's state, polled by fleet coordinators for backpressure and
+// verified once at registration for world identity.
+type Queuez struct {
+	Draining      bool       `json:"draining"`
+	Workers       int        `json:"workers"`
+	QueueCapacity int        `json:"queue_capacity"`
+	QueueLength   int        `json:"queue_length"`
+	InFlight      int        `json:"in_flight"`
+	RetryAfterSec int        `json:"retry_after_sec"`
+	World         expt.World `json:"world"`
+}
+
 // Healthz is the GET /v1/healthz body.
 type Healthz struct {
 	Status string `json:"status"` // "ok" | "draining"

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"duplexity/internal/campaign"
+	"duplexity/internal/core"
+	"duplexity/internal/expt"
+)
+
+// TestCoalesceFollowerTimeout: a follower whose deadline expires while
+// the leader is mid-execution must not cancel the leader's cell, and the
+// follower's abandonment must land in the journal as its own cancelled
+// entry — the audit trail is per-request, not per-flight. This is also
+// exactly what happens when a fleet coordinator cancels the losing half
+// of a hedged dispatch.
+func TestCoalesceFollowerTimeout(t *testing.T) {
+	dir := t.TempDir()
+	suite := expt.NewSuite(expt.Options{Scale: 0.01, Seed: 1, Workers: 1, CacheDir: dir})
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	var mu sync.Mutex
+	executions := 0
+	s, ts := newTestServer(t, Config{Suite: suite, Workers: 1, QueueDepth: 4}, func(cs expt.CellSpec) (expt.ServedResult, error) {
+		started <- struct{}{}
+		mu.Lock()
+		executions++
+		mu.Unlock()
+		<-release
+		return stubResult(cs), nil
+	})
+
+	target := matrixCell(0.50)
+	var leaderStatus int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderStatus, _, _ = postJSON(t, ts.URL+"/v1/cells", target)
+	}()
+	<-started // leader is executing; its flight stays registered until release
+
+	// The follower coalesces onto the running flight, then times out.
+	status, _, body := postJSON(t, ts.URL+"/v1/cells", CellRequest{CellSpec: target, TimeoutMs: 50})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("follower = %d (%s), want 504", status, body)
+	}
+	st := pollStatz(t, ts.URL, "follower cancellation recorded", func(st Statz) bool {
+		return counter(st, "serve.cells.follower_cancelled") == 1
+	})
+	if counter(st, "serve.coalesce.hits") != 1 {
+		t.Errorf("coalesce hits = %d, want 1", counter(st, "serve.coalesce.hits"))
+	}
+
+	// The leader is untouched: still running, then completes normally.
+	close(release)
+	wg.Wait()
+	if leaderStatus != http.StatusOK {
+		t.Fatalf("leader = %d, want 200 (follower timeout must not cancel the leader)", leaderStatus)
+	}
+	mu.Lock()
+	if executions != 1 {
+		t.Errorf("executions = %d, want exactly 1", executions)
+	}
+	mu.Unlock()
+	st = pollStatz(t, ts.URL, "leader completed", func(st Statz) bool {
+		return counter(st, "serve.cells.completed") == 1
+	})
+	if counter(st, "serve.cells.cancelled") != 0 {
+		t.Errorf("cell cancelled = %d, want 0 (only the follower gave up)", counter(st, "serve.cells.cancelled"))
+	}
+
+	// The follower's journal entry records its own cancelled status.
+	key, err := suite.ServedKey(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := campaign.ReadJournal(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := 0
+	for _, e := range entries {
+		if e.Status == campaign.StatusCancelled && e.Digest == key.Digest() {
+			cancelled++
+		}
+	}
+	if cancelled != 1 {
+		t.Errorf("cancelled journal entries for the cell = %d, want 1: %+v", cancelled, entries)
+	}
+	if sum := s.suite.Engine().Stats(); sum.Incomplete != 1 {
+		t.Errorf("engine incomplete = %d, want 1", sum.Incomplete)
+	}
+}
+
+// TestExecEndpoint: POST /v1/exec returns the cache-entry-level result a
+// coordinator stores verbatim, and validates at the boundary like every
+// other endpoint.
+func TestExecEndpoint(t *testing.T) {
+	rawResult := json.RawMessage(`{"design":"Baseline","value":42}`)
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4}, func(cs expt.CellSpec) (expt.ServedResult, error) {
+		res := stubResult(cs)
+		res.Raw = &expt.RawCellResult{
+			Digest: "d1", Cached: false, WallSeconds: 0.25, Result: rawResult,
+		}
+		return res, nil
+	})
+
+	status, _, body := postJSON(t, ts.URL+"/v1/exec", CellRequest{CellSpec: matrixCell(0.30)})
+	if status != http.StatusOK {
+		t.Fatalf("exec = %d (%s), want 200", status, body)
+	}
+	var raw expt.RawCellResult
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw.Digest != "d1" || raw.Cached || raw.WallSeconds != 0.25 {
+		t.Errorf("exec envelope = %+v", raw)
+	}
+	if !bytes.Equal(raw.Result, rawResult) {
+		t.Errorf("exec result bytes = %s, want %s", raw.Result, rawResult)
+	}
+
+	if status, _, _ := postJSON(t, ts.URL+"/v1/exec", CellRequest{CellSpec: expt.CellSpec{Kind: "bogus"}}); status != http.StatusBadRequest {
+		t.Errorf("invalid exec = %d, want 400", status)
+	}
+}
+
+// TestQueuezReportsWorld: GET /v1/queuez exposes queue state and the
+// world identity a coordinator verifies before routing cells here.
+func TestQueuezReportsWorld(t *testing.T) {
+	suite := expt.NewSuite(expt.Options{Scale: 0.01, Seed: 9, Workers: 1})
+	_, ts := newTestServer(t, Config{Suite: suite, Workers: 3, QueueDepth: 7},
+		func(cs expt.CellSpec) (expt.ServedResult, error) { return stubResult(cs), nil })
+
+	var qz Queuez
+	if code := getJSON(t, ts.URL+"/v1/queuez", &qz); code != http.StatusOK {
+		t.Fatalf("queuez = %d, want 200", code)
+	}
+	if qz.Draining || qz.Workers != 3 || qz.QueueCapacity != 7 {
+		t.Errorf("queuez = %+v", qz)
+	}
+	want := expt.World{Model: core.ModelVersion, Scale: 0.01, Seed: 9}
+	if qz.World != want {
+		t.Errorf("world = %+v, want %+v", qz.World, want)
+	}
+}

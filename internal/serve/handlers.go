@@ -14,6 +14,8 @@ import (
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/cells", s.handleCell)
+	mux.HandleFunc("POST /v1/exec", s.handleExec)
+	mux.HandleFunc("GET /v1/queuez", s.handleQueuez)
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
 	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStreamCampaign)
@@ -53,6 +55,61 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleExec is the fleet-internal execution path: a coordinator
+// dispatches one cell and receives the cache-entry-level result (digest,
+// cached flag, wall time, raw result JSON) so it can store an identical
+// cache entry on its side. It shares admission, coalescing, and the pool
+// with /v1/cells — hedged duplicates landing on the same worker coalesce
+// onto one flight, and a full queue sheds with 429 + Retry-After, which
+// is the coordinator's backpressure signal. The token bucket is not
+// consulted: the coordinator's per-worker window is the rate control.
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	var req CellRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if err := req.CellSpec.Validate(); err != nil {
+		writeExecError(w, err)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	res, err := s.execCell(ctx, req.CellSpec, false)
+	if err != nil {
+		writeExecError(w, err)
+		return
+	}
+	if res.Raw == nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "cell resolved without raw entry"})
+		return
+	}
+	writeJSON(w, http.StatusOK, *res.Raw)
+}
+
+// handleQueuez reports the worker's dispatch-relevant state in one small
+// body: queue depth and capacity, in-flight cells, a retry hint, and the
+// (model, scale, seed) world identity a coordinator must verify before
+// routing cells here.
+func (s *Server) handleQueuez(w http.ResponseWriter, r *http.Request) {
+	s.fmu.Lock()
+	inflight := len(s.flights)
+	s.fmu.Unlock()
+	writeJSON(w, http.StatusOK, Queuez{
+		Draining:      s.Draining(),
+		Workers:       s.cfg.Workers,
+		QueueCapacity: cap(s.runq),
+		QueueLength:   len(s.runq),
+		InFlight:      inflight,
+		RetryAfterSec: int(s.retryAfter().Seconds()),
+		World:         s.suite.World(),
+	})
 }
 
 // handleSubmitCampaign expands a batch submission into cells and starts

@@ -24,7 +24,10 @@ type metrics struct {
 	failed          atomic.Int64
 	cacheHits       atomic.Int64
 	cancelled       atomic.Int64
-	panics          atomic.Int64
+	// followerCancelled counts coalesced followers that abandoned a
+	// flight other waiters kept (hedge losers, expired deadlines).
+	followerCancelled atomic.Int64
+	panics            atomic.Int64
 
 	histMu    sync.Mutex
 	latencyUs telemetry.Histogram
@@ -53,6 +56,7 @@ func (s *Server) metricsSnapshot() telemetry.Snapshot {
 	set("cells.failed", s.m.failed.Load())
 	set("cells.cache_hits", s.m.cacheHits.Load())
 	set("cells.cancelled", s.m.cancelled.Load())
+	set("cells.follower_cancelled", s.m.followerCancelled.Load())
 	set("panics", s.m.panics.Load())
 	sc.Gauge("queue.depth").Set(float64(len(s.runq)))
 	sc.Gauge("queue.capacity").Set(float64(cap(s.runq)))

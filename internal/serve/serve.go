@@ -273,7 +273,20 @@ func (s *Server) await(ctx context.Context, f *flight) (expt.ServedResult, error
 	case <-ctx.Done():
 		s.fmu.Lock()
 		f.waiters--
+		remaining := f.waiters
 		s.fmu.Unlock()
+		if remaining > 0 {
+			// A follower abandoning a flight other waiters still want:
+			// the leader's cell keeps running untouched, but this
+			// request accepted work it will never see — journal its own
+			// cancellation so the audit trail is per-request, not
+			// per-flight. The sole-waiter case journals in runFlight
+			// when the worker cancels the cell itself.
+			s.m.followerCancelled.Add(1)
+			if eng := s.suite.Engine(); eng != nil {
+				eng.JournalIncomplete(f.key, campaign.StatusCancelled)
+			}
+		}
 		return expt.ServedResult{}, ctx.Err()
 	}
 }

@@ -9,46 +9,67 @@ import (
 // queries. It keeps every sample (request-granularity simulations in this
 // repository produce at most a few million observations), which makes
 // quantiles exact — important for 99th-percentile comparisons.
+//
+// Storage is split into a sorted prefix and an unsorted tail of recent
+// Adds: a quantile query sorts only the tail and merges it into the
+// prefix in one linear pass. Periodic convergence checks over a growing
+// sample set (the BigHouse stopping criterion polls every few thousand
+// requests) therefore cost O(tail log tail + n) per check instead of
+// re-sorting all n samples every time.
 type LatencyRecorder struct {
-	samples []float64
-	sorted  bool
-	sum     float64
+	sorted []float64 // ascending; the merged prefix
+	tail   []float64 // observations since the last merge
+	sum    float64
 }
 
 // NewLatencyRecorder returns a recorder with capacity hint n.
 func NewLatencyRecorder(n int) *LatencyRecorder {
-	return &LatencyRecorder{samples: make([]float64, 0, n)}
+	return &LatencyRecorder{sorted: make([]float64, 0, n)}
 }
 
 // Add records one latency observation.
 func (l *LatencyRecorder) Add(x float64) {
-	l.samples = append(l.samples, x)
-	l.sorted = false
+	l.tail = append(l.tail, x)
 	l.sum += x
 }
 
 // Count returns the number of observations.
-func (l *LatencyRecorder) Count() int { return len(l.samples) }
+func (l *LatencyRecorder) Count() int { return len(l.sorted) + len(l.tail) }
 
 // Mean returns the mean latency (NaN if empty).
 func (l *LatencyRecorder) Mean() float64 {
-	if len(l.samples) == 0 {
+	if l.Count() == 0 {
 		return math.NaN()
 	}
-	return l.sum / float64(len(l.samples))
+	return l.sum / float64(l.Count())
 }
 
+// ensureSorted folds the unsorted tail into the sorted prefix: sort the
+// tail, then merge backwards in place (largest first), so the merge
+// needs no scratch buffer and never moves an element twice.
 func (l *LatencyRecorder) ensureSorted() {
-	if !l.sorted {
-		sort.Float64s(l.samples)
-		l.sorted = true
+	if len(l.tail) == 0 {
+		return
 	}
+	sort.Float64s(l.tail)
+	n, t := len(l.sorted), len(l.tail)
+	l.sorted = append(l.sorted, l.tail...)
+	for i, j, k := n-1, t-1, n+t-1; j >= 0; k-- {
+		if i >= 0 && l.sorted[i] > l.tail[j] {
+			l.sorted[k] = l.sorted[i]
+			i--
+		} else {
+			l.sorted[k] = l.tail[j]
+			j--
+		}
+	}
+	l.tail = l.tail[:0]
 }
 
 // Quantile returns the q-quantile of the recorded samples.
 func (l *LatencyRecorder) Quantile(q float64) float64 {
 	l.ensureSorted()
-	return Quantile(l.samples, q)
+	return Quantile(l.sorted, q)
 }
 
 // P99 returns the 99th percentile, the paper's headline tail metric.
@@ -59,12 +80,12 @@ func (l *LatencyRecorder) P99() float64 { return l.Quantile(0.99) }
 // It returns the point estimate and the interval bounds.
 func (l *LatencyRecorder) QuantileCI(q, z float64) (est, lo, hi float64) {
 	l.ensureSorted()
-	n := len(l.samples)
+	n := len(l.sorted)
 	if n == 0 {
 		nan := math.NaN()
 		return nan, nan, nan
 	}
-	est = Quantile(l.samples, q)
+	est = Quantile(l.sorted, q)
 	// Order-statistic indices: q*n +/- z*sqrt(n*q*(1-q)).
 	sd := z * math.Sqrt(float64(n)*q*(1-q))
 	loIdx := int(math.Floor(q*float64(n) - sd))
@@ -75,7 +96,7 @@ func (l *LatencyRecorder) QuantileCI(q, z float64) (est, lo, hi float64) {
 	if hiIdx > n-1 {
 		hiIdx = n - 1
 	}
-	return est, l.samples[loIdx], l.samples[hiIdx]
+	return est, l.sorted[loIdx], l.sorted[hiIdx]
 }
 
 // RelativeQuantileErrorBelow reports whether the q-quantile's confidence
@@ -91,14 +112,17 @@ func (l *LatencyRecorder) RelativeQuantileErrorBelow(q, z, frac float64) bool {
 
 // Reset discards all recorded samples but keeps capacity.
 func (l *LatencyRecorder) Reset() {
-	l.samples = l.samples[:0]
-	l.sorted = false
+	l.sorted = l.sorted[:0]
+	l.tail = l.tail[:0]
 	l.sum = 0
 }
 
-// Samples returns the recorded observations (shared backing array; do
-// not mutate). Order is unspecified once quantiles have been queried.
-func (l *LatencyRecorder) Samples() []float64 { return l.samples }
+// Samples returns the recorded observations in ascending order (shared
+// backing array; do not mutate).
+func (l *LatencyRecorder) Samples() []float64 {
+	l.ensureSorted()
+	return l.sorted
+}
 
 // BinomialPMF returns P(X = k) for X ~ Binomial(n, p), computed in log
 // space for numerical stability at large n.

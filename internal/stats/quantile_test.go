@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 )
 
@@ -41,6 +42,47 @@ func TestLatencyRecorderInterleavedSort(t *testing.T) {
 	l.Add(0.5) // must re-sort after adding
 	if got := l.Quantile(0); got != 0.5 {
 		t.Fatalf("q0 after add = %v", got)
+	}
+}
+
+// TestLatencyRecorderMergeMatchesFullSort interleaves adds with
+// quantile queries (the convergence-check access pattern) and verifies
+// the incrementally merged recorder agrees with a full sort of the same
+// observations at every checkpoint.
+func TestLatencyRecorderMergeMatchesFullSort(t *testing.T) {
+	rng := NewRNG(7)
+	l := NewLatencyRecorder(64)
+	var ref []float64
+	for round := 0; round < 50; round++ {
+		// Uneven batch sizes exercise empty, tiny, and large tails.
+		n := int(rng.Uint64() % 300)
+		for i := 0; i < n; i++ {
+			x := rng.ExpFloat64() * 100
+			l.Add(x)
+			ref = append(ref, x)
+		}
+		sorted := append([]float64(nil), ref...)
+		sort.Float64s(sorted)
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			if got, want := l.Quantile(q), Quantile(sorted, q); got != want {
+				t.Fatalf("round %d: q%.2f = %v, want %v", round, q, got, want)
+			}
+		}
+		if len(ref) > 0 {
+			est, lo, hi := l.QuantileCI(0.99, 1.96)
+			if math.IsNaN(est) || lo > est || hi < est {
+				t.Fatalf("round %d: CI %v [%v, %v] inconsistent", round, est, lo, hi)
+			}
+		}
+		got := l.Samples()
+		if len(got) != len(sorted) {
+			t.Fatalf("round %d: Samples len %d, want %d", round, len(got), len(sorted))
+		}
+		for i := range got {
+			if got[i] != sorted[i] {
+				t.Fatalf("round %d: Samples[%d] = %v, want %v", round, i, got[i], sorted[i])
+			}
+		}
 	}
 }
 

@@ -23,9 +23,18 @@
 # writes BENCH_serve.json with both envelopes: sent/ok/shed counts,
 # request throughput, and p50/p99 request latency.
 #
+# Finally it benchmarks the distributed tier: the same small campaign
+# run against a single-node daemon and against a coordinator sharding
+# over two local worker daemons, writing BENCH_fleet.json with both
+# cells/sec figures. (On a single-core host the fleet adds overhead
+# rather than speedup; the envelope records, it does not assert.)
+#
+# Every BENCH_*.json envelope records the host environment uniformly:
+# host_cpus, go_version, gomaxprocs.
+#
 # Tunables: BENCH_SCALE (default 0.05), BENCH_WORKERS (default nproc),
 # BENCH_SERVE_ADDR (default 127.0.0.1:8124), BENCH_SERVE_REQUESTS
-# (default 32).
+# (default 32), BENCH_FLEET_BASE_PORT (default 8141).
 # Note: the parallel speedup is only meaningful on a multi-core host;
 # the warm-cache speedup is meaningful anywhere.
 set -euo pipefail
@@ -35,6 +44,12 @@ SCALE="${BENCH_SCALE:-0.05}"
 WORKERS="${BENCH_WORKERS:-$(nproc)}"
 EXPTS=(fig5a fig5b fig5c fig5f fig6)
 OUT="BENCH_campaign.json"
+
+# The uniform host-environment stanza every BENCH_*.json carries.
+NCPU="$(nproc)"
+GOVER="$(go env GOVERSION)"
+GMP="${GOMAXPROCS:-$NCPU}"
+ENV_JSON="\"host_cpus\": $NCPU, \"go_version\": \"$GOVER\", \"gomaxprocs\": $GMP"
 
 tmp="$(mktemp -d)"
 cleanup() {
@@ -83,7 +98,7 @@ if [[ "$(cat "$tmp/warm.misses")" != "0" ]]; then
 fi
 echo "tables byte-identical across sequential/parallel/warm; warm run simulated 0 cells"
 
-awk -v scale="$SCALE" -v workers="$WORKERS" -v ncpu="$(nproc)" \
+awk -v scale="$SCALE" -v workers="$WORKERS" -v envjson="$ENV_JSON" \
     -v sw="$(cat "$tmp/sequential.wall")" -v sc="$(cat "$tmp/sequential.cells")" \
     -v pw="$(cat "$tmp/parallel.wall")"   -v pc="$(cat "$tmp/parallel.cells")" \
     -v ww="$(cat "$tmp/warm.wall")"       -v wh="$(cat "$tmp/warm.hits")" \
@@ -91,7 +106,7 @@ awk -v scale="$SCALE" -v workers="$WORKERS" -v ncpu="$(nproc)" \
     printf "{\n"
     printf "  \"bench\": \"campaign-fig5-matrix\",\n"
     printf "  \"scale\": %s,\n", scale
-    printf "  \"host_cpus\": %d,\n", ncpu
+    printf "  %s,\n", envjson
     printf "  \"experiments\": [\"fig5a\", \"fig5b\", \"fig5c\", \"fig5f\", \"fig6\"],\n"
     printf "  \"sequential\": {\"workers\": 1, \"wall_seconds\": %s, \"cells\": %d, \"cells_per_sec\": %.3f},\n", sw, sc, sc/sw
     printf "  \"parallel\": {\"workers\": %d, \"wall_seconds\": %s, \"cells\": %d, \"cells_per_sec\": %.3f, \"speedup_vs_sequential\": %.2f},\n", workers, pw, pc, pc/pw, sw/pw
@@ -118,6 +133,7 @@ cat "$tmp/simbench.json"
 {
     echo "{"
     echo "  \"bench\": \"simcore\","
+    echo "  $ENV_JSON,"
     awk -v sw="$(cat "$tmp/sequential.wall")" -v sc="$(cat "$tmp/sequential.cells")" \
         'BEGIN { printf "  \"campaign_cells_per_sec\": %.3f,\n", sc/sw }'
     # Inline the simbench report (drop its outer braces and bench tag).
@@ -168,6 +184,7 @@ serve_pid=""
 {
     echo "{"
     echo "  \"bench\": \"serve-loadgen\","
+    echo "  $ENV_JSON,"
     echo "  \"scale\": $SCALE,"
     echo "  \"workers\": $WORKERS,"
     echo "  \"closed_cold\": $(cat "$tmp/serve-closed.json"),"
@@ -177,3 +194,78 @@ serve_pid=""
 
 echo "== $SERVEOUT =="
 cat "$SERVEOUT"
+
+# --- fleet benchmark ----------------------------------------------------
+# BENCH_fleet.json compares campaign throughput (cells/sec, cold cache)
+# through a single-node daemon against a coordinator sharding the same
+# campaign over two local worker daemons. On a single-core host the
+# fleet's extra hop costs more than the second worker earns; on
+# multi-core (or real multi-host) fleets the two-worker figure should
+# approach 2x.
+FLEETOUT="BENCH_fleet.json"
+FBASE="${BENCH_FLEET_BASE_PORT:-8141}"
+F_SINGLE="127.0.0.1:$FBASE"
+F_W1="127.0.0.1:$((FBASE + 1))"
+F_W2="127.0.0.1:$((FBASE + 2))"
+F_CO="127.0.0.1:$((FBASE + 3))"
+FLEET_LOADS="${BENCH_FLEET_LOADS:-0.2,0.4,0.6,0.8}"
+echo "== fleet bench =="
+
+fleet_pids=()
+boot() {
+    local log="$1"; shift
+    "$tmp/duplexityd" "$@" 2>"$log" &
+    local pid=$!
+    fleet_pids+=("$pid")
+    local addr
+    addr="$(sed -n 's/.*-addr \([^ ]*\).*/\1/p' <<<"$*")"
+    for i in $(seq 1 100); do
+        curl -fsS "http://$addr/v1/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$pid" 2>/dev/null || { echo "FAIL: daemon died booting"; cat "$log"; exit 1; }
+        sleep 0.1
+    done
+    echo "FAIL: daemon on $addr never became healthy"; cat "$log"; exit 1
+}
+fleet_cleanup() { for p in "${fleet_pids[@]:-}"; do kill "$p" 2>/dev/null || true; done; }
+trap 'fleet_cleanup; cleanup' EXIT
+
+# timed_campaign <addr> <out-wall> <out-cells>
+timed_campaign() {
+    local addr="$1" wall="$2" cells="$3" t0 t1
+    t0="$(date +%s.%N)"
+    "$tmp/duplexityd" submit -addr "$addr" -campaign -kind fig5 \
+        -designs Baseline,Duplexity -workloads RSC -loads "$FLEET_LOADS" \
+        >"$tmp/fleetbench.ndjson" 2>/dev/null
+    t1="$(date +%s.%N)"
+    awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", b-a}' >"$wall"
+    sed '$d' "$tmp/fleetbench.ndjson" | wc -l | tr -d ' ' >"$cells"
+}
+
+boot "$tmp/fb-single.log" serve -addr "$F_SINGLE" -scale "$SCALE" -seed 1 \
+    -workers "$WORKERS" -cachedir "$tmp/fb-single-cache"
+timed_campaign "$F_SINGLE" "$tmp/fb-single.wall" "$tmp/fb-single.cells"
+
+boot "$tmp/fb-w1.log" serve -addr "$F_W1" -scale "$SCALE" -seed 1 \
+    -workers "$WORKERS" -cachedir "$tmp/fb-w1-cache"
+boot "$tmp/fb-w2.log" serve -addr "$F_W2" -scale "$SCALE" -seed 1 \
+    -workers "$WORKERS" -cachedir "$tmp/fb-w2-cache"
+boot "$tmp/fb-co.log" coordinate -addr "$F_CO" -fleet "$F_W1,$F_W2" \
+    -cachedir "$tmp/fb-co-cache"
+timed_campaign "$F_CO" "$tmp/fb-fleet.wall" "$tmp/fb-fleet.cells"
+fleet_cleanup
+fleet_pids=()
+
+awk -v scale="$SCALE" -v workers="$WORKERS" -v envjson="$ENV_JSON" \
+    -v sw="$(cat "$tmp/fb-single.wall")" -v sc="$(cat "$tmp/fb-single.cells")" \
+    -v fw="$(cat "$tmp/fb-fleet.wall")"  -v fc="$(cat "$tmp/fb-fleet.cells")" 'BEGIN {
+    printf "{\n"
+    printf "  \"bench\": \"fleet-campaign\",\n"
+    printf "  %s,\n", envjson
+    printf "  \"scale\": %s,\n", scale
+    printf "  \"single_node\": {\"workers\": %d, \"wall_seconds\": %s, \"cells\": %d, \"cells_per_sec\": %.3f},\n", workers, sw, sc, sc/sw
+    printf "  \"fleet_2_workers\": {\"workers_per_node\": %d, \"wall_seconds\": %s, \"cells\": %d, \"cells_per_sec\": %.3f, \"speedup_vs_single\": %.2f}\n", workers, fw, fc, fc/fw, sw/fw
+    printf "}\n"
+}' >"$FLEETOUT"
+
+echo "== $FLEETOUT =="
+cat "$FLEETOUT"

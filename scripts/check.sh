@@ -3,7 +3,8 @@
 #
 #   1. go vet ./...
 #   2. go build ./...
-#   3. go test -race on the telemetry and core packages
+#   3. go test -race on the telemetry, core, campaign, expt, serve,
+#      and fleet packages plus the root e2e tests
 #   4. a telemetry-overhead guard benchmark
 #
 # The guard compares BenchmarkDyadCycleRate (nil sink: every instrumented
@@ -39,6 +40,10 @@ go test -race -timeout 15m ./internal/campaign ./internal/expt
 # (admission, coalescing, drain, panic isolation all cross goroutines);
 # its whole suite, including the real-simulator e2e tests, runs raced.
 go test -race -timeout 15m ./internal/serve
+# The fleet coordinator crosses goroutines on every dispatch (hedges,
+# window accounting, L1 singleflight); its suite, including the
+# two-real-workers e2e byte-identity test, runs raced.
+go test -race -timeout 15m ./internal/fleet
 go test -race -run 'TestE2E' -timeout 15m .
 
 if [[ "${CHECK_SKIP_BENCH:-0}" == "1" ]]; then

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — end-to-end smoke test of the distributed campaign
+# tier: a duplexityd coordinator sharding cells across two local worker
+# daemons, checked against a single-node reference run.
+#
+#   1. boot a single-node reference daemon, run a small campaign,
+#      capture the NDJSON stream and its cache entries
+#   2. boot two worker daemons and a coordinator over both, run the
+#      same campaign through the fleet
+#   3. assert the merged NDJSON result lines are byte-identical to the
+#      single-node run, and the coordinator's cache entries match the
+#      reference entries modulo wall_seconds (a measurement)
+#   4. assert /v1/fleetz shows both workers completed cells and the
+#      worker journals show no duplicated simulations for hedged cells
+#   5. kill one worker, submit more cells, and assert the campaign
+#      still completes against the surviving worker
+#
+# Tunables: FLEET_SCALE (default 0.02), FLEET_BASE_PORT (default 8131).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${FLEET_SCALE:-0.02}"
+BASE_PORT="${FLEET_BASE_PORT:-8131}"
+REF_ADDR="127.0.0.1:$BASE_PORT"
+W1_ADDR="127.0.0.1:$((BASE_PORT + 1))"
+W2_ADDR="127.0.0.1:$((BASE_PORT + 2))"
+CO_ADDR="127.0.0.1:$((BASE_PORT + 3))"
+
+tmp="$(mktemp -d)"
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+wait_healthy() {
+    local addr="$1" pid="$2" log="$3"
+    for i in $(seq 1 100); do
+        curl -fsS "http://$addr/v1/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$pid" 2>/dev/null \
+            || { echo "FAIL: daemon on $addr died during boot"; cat "$log"; exit 1; }
+        sleep 0.1
+    done
+    echo "FAIL: daemon on $addr never became healthy"; cat "$log"; exit 1
+}
+
+submit_campaign() {
+    local addr="$1" out="$2"; shift 2
+    "$tmp/duplexityd" submit -addr "$addr" -campaign -kind fig5 \
+        -designs Baseline,Duplexity -workloads RSC "$@" >"$out"
+    tail -1 "$out" | grep -q '"state":"done"' \
+        || { echo "FAIL: campaign on $addr never finished"; cat "$out"; exit 1; }
+}
+
+echo "== build =="
+go build -o "$tmp/duplexityd" ./cmd/duplexityd
+
+echo "== single-node reference =="
+"$tmp/duplexityd" serve -addr "$REF_ADDR" -scale "$SCALE" -seed 1 \
+    -cachedir "$tmp/ref-cache" 2>"$tmp/ref.log" &
+ref_pid=$!; pids+=("$ref_pid")
+wait_healthy "$REF_ADDR" "$ref_pid" "$tmp/ref.log"
+submit_campaign "$REF_ADDR" "$tmp/ref.ndjson" -loads 0.3,0.6
+
+echo "== boot fleet: 2 workers + coordinator =="
+"$tmp/duplexityd" serve -addr "$W1_ADDR" -scale "$SCALE" -seed 1 \
+    -cachedir "$tmp/w1-cache" 2>"$tmp/w1.log" &
+w1_pid=$!; pids+=("$w1_pid")
+"$tmp/duplexityd" serve -addr "$W2_ADDR" -scale "$SCALE" -seed 1 \
+    -cachedir "$tmp/w2-cache" 2>"$tmp/w2.log" &
+w2_pid=$!; pids+=("$w2_pid")
+wait_healthy "$W1_ADDR" "$w1_pid" "$tmp/w1.log"
+wait_healthy "$W2_ADDR" "$w2_pid" "$tmp/w2.log"
+
+# The coordinator adopts the workers' world (no -scale/-seed here:
+# that path is part of what we are smoke-testing).
+"$tmp/duplexityd" coordinate -addr "$CO_ADDR" -fleet "$W1_ADDR,$W2_ADDR" \
+    -cachedir "$tmp/co-cache" 2>"$tmp/co.log" &
+co_pid=$!; pids+=("$co_pid")
+wait_healthy "$CO_ADDR" "$co_pid" "$tmp/co.log"
+grep -q "fleet registered: 2 workers" "$tmp/co.log" \
+    || { echo "FAIL: coordinator did not register both workers"; cat "$tmp/co.log"; exit 1; }
+
+echo "== fleet campaign =="
+submit_campaign "$CO_ADDR" "$tmp/fleet.ndjson" -loads 0.3,0.6
+
+echo "== merged results byte-identical to single-node =="
+# Every line but the last is a result row in submission order; the last
+# is the job status line, which carries a per-run campaign id.
+if ! diff <(sed '$d' "$tmp/ref.ndjson") <(sed '$d' "$tmp/fleet.ndjson"); then
+    echo "FAIL: fleet results diverge from the single-node run"
+    exit 1
+fi
+echo "result rows identical"
+
+echo "== cache entries match modulo wall time =="
+ref_digests="$(cd "$tmp/ref-cache" && ls ./*.json | grep -v checkpoint | sort)"
+co_digests="$(cd "$tmp/co-cache" && ls ./*.json | grep -v checkpoint | sort)"
+[[ "$ref_digests" == "$co_digests" ]] \
+    || { echo "FAIL: cache digests differ"; diff <(echo "$ref_digests") <(echo "$co_digests"); exit 1; }
+for f in $ref_digests; do
+    if ! diff <(sed 's/"wall_seconds":[0-9.e+-]*/"wall_seconds":X/' "$tmp/ref-cache/$f") \
+              <(sed 's/"wall_seconds":[0-9.e+-]*/"wall_seconds":X/' "$tmp/co-cache/$f"); then
+        echo "FAIL: cache entry $f diverges beyond wall time"
+        exit 1
+    fi
+done
+echo "$(echo "$ref_digests" | wc -l) cache entries identical modulo wall_seconds"
+
+echo "== fleet dispatch accounting =="
+curl -fsS "http://$CO_ADDR/v1/fleetz" >"$tmp/fleetz.json"
+cat "$tmp/fleetz.json"
+grep -q '"down":true' "$tmp/fleetz.json" \
+    && { echo "FAIL: a worker is down-marked after a clean campaign"; exit 1; }
+# Each simulated cell ran exactly once across the fleet: the workers'
+# journals together hold one cached:false line per reference cell, so
+# hedged duplicates (if any fired) were cancelled, not re-simulated.
+cells="$(sed '$d' "$tmp/ref.ndjson" | wc -l)"
+w_sims="$(cat "$tmp/w1-cache/journal.jsonl" "$tmp/w2-cache/journal.jsonl" 2>/dev/null \
+    | grep -c '"cached":false' || true)"
+[[ "$w_sims" == "$cells" ]] \
+    || { echo "FAIL: workers simulated $w_sims cells, want $cells (duplicate or lost work)"; exit 1; }
+echo "workers simulated $w_sims cells for $cells results (no duplicated simulation)"
+
+echo "== kill one worker mid-run; campaign must still complete =="
+submit_campaign "$CO_ADDR" "$tmp/resilience.ndjson" -loads 0.45 &
+submit_pid=$!
+sleep 0.3
+kill -KILL "$w2_pid" 2>/dev/null || true
+wait "$submit_pid" || { echo "FAIL: campaign failed after losing a worker"; exit 1; }
+lines="$(sed '$d' "$tmp/resilience.ndjson" | wc -l)"
+[[ "$lines" == "2" ]] \
+    || { echo "FAIL: resilience campaign returned $lines rows, want 2"; cat "$tmp/resilience.ndjson"; exit 1; }
+grep -q '"error"' <(sed '$d' "$tmp/resilience.ndjson") \
+    && { echo "FAIL: resilience campaign rows carry errors"; cat "$tmp/resilience.ndjson"; exit 1; }
+echo "campaign completed on the surviving worker"
+
+echo "== coordinator drains cleanly =="
+kill -TERM "$co_pid"
+wait "$co_pid" || { echo "FAIL: coordinator exited nonzero on SIGTERM"; cat "$tmp/co.log"; exit 1; }
+grep -q "drained; checkpoint flushed" "$tmp/co.log" \
+    || { echo "FAIL: coordinator log does not confirm the drain"; cat "$tmp/co.log"; exit 1; }
+
+echo "fleet smoke OK: byte-identical merge, hot caches, worker-loss resilience, clean drain"
