@@ -6,14 +6,17 @@
 //	duplexityd serve   [-addr a] [-scale f] [-seed n] [-workers n]
 //	                   [-cachedir dir] [-resume] [-queue n] [-rps f]
 //	                   [-burst n] [-timeout d] [-drain-timeout d]
+//	                   [-tracing] [-trace-depth n]
 //	duplexityd coordinate -fleet url1,url2,... [-addr a] [-scale f]
 //	                   [-seed n] [-workers n] [-cachedir dir] [-resume]
 //	                   [-queue n] [-rps f] [-burst n] [-timeout d]
 //	                   [-drain-timeout d] [-hedge-after d]
+//	                   [-tracing] [-trace-depth n]
 //	duplexityd submit  [-addr a] [-campaign] [-kind k] [-designs l]
 //	                   [-workloads l] [-loads l] [-design d] [-workload w]
 //	                   [-load f] [-timeout-ms n]
 //	duplexityd status  [-addr a]
+//	duplexityd tracez  [-addr a] [-n n] [-width n]
 //	duplexityd loadgen [-addr a] [-conc n] [-requests n] [-qps f]
 //	                   [-duration d] [-spread n] [-design d] [-workload w]
 //
@@ -39,6 +42,14 @@
 // running daemon and writes results to stdout — campaign results stream
 // as NDJSON in submission order. status pretty-prints /v1/statz.
 //
+// tracez fetches a daemon's GET /v1/tracez ring and renders the -n
+// slowest cells as text waterfalls: one bar per stage (admission,
+// coalesce, cache, remote, compute, serialize), hedged duplicates and
+// adopted worker-side child spans indented under their parents. Every
+// daemon also serves GET /v1/metricsz (Prometheus text exposition);
+// coordinators additionally aggregate their workers' metrics under
+// GET /v1/fleet/metricsz with per-worker labels.
+//
 // loadgen drives a running daemon closed-loop (-conc workers issuing
 // -requests total) or open-loop (-qps arrivals for -duration), spreads
 // requests over -spread distinct load points so the cache doesn't
@@ -59,6 +70,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -87,6 +99,8 @@ func main() {
 		err = cmdSubmit(os.Args[2:])
 	case "status":
 		err = cmdStatus(os.Args[2:])
+	case "tracez":
+		err = cmdTracez(os.Args[2:])
 	case "loadgen":
 		err = cmdLoadgen(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -111,6 +125,7 @@ commands:
   coordinate  run the daemon as a fleet coordinator over -fleet workers
   submit      submit a cell or campaign to a running daemon
   status      print a running daemon's /v1/statz
+  tracez      render a running daemon's slowest cell traces as waterfalls
   loadgen     drive a running daemon with closed- or open-loop load
 
 run "duplexityd <command> -h" for per-command flags
@@ -130,6 +145,8 @@ func cmdServe(args []string) error {
 	burst := fs.Int("burst", 0, "token-bucket burst (0 = derived from -rps)")
 	timeout := fs.Duration("timeout", 10*time.Minute, "default per-cell deadline")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "how long a drain waits for in-flight cells")
+	tracing := fs.Bool("tracing", true, "record per-cell stage traces (GET /v1/tracez)")
+	traceDepth := fs.Int("trace-depth", 0, "recent traces kept in the tracez ring (0 = default 256)")
 	fs.Parse(args)
 	if *resume && *cacheDir == "" {
 		*cacheDir = ".duplexity-cache"
@@ -139,6 +156,7 @@ func cmdServe(args []string) error {
 	srv, err := serve.New(serve.Config{
 		Suite: suite, Workers: *workers, QueueDepth: *queue,
 		RatePerSec: *rps, Burst: *burst, DefaultTimeout: *timeout,
+		DisableTracing: !*tracing, TraceDepth: *traceDepth,
 	})
 	if err != nil {
 		return err
@@ -201,6 +219,8 @@ func cmdCoordinate(args []string) error {
 	timeout := fs.Duration("timeout", 10*time.Minute, "default per-cell deadline")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "how long a drain waits for in-flight cells")
 	hedgeAfter := fs.Duration("hedge-after", 0, "straggler hedge threshold before p99 history accrues (0 = default 2s)")
+	tracing := fs.Bool("tracing", true, "record per-cell stage traces (GET /v1/tracez)")
+	traceDepth := fs.Int("trace-depth", 0, "recent traces kept in the tracez ring (0 = default 256)")
 	fs.Parse(args)
 	if *resume && *cacheDir == "" {
 		*cacheDir = ".duplexity-cache"
@@ -221,15 +241,17 @@ func cmdCoordinate(args []string) error {
 	srv, err := serve.New(serve.Config{
 		Suite: suite, Workers: *workers, QueueDepth: *queue,
 		RatePerSec: *rps, Burst: *burst, DefaultTimeout: *timeout,
+		DisableTracing: !*tracing, TraceDepth: *traceDepth,
 	})
 	if err != nil {
 		return err
 	}
 
 	// The coordinator serves the standard daemon surface plus its own
-	// fleet introspection route.
+	// fleet introspection routes.
 	mux := http.NewServeMux()
 	mux.Handle("GET /v1/fleetz", coord.Handler())
+	mux.Handle("GET /v1/fleet/metricsz", coord.Handler())
 	mux.Handle("/", srv.Handler())
 
 	banner := fmt.Sprintf("coordinating on %%s (scale=%g seed=%d cachedir=%q fleet=%s)",
@@ -364,6 +386,54 @@ func cmdStatus(args []string) error {
 	return err
 }
 
+// cmdTracez fetches a daemon's trace ring and renders the -n slowest
+// cells as text waterfalls, slowest first.
+func cmdTracez(args []string) error {
+	fs := flag.NewFlagSet("tracez", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8077", "daemon address")
+	n := fs.Int("n", 5, "how many of the slowest traces to render")
+	width := fs.Int("width", 64, "waterfall bar width in columns")
+	fs.Parse(args)
+	resp, err := http.Get("http://" + *addr + "/v1/tracez")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("tracez: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var tz serve.Tracez
+	if err := json.Unmarshal(data, &tz); err != nil {
+		return err
+	}
+	if tz.Disabled {
+		fmt.Println("tracing is disabled on this daemon (-tracing=false)")
+		return nil
+	}
+	if len(tz.Traces) == 0 {
+		fmt.Printf("no traces recorded yet (%d total)\n", tz.Total)
+		return nil
+	}
+	sort.Slice(tz.Traces, func(i, j int) bool { return tz.Traces[i].WallNs > tz.Traces[j].WallNs })
+	if *n > 0 && len(tz.Traces) > *n {
+		tz.Traces = tz.Traces[:*n]
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	fmt.Fprintf(out, "%d traces recorded; slowest %d:\n\n", tz.Total, len(tz.Traces))
+	for _, tr := range tz.Traces {
+		if err := tr.Waterfall(out, *width); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
 // loadReport is loadgen's single-line JSON envelope (bench.sh parses
 // it into BENCH_serve.json).
 type loadReport struct {
@@ -378,6 +448,10 @@ type loadReport struct {
 	RPS          float64 `json:"rps"`
 	LatencyP50Us uint64  `json:"latency_p50_us"`
 	LatencyP99Us uint64  `json:"latency_p99_us"`
+	// StatusCounts breaks Sent down by HTTP status code ("error" for
+	// transport failures); ShedRate is Shed/Sent.
+	StatusCounts map[string]int64 `json:"status_counts,omitempty"`
+	ShedRate     float64          `json:"shed_rate"`
 }
 
 func cmdLoadgen(args []string) error {
@@ -414,6 +488,7 @@ func cmdLoadgen(args []string) error {
 		hist telemetry.Histogram
 		rep  loadReport
 	)
+	rep.StatusCounts = make(map[string]int64)
 	issue := func(i int64) {
 		body, err := json.Marshal(cellFor(i))
 		if err != nil {
@@ -427,10 +502,12 @@ func cmdLoadgen(args []string) error {
 		rep.Sent++
 		if err != nil {
 			rep.Errors++
+			rep.StatusCounts["error"]++
 			return
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
+		rep.StatusCounts[strconv.Itoa(resp.StatusCode)]++
 		switch {
 		case resp.StatusCode == http.StatusOK:
 			rep.OK++
@@ -484,6 +561,9 @@ func cmdLoadgen(args []string) error {
 	rep.WallSeconds = time.Since(start).Seconds()
 	if rep.WallSeconds > 0 {
 		rep.RPS = float64(rep.Sent) / rep.WallSeconds
+	}
+	if rep.Sent > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Sent)
 	}
 	rep.LatencyP50Us = hist.Quantile(0.50)
 	rep.LatencyP99Us = hist.Quantile(0.99)

@@ -26,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"duplexity/internal/telemetry"
 )
 
 // Options configures an Engine.
@@ -51,9 +53,11 @@ type Options struct {
 // worker's simulation wall time, and the raw result JSON. The bool
 // reports whether the remote answered from its own cache. Implementations
 // must be safe for concurrent use; internal/fleet provides the
-// rendezvous-sharded, hedged implementation.
+// rendezvous-sharded, hedged implementation. tr, which may be nil
+// (untraced), receives the dispatch's remote spans so the caller's
+// end-to-end timeline covers the network hop (DESIGN.md §11).
 type Remote interface {
-	Exec(k Key) (Entry, bool, error)
+	Exec(k Key, tr *telemetry.CellTrace) (Entry, bool, error)
 }
 
 // Engine executes campaign cells on a bounded worker pool with optional
@@ -211,28 +215,43 @@ func runOne[R any](e *Engine, t Task[R]) (R, bool, error) {
 // locally; such a cell fails if it is neither cached nor remotely
 // executable.
 func (e *Engine) DoRaw(k Key, run func() (json.RawMessage, error)) (Entry, bool, error) {
+	return e.DoRawTraced(k, run, nil)
+}
+
+// DoRawTraced is DoRaw with per-stage tracing: the cache probe, remote
+// dispatch, local compute, and cache-write serialization each record a
+// span on tr (nil tr: untraced, zero extra work). The stage breakdown
+// is also journaled with the completion. Tracing never changes what is
+// computed or cached — entries and results are byte-identical with tr
+// nil or not.
+func (e *Engine) DoRawTraced(k Key, run func() (json.RawMessage, error), tr *telemetry.CellTrace) (Entry, bool, error) {
 	digest := k.Digest()
 
 	if e.cache != nil {
+		probe := time.Now()
 		if ent, ok := e.cache.GetEntry(digest); ok {
-			e.finish(k, digest, true, false, 0)
+			tr.StageDetail(telemetry.StageCache, probe, "hit")
+			e.finish(k, digest, true, false, 0, tr)
 			return ent, true, nil
 		}
+		tr.StageDetail(telemetry.StageCache, probe, "miss")
 	}
 
 	if e.remote != nil {
-		ent, remoteCached, err := e.remote.Exec(k)
+		ent, remoteCached, err := e.remote.Exec(k, tr)
 		if err == nil {
 			if e.cache != nil {
+				put := time.Now()
 				if perr := e.cache.Put(digest, ent); perr != nil {
 					e.stats.recordError()
 					return Entry{}, false, perr
 				}
+				tr.Stage(telemetry.StageSerialize, put)
 			}
 			// Cached reports the worker's cache; WallSeconds is the
 			// worker's simulation time, so SimWallSeconds still sums
 			// real compute fleet-wide.
-			e.finish(k, digest, remoteCached, true, ent.WallSeconds)
+			e.finish(k, digest, remoteCached, true, ent.WallSeconds, tr)
 			return ent, remoteCached, nil
 		}
 		if run == nil {
@@ -251,23 +270,27 @@ func (e *Engine) DoRaw(k Key, run func() (json.RawMessage, error)) (Entry, bool,
 	start := time.Now()
 	raw, err := run()
 	wall := time.Since(start).Seconds()
+	tr.Stage(telemetry.StageCompute, start)
 	if err != nil {
 		e.stats.recordError()
 		return Entry{}, false, err
 	}
 	ent := Entry{Key: k, WallSeconds: wall, Result: raw}
 	if e.cache != nil {
+		put := time.Now()
 		if err := e.cache.Put(digest, ent); err != nil {
 			e.stats.recordError()
 			return Entry{}, false, err
 		}
+		tr.Stage(telemetry.StageSerialize, put)
 	}
-	e.finish(k, digest, false, false, wall)
+	e.finish(k, digest, false, false, wall, tr)
 	return ent, false, nil
 }
 
-// finish records accounting and journals the completion.
-func (e *Engine) finish(k Key, digest string, cached, remote bool, wall float64) {
+// finish records accounting and journals the completion (with the
+// traced per-stage breakdown, when there is one).
+func (e *Engine) finish(k Key, digest string, cached, remote bool, wall float64, tr *telemetry.CellTrace) {
 	seq := e.stats.record(CellTiming{
 		Kind: k.Kind, Design: k.Design, Workload: k.Workload, Load: k.Load,
 		Cached: cached, Remote: remote, WallSeconds: wall,
@@ -280,6 +303,7 @@ func (e *Engine) finish(k Key, digest string, cached, remote bool, wall float64)
 			Seq: seq, Digest: digest, Kind: k.Kind,
 			Design: k.Design, Workload: k.Workload, Load: k.Load,
 			Cached: cached, Remote: remote, WallSeconds: wall,
+			StagesUs: tr.StageTotalsUs(),
 		})
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"duplexity/internal/telemetry"
 )
 
 func baseKey(i int) Key {
@@ -388,7 +390,7 @@ type fakeRemote struct {
 	calls   atomic.Int64
 }
 
-func (f *fakeRemote) Exec(k Key) (Entry, bool, error) {
+func (f *fakeRemote) Exec(k Key, tr *telemetry.CellTrace) (Entry, bool, error) {
 	f.calls.Add(1)
 	if f.err != nil {
 		return Entry{}, false, f.err

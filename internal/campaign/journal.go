@@ -25,6 +25,12 @@ type JournalEntry struct {
 	Cached      bool    `json:"cached"`
 	Remote      bool    `json:"remote,omitempty"`
 	WallSeconds float64 `json:"wall_seconds"`
+	// StagesUs is the traced per-stage time breakdown (µs by stage
+	// name: admission, coalesce, cache, remote, compute, serialize) for
+	// cells resolved through a tracing serving layer; absent for
+	// untraced paths. encoding/json sorts map keys, so lines stay
+	// deterministic.
+	StagesUs map[string]int64 `json:"stages_us,omitempty"`
 	// Status is empty for a completed cell. Incomplete cells — admitted
 	// by a serving layer but never finished — are journaled with
 	// StatusCancelled (abandoned before execution, e.g. a deadline

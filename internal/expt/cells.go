@@ -9,6 +9,7 @@ import (
 
 	"duplexity/internal/campaign"
 	"duplexity/internal/core"
+	"duplexity/internal/telemetry"
 	"duplexity/internal/workload"
 )
 
@@ -165,6 +166,12 @@ type RawCellResult struct {
 	Cached      bool            `json:"cached"`
 	WallSeconds float64         `json:"wall_seconds"`
 	Result      json.RawMessage `json:"result"`
+	// Stages carries the producing daemon's recorded spans for this
+	// resolution, so a coordinator can adopt them as children of its
+	// own remote span and stitch a cross-process timeline. Wire-only
+	// observability: never part of the cached entry, so cache bytes
+	// stay identical with tracing on or off.
+	Stages []telemetry.StageSpan `json:"stages,omitempty"`
 }
 
 // Engine exposes the suite's campaign engine to the serving layer
@@ -189,6 +196,12 @@ func (s *Suite) ServedKey(cs CellSpec) (campaign.Key, error) {
 // accounting to a CLI batch. This is what the serve layer's /v1/exec
 // endpoint returns to a fleet coordinator. Safe for concurrent use.
 func (s *Suite) RunServedRaw(cs CellSpec) (RawCellResult, error) {
+	return s.RunServedRawTraced(cs, nil)
+}
+
+// RunServedRawTraced is RunServedRaw with per-stage tracing threaded
+// into the campaign engine (nil tr: untraced).
+func (s *Suite) RunServedRawTraced(cs CellSpec, tr *telemetry.CellTrace) (RawCellResult, error) {
 	if s.engErr != nil {
 		return RawCellResult{}, s.engErr
 	}
@@ -218,7 +231,7 @@ func (s *Suite) RunServedRaw(cs CellSpec) (RawCellResult, error) {
 			return json.Marshal(v)
 		}
 	}
-	ent, cached, err := s.eng.DoRaw(key, run)
+	ent, cached, err := s.eng.DoRawTraced(key, run, tr)
 	if err != nil {
 		return RawCellResult{}, err
 	}
@@ -236,7 +249,13 @@ func (s *Suite) RunServedRaw(cs CellSpec) (RawCellResult, error) {
 // memoization), which is what lets the serve layer fan cells across its
 // pool with one shared Suite.
 func (s *Suite) RunServed(cs CellSpec) (ServedResult, error) {
-	raw, err := s.RunServedRaw(cs)
+	return s.RunServedTraced(cs, nil)
+}
+
+// RunServedTraced is RunServed with per-stage tracing threaded through
+// (nil tr: untraced). This is the serve layer's run hook.
+func (s *Suite) RunServedTraced(cs CellSpec, tr *telemetry.CellTrace) (ServedResult, error) {
+	raw, err := s.RunServedRawTraced(cs, tr)
 	if err != nil {
 		return ServedResult{}, err
 	}

@@ -45,6 +45,7 @@ import (
 	"duplexity/internal/expt"
 	"duplexity/internal/serve"
 	"duplexity/internal/stats"
+	"duplexity/internal/telemetry"
 )
 
 // Options configures a Coordinator.
@@ -77,6 +78,9 @@ type l1flight struct {
 	done chan struct{}
 	ent  campaign.Entry
 	err  error
+	// tr is the leader's trace; followers adopt its spans as children
+	// so coalesced timelines still show where the shared work went.
+	tr *telemetry.CellTrace
 }
 
 // Coordinator shards cells across a worker fleet. It implements
@@ -200,18 +204,25 @@ func (c *Coordinator) queuez(ctx context.Context, w *worker) (serve.Queuez, erro
 // Exec resolves one cell through the fleet: L1 probe, singleflight
 // coalescing, then sharded/hedged dispatch. It is the campaign.Remote
 // seam — the returned Entry is stored in the coordinator's disk cache
-// verbatim by the engine.
-func (c *Coordinator) Exec(k campaign.Key) (campaign.Entry, bool, error) {
+// verbatim by the engine. tr (nil for untraced callers) receives the
+// dispatch's remote spans, with the worker's shipped spans adopted as
+// children.
+func (c *Coordinator) Exec(k campaign.Key, tr *telemetry.CellTrace) (campaign.Entry, bool, error) {
 	digest := k.Digest()
+	probe := time.Now()
 	c.mu.Lock()
 	if ent, ok := c.l1[digest]; ok {
 		c.mu.Unlock()
 		c.l1Hits.Add(1)
+		tr.StageDetail(telemetry.StageCache, probe, "l1")
 		return ent, true, nil
 	}
 	if f, ok := c.flights[digest]; ok {
 		c.mu.Unlock()
 		<-f.done
+		tr.Stage(telemetry.StageCoalesce, probe)
+		tr.SetJoined(f.tr.TraceID())
+		tr.Adopt(f.tr.Spans(), "")
 		if f.err != nil {
 			return campaign.Entry{}, false, f.err
 		}
@@ -219,11 +230,11 @@ func (c *Coordinator) Exec(k campaign.Key) (campaign.Entry, bool, error) {
 		// far as its accounting is concerned.
 		return f.ent, true, nil
 	}
-	f := &l1flight{done: make(chan struct{})}
+	f := &l1flight{done: make(chan struct{}), tr: tr}
 	c.flights[digest] = f
 	c.mu.Unlock()
 
-	ent, cached, err := c.dispatch(k, digest)
+	ent, cached, err := c.dispatch(k, digest, tr)
 
 	c.mu.Lock()
 	delete(c.flights, digest)
@@ -240,7 +251,7 @@ func (c *Coordinator) Exec(k campaign.Key) (campaign.Entry, bool, error) {
 // worker, attempt (with hedging), reshard to the next worker on
 // failure. Validation failures and digest mismatches are fatal; 429s
 // and connection errors reshard.
-func (c *Coordinator) dispatch(k campaign.Key, digest string) (campaign.Entry, bool, error) {
+func (c *Coordinator) dispatch(k campaign.Key, digest string, tr *telemetry.CellTrace) (campaign.Entry, bool, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.CellTimeout)
 	defer cancel()
 	var lastErr error
@@ -255,7 +266,7 @@ func (c *Coordinator) dispatch(k campaign.Key, digest string) (campaign.Entry, b
 			}
 			return campaign.Entry{}, false, fmt.Errorf("fleet: cell %s: %w", digest[:12], err)
 		}
-		out := c.attemptHedged(ctx, w, k, digest)
+		out := c.attemptHedged(ctx, w, k, digest, tr)
 		if out.err == nil {
 			return out.ent, out.cached, nil
 		}
@@ -304,17 +315,36 @@ type attemptOutcome struct {
 	err    error
 	fatal  bool
 	hedged bool
+	// span is the leg's remote-dispatch span; children are the spans
+	// the worker shipped back inside its response. Both are recorded on
+	// the cell's trace as legs resolve (the winner's span is marked).
+	span     telemetry.StageSpan
+	children []telemetry.StageSpan
+	worker   string
+}
+
+// record stitches one resolved leg's spans onto the cell's trace.
+// Cancelled legs never deliver an outcome, so a hedged trace carries at
+// most one winning remote span (and at most one adopted compute span).
+func (out attemptOutcome) record(tr *telemetry.CellTrace, winner bool) {
+	if tr == nil {
+		return
+	}
+	sp := out.span
+	sp.Winner = winner
+	tr.Record(sp)
+	tr.Adopt(out.children, out.worker)
 }
 
 // attemptHedged executes the cell on primary and, if it outlives the
 // hedge threshold, also on the next-ranked available worker. The first
 // success wins and cancels the other request; the worker's coalescing
 // layer cancels the losing cell if it is still queued there.
-func (c *Coordinator) attemptHedged(ctx context.Context, primary *worker, k campaign.Key, digest string) attemptOutcome {
+func (c *Coordinator) attemptHedged(ctx context.Context, primary *worker, k campaign.Key, digest string, tr *telemetry.CellTrace) attemptOutcome {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan attemptOutcome, 2)
-	go c.attempt(ctx, primary, k, digest, false, results)
+	go c.attempt(ctx, primary, k, digest, tr.Context(), false, results)
 	inFlight := 1
 	hedgeT := time.NewTimer(c.hedgeDelay())
 	defer hedgeT.Stop()
@@ -326,11 +356,13 @@ func (c *Coordinator) attemptHedged(ctx context.Context, primary *worker, k camp
 			inFlight--
 			if out.err == nil {
 				cancel() // first result wins; the sibling is abandoned
+				out.record(tr, true)
 				if out.hedged {
 					c.hedgeWins.Add(1)
 				}
 				return out
 			}
+			out.record(tr, false)
 			if out.fatal {
 				return out
 			}
@@ -351,7 +383,7 @@ func (c *Coordinator) attemptHedged(ctx context.Context, primary *worker, k camp
 				if h := c.acquire(digest, primary); h != nil {
 					c.hedges.Add(1)
 					inFlight++
-					go c.attempt(ctx, h, k, digest, true, results)
+					go c.attempt(ctx, h, k, digest, tr.Context(), true, results)
 				}
 			}
 		}
@@ -382,26 +414,43 @@ func (c *Coordinator) observe(elapsed time.Duration) {
 }
 
 // attempt performs one POST /v1/exec against one worker and classifies
-// the outcome for the dispatch loop.
-func (c *Coordinator) attempt(ctx context.Context, w *worker, k campaign.Key, digest string, hedged bool, results chan<- attemptOutcome) {
+// the outcome for the dispatch loop. tc is the cell trace's propagation
+// context (zero for untraced cells): it rides the X-Duplexity-* headers
+// so the worker's own spans join the same trace, with hedged legs
+// tagged so the worker side can tell a duplicate from a primary.
+func (c *Coordinator) attempt(ctx context.Context, w *worker, k campaign.Key, digest string, tc telemetry.TraceContext, hedged bool, results chan<- attemptOutcome) {
 	defer w.release()
-	out := attemptOutcome{hedged: hedged}
+	out := attemptOutcome{hedged: hedged, worker: w.name}
+	finishSpan := func(start time.Time, errMsg string) {
+		out.span = telemetry.StageSpan{
+			Stage:       telemetry.StageRemote,
+			StartUnixNs: start.UnixNano(),
+			DurNs:       time.Since(start).Nanoseconds(),
+			Worker:      w.name,
+			Hedged:      hedged,
+			Err:         errMsg,
+		}
+	}
 	start := time.Now()
 	body, err := json.Marshal(serve.CellRequest{CellSpec: expt.CellSpec{
 		Kind: k.Kind, Design: k.Design, Workload: k.Workload, Load: k.Load,
 	}})
 	if err != nil {
 		out.err, out.fatal = err, true
+		finishSpan(start, err.Error())
 		results <- out
 		return
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.name+"/v1/exec", bytes.NewReader(body))
 	if err != nil {
 		out.err, out.fatal = err, true
+		finishSpan(start, err.Error())
 		results <- out
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	tc.Hedged = hedged
+	tc.Inject(req.Header)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		if ctx.Err() == nil {
@@ -410,6 +459,7 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, k campaign.Key, di
 			w.connFail(time.Now())
 		}
 		out.err = fmt.Errorf("fleet: %s: %w", w.name, err)
+		finishSpan(start, out.err.Error())
 		results <- out
 		return
 	}
@@ -420,6 +470,7 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, k campaign.Key, di
 			w.connFail(time.Now())
 		}
 		out.err = fmt.Errorf("fleet: %s: reading response: %w", w.name, err)
+		finishSpan(start, out.err.Error())
 		results <- out
 		return
 	}
@@ -443,6 +494,7 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, k campaign.Key, di
 		c.observe(time.Since(start))
 		out.ent = campaign.Entry{Key: k, WallSeconds: raw.WallSeconds, Result: raw.Result}
 		out.cached = raw.Cached
+		out.children = raw.Stages
 	case http.StatusTooManyRequests:
 		ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 		w.reject(time.Duration(ra)*time.Second, time.Now())
@@ -455,6 +507,12 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, k campaign.Key, di
 		w.connFail(time.Now())
 		out.err = fmt.Errorf("fleet: %s returned %d for cell %s: %s", w.name, resp.StatusCode, digest[:12], data)
 	}
+	errMsg := ""
+	if out.err != nil {
+		errMsg = out.err.Error()
+	}
+	finishSpan(start, errMsg)
+	out.span.Detail = resp.Status
 	results <- out
 }
 
@@ -500,13 +558,15 @@ func (c *Coordinator) Stats() Status {
 	return st
 }
 
-// Handler returns the coordinator's introspection API (GET /v1/fleetz),
-// mounted by duplexityd coordinate next to the serving layer's routes.
+// Handler returns the coordinator's introspection API (GET /v1/fleetz
+// and the aggregated GET /v1/fleet/metricsz), mounted by duplexityd
+// coordinate next to the serving layer's routes.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/fleetz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(c.Stats())
 	})
+	mux.HandleFunc("GET /v1/fleet/metricsz", c.handleFleetMetricsz)
 	return mux
 }

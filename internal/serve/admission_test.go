@@ -16,6 +16,7 @@ import (
 
 	"duplexity/internal/campaign"
 	"duplexity/internal/expt"
+	"duplexity/internal/telemetry"
 )
 
 // newTestServer builds a server over a tiny suite, optionally swapping
@@ -31,7 +32,7 @@ func newTestServer(t *testing.T, cfg Config, run func(expt.CellSpec) (expt.Serve
 		t.Fatal(err)
 	}
 	if run != nil {
-		s.run = run
+		s.run = func(cs expt.CellSpec, _ *telemetry.CellTrace) (expt.ServedResult, error) { return run(cs) }
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {

@@ -63,6 +63,15 @@ type Statz struct {
 	Jobs          []JobStatus        `json:"jobs,omitempty"`
 }
 
+// Tracez is the GET /v1/tracez body: the most recent stitched cell
+// traces (oldest first) plus the lifetime total, or disabled=true when
+// the daemon runs with tracing off.
+type Tracez struct {
+	Disabled bool                          `json:"disabled,omitempty"`
+	Total    uint64                        `json:"total"`
+	Traces   []telemetry.CellTraceSnapshot `json:"traces,omitempty"`
+}
+
 // ErrorResponse is every non-2xx body: a message, the invalid fields
 // for 400s, and a retry hint for 429s.
 type ErrorResponse struct {

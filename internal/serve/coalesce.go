@@ -3,6 +3,7 @@ package serve
 import (
 	"duplexity/internal/campaign"
 	"duplexity/internal/expt"
+	"duplexity/internal/telemetry"
 )
 
 // flight is one in-flight cell shared by every concurrent identical
@@ -20,6 +21,11 @@ type flight struct {
 	key     campaign.Key
 	digest  string
 	waiters int
+
+	// tr is the leader's cell trace (nil when tracing is disabled): the
+	// worker records the admission span and threads it into the engine;
+	// followers adopt its spans as children of their own traces.
+	tr *telemetry.CellTrace
 
 	done chan struct{}
 	res  expt.ServedResult

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"duplexity/internal/expt"
+	"duplexity/internal/telemetry"
 )
 
 func (s *Server) routes() *http.ServeMux {
@@ -21,6 +22,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStreamCampaign)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statz", s.handleStatz)
+	mux.HandleFunc("GET /v1/metricsz", s.handleMetricsz)
+	mux.HandleFunc("GET /v1/tracez", s.handleTracez)
 	return mux
 }
 
@@ -49,7 +52,8 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	res, err := s.execCell(ctx, req.CellSpec, false)
+	tc, _ := telemetry.TraceFromHeaders(r.Header)
+	res, _, err := s.execCell(ctx, req.CellSpec, false, tc)
 	if err != nil {
 		writeExecError(w, err)
 		return
@@ -81,7 +85,8 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	res, err := s.execCell(ctx, req.CellSpec, false)
+	tc, _ := telemetry.TraceFromHeaders(r.Header)
+	res, tr, err := s.execCell(ctx, req.CellSpec, false, tc)
 	if err != nil {
 		writeExecError(w, err)
 		return
@@ -90,7 +95,12 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "cell resolved without raw entry"})
 		return
 	}
-	writeJSON(w, http.StatusOK, *res.Raw)
+	// Ship this request's recorded spans so the coordinator can adopt
+	// them as children of its remote span. The Raw struct is shared by
+	// every coalesced waiter — attach to a copy, never mutate it.
+	out := *res.Raw
+	out.Stages = tr.Spans()
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleQueuez reports the worker's dispatch-relevant state in one small
@@ -197,6 +207,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, Healthz{Status: "ok"})
+}
+
+// handleMetricsz emits the daemon's metrics in the Prometheus text
+// exposition format: the serve-layer counters and latency histogram,
+// the campaign engine's cache accounting, and the tracez ring total.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+	_ = telemetry.WritePrometheus(w, s.metricsSnapshot(), "duplexity", nil)
+}
+
+// handleTracez reports the most recent cell traces (oldest first) for
+// timeline inspection; the duplexityd tracez subcommand renders them as
+// text waterfalls.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeJSON(w, http.StatusOK, Tracez{Disabled: true})
+		return
+	}
+	writeJSON(w, http.StatusOK, Tracez{
+		Total:  s.traces.Total(),
+		Traces: s.traces.Snapshot(),
+	})
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"duplexity/internal/expt"
+	"duplexity/internal/telemetry"
 )
 
 // CellLine is one streamed result line of a campaign job: the cell's
@@ -163,7 +164,7 @@ func (s *Server) startJob(j *job) {
 	for i := range j.cells {
 		i := i
 		go func() {
-			res, err := s.execCell(context.Background(), j.cells[i], true)
+			res, _, err := s.execCell(context.Background(), j.cells[i], true, telemetry.TraceContext{Campaign: j.id})
 			j.complete(i, res, err)
 		}()
 	}

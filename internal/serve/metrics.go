@@ -63,5 +63,17 @@ func (s *Server) metricsSnapshot() telemetry.Snapshot {
 	s.m.histMu.Lock()
 	sc.Histogram("latency_us").Merge(&s.m.latencyUs)
 	s.m.histMu.Unlock()
+	if s.traces != nil {
+		sc.Counter("traces.recorded").Set(s.traces.Total())
+	}
+	if eng := s.suite.Engine(); eng != nil {
+		st := eng.Stats()
+		cs := reg.Scope("campaign")
+		cs.Counter("cells").Set(uint64(st.Cells))
+		cs.Counter("cache.hits").Set(uint64(st.Hits))
+		cs.Counter("cache.misses").Set(uint64(st.Misses))
+		cs.Counter("remote").Set(uint64(st.Remote))
+		cs.Counter("errors").Set(uint64(st.Errors))
+	}
 	return reg.Snapshot(0)
 }

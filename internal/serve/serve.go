@@ -34,6 +34,7 @@ import (
 
 	"duplexity/internal/campaign"
 	"duplexity/internal/expt"
+	"duplexity/internal/telemetry"
 )
 
 // Config assembles a Server.
@@ -56,12 +57,22 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxBodyBytes caps request bodies; <= 0 means 1 MiB.
 	MaxBodyBytes int64
+	// TraceDepth sizes the GET /v1/tracez recent-cell ring; <= 0 means
+	// telemetry.DefaultTraceDepth.
+	TraceDepth int
+	// DisableTracing turns per-cell stage tracing off entirely: no
+	// spans, no trace ring, /v1/tracez reports disabled. Results and
+	// cache bytes are identical either way.
+	DisableTracing bool
 }
 
 // work is one enqueued leader cell.
 type work struct {
 	flight *flight
 	spec   expt.CellSpec
+	// enq stamps the admission-queue entry; the worker closes the
+	// admission span against it at pickup.
+	enq time.Time
 }
 
 // Server is the serving layer: an http.Handler plus the admission,
@@ -71,11 +82,15 @@ type Server struct {
 	suite *expt.Suite
 
 	// run executes one validated cell; swapped by tests to decouple
-	// admission/coalescing behavior from multi-second simulations.
-	run func(expt.CellSpec) (expt.ServedResult, error)
+	// admission/coalescing behavior from multi-second simulations. The
+	// trace is nil when tracing is disabled.
+	run func(expt.CellSpec, *telemetry.CellTrace) (expt.ServedResult, error)
 
 	bucket *tokenBucket
 	m      metrics
+
+	// traces is the /v1/tracez ring; nil when tracing is disabled.
+	traces *telemetry.TraceRing
 
 	runq    chan *work
 	quit    chan struct{}
@@ -131,7 +146,10 @@ func New(cfg Config) (*Server, error) {
 		flights: make(map[string]*flight),
 		jobs:    newJobTable(),
 	}
-	s.run = s.suite.RunServed
+	s.run = s.suite.RunServedTraced
+	if !cfg.DisableTracing {
+		s.traces = telemetry.NewTraceRing(cfg.TraceDepth)
+	}
 	if cfg.RatePerSec > 0 {
 		burst := cfg.Burst
 		if burst <= 0 {
@@ -194,20 +212,28 @@ func (s *Server) Drain(ctx context.Context) error {
 // execCell runs one validated cell through admission → coalesce → pool.
 // Blocking submissions (campaign cells) wait for queue space with
 // backpressure; non-blocking ones (the open-loop /v1/cells path) are
-// shed with 429 when the queue is full.
-func (s *Server) execCell(ctx context.Context, spec expt.CellSpec, block bool) (expt.ServedResult, error) {
+// shed with 429 when the queue is full. tc is the inherited trace
+// context (zero: this daemon is the trace root); the returned
+// *telemetry.CellTrace is nil when tracing is disabled, and its
+// snapshot has already been pushed to the tracez ring by return time.
+func (s *Server) execCell(ctx context.Context, spec expt.CellSpec, block bool, tc telemetry.TraceContext) (expt.ServedResult, *telemetry.CellTrace, error) {
 	var zero expt.ServedResult
 	key, err := s.suite.ServedKey(spec)
 	if err != nil {
-		return zero, err
+		return zero, nil, err
 	}
 	digest := key.Digest()
+	var tr *telemetry.CellTrace
+	if s.traces != nil {
+		tr = telemetry.NewCellTrace(tc, digest)
+	}
 
 	s.admitMu.RLock()
 	if s.draining {
 		s.admitMu.RUnlock()
 		s.m.shedDraining.Add(1)
-		return zero, errDraining
+		s.finishTrace(tr, false, errDraining)
+		return zero, tr, errDraining
 	}
 
 	// Coalesce: join an identical in-flight cell instead of submitting a
@@ -215,12 +241,24 @@ func (s *Server) execCell(ctx context.Context, spec expt.CellSpec, block bool) (
 	s.fmu.Lock()
 	if f, ok := s.flights[digest]; ok {
 		f.waiters++
+		leader := f.tr
 		s.fmu.Unlock()
 		s.admitMu.RUnlock()
 		s.m.coalesceHits.Add(1)
-		return s.await(ctx, f)
+		wait := time.Now()
+		res, err := s.await(ctx, f)
+		if tr != nil {
+			// The follower's own time went to waiting; the leader's spans
+			// are adopted as children so the timeline still shows where
+			// the shared flight spent the microseconds.
+			tr.Stage(telemetry.StageCoalesce, wait)
+			tr.SetJoined(leader.TraceID())
+			tr.Adopt(leader.Spans(), "")
+		}
+		s.finishTrace(tr, res.Cached, err)
+		return res, tr, err
 	}
-	f := &flight{key: key, digest: digest, waiters: 1, done: make(chan struct{})}
+	f := &flight{key: key, digest: digest, waiters: 1, done: make(chan struct{}), tr: tr}
 	s.flights[digest] = f
 	s.fmu.Unlock()
 	// Count the leader before releasing admitMu so Drain's inflight.Wait
@@ -234,7 +272,7 @@ func (s *Server) execCell(ctx context.Context, spec expt.CellSpec, block bool) (
 	enqueued := false
 	if block {
 		select {
-		case s.runq <- &work{flight: f, spec: spec}:
+		case s.runq <- &work{flight: f, spec: spec, enq: time.Now()}:
 			enqueued = true
 		case <-s.drainCh:
 			err = errDraining
@@ -244,7 +282,7 @@ func (s *Server) execCell(ctx context.Context, spec expt.CellSpec, block bool) (
 		}
 	} else {
 		select {
-		case s.runq <- &work{flight: f, spec: spec}:
+		case s.runq <- &work{flight: f, spec: spec, enq: time.Now()}:
 			enqueued = true
 		default:
 			err = &shedError{status: http.StatusTooManyRequests, retryAfter: s.retryAfter(), msg: "submission queue full"}
@@ -256,10 +294,25 @@ func (s *Server) execCell(ctx context.Context, spec expt.CellSpec, block bool) (
 		// The flight never reached the pool: fail every follower that
 		// coalesced onto it (their result will never come).
 		s.failFlight(f, err)
-		return zero, err
+		s.finishTrace(tr, false, err)
+		return zero, tr, err
 	}
 	s.m.admitted.Add(1)
-	return s.await(ctx, f)
+	res, err := s.await(ctx, f)
+	s.finishTrace(tr, res.Cached, err)
+	return res, tr, err
+}
+
+// finishTrace closes a cell's trace and records it on the tracez ring.
+// Each requester (leader or coalesced follower) records its own trace
+// exactly once, at return.
+func (s *Server) finishTrace(tr *telemetry.CellTrace, cached bool, err error) {
+	if tr == nil {
+		return
+	}
+	tr.SetCached(cached)
+	tr.SetError(err)
+	s.traces.Add(tr.Finish())
 }
 
 // await waits for a flight to resolve, or abandons it on deadline
@@ -343,6 +396,9 @@ func (s *Server) runFlight(w *work) {
 	}
 	s.fmu.Unlock()
 
+	// Queue wait ends here: the admission span runs from enqueue to
+	// worker pickup.
+	f.tr.Stage(telemetry.StageAdmission, w.enq)
 	start := time.Now()
 	res, err := s.safeRun(w.spec, f)
 	elapsed := time.Since(start)
@@ -376,7 +432,7 @@ func (s *Server) safeRun(spec expt.CellSpec, f *flight) (res expt.ServedResult, 
 			}
 		}
 	}()
-	return s.run(spec)
+	return s.run(spec, f.tr)
 }
 
 // retryAfter estimates when a shed submission is worth retrying: the

@@ -12,6 +12,7 @@ import (
 
 	"duplexity/internal/campaign"
 	"duplexity/internal/expt"
+	"duplexity/internal/telemetry"
 )
 
 // readStream fetches a campaign's NDJSON stream to completion and
@@ -60,9 +61,9 @@ func TestE2EServeCampaignBitIdentical(t *testing.T) {
 	// Gate the real runner so both submissions are in the house before
 	// any cell finishes — the duplicate MUST coalesce, deterministically.
 	gate := make(chan struct{})
-	s.run = func(cs expt.CellSpec) (expt.ServedResult, error) {
+	s.run = func(cs expt.CellSpec, tr *telemetry.CellTrace) (expt.ServedResult, error) {
 		<-gate
-		return suite.RunServed(cs)
+		return suite.RunServedTraced(cs, tr)
 	}
 
 	spec := expt.CampaignSpec{

@@ -1,0 +1,55 @@
+package telemetry
+
+import "sync"
+
+// LockedRing is a mutex-guarded Ring for multi-goroutine emitters. The
+// plain Ring is unsynchronized by design (the cycle-level simulator is
+// one goroutine); the serve path runs many cells concurrently, and a
+// shared event buffer there must serialize Emit against wraparound —
+// two goroutines racing the overwrite index would interleave torn
+// events. LockedRing wraps a Ring with a lock and implements Sink.
+type LockedRing struct {
+	mu sync.Mutex
+	r  *Ring
+}
+
+// NewLockedRing builds a concurrency-safe ring holding up to capacity
+// events (≤ 0 uses DefaultRingCap).
+func NewLockedRing(capacity int) *LockedRing {
+	return &LockedRing{r: NewRing(capacity)}
+}
+
+// Emit implements Sink.
+func (l *LockedRing) Emit(e Event) {
+	l.mu.Lock()
+	l.r.Emit(e)
+	l.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (l *LockedRing) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Len()
+}
+
+// Total returns the number of events ever emitted.
+func (l *LockedRing) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Total()
+}
+
+// Dropped returns how many events were overwritten by wraparound.
+func (l *LockedRing) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Dropped()
+}
+
+// Events returns the buffered events oldest-first (a copy).
+func (l *LockedRing) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Events()
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLockedRingConcurrentWrap hammers a small LockedRing from many
+// goroutines so it wraps thousands of times mid-emission, then checks
+// the accounting invariants and that per-request span reconstruction
+// still works on the surviving window. The serve path emits request
+// lifecycle events from one goroutine per in-flight cell; the plain
+// Ring was designed under single-goroutine simulators, so this is the
+// regression test for the concurrent regime. Run it under -race.
+func TestLockedRingConcurrentWrap(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 500 // requests per goroutine; 3 events each
+		capacity   = 512 // far smaller than 8*500*3 → constant wrapping
+	)
+	r := NewLockedRing(capacity)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Globally unique request id; cycles increase per
+				// goroutine so each request's events are ordered.
+				id := uint64(g*perG + i)
+				base := uint64(i) * 10
+				r.Emit(Event{Cycle: base, Kind: EvRequestArrive, Src: SrcQueue, A: id})
+				r.Emit(Event{Cycle: base + 3, Kind: EvRequestDispatch, Src: SrcQueue, A: id})
+				r.Emit(Event{Cycle: base + 7, Kind: EvRequestComplete, Src: SrcQueue, A: id, B: 7})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := uint64(goroutines * perG * 3)
+	if r.Total() != total {
+		t.Fatalf("Total: got %d want %d (lost emissions under concurrency)", r.Total(), total)
+	}
+	if r.Len() != capacity {
+		t.Fatalf("Len: got %d want %d", r.Len(), capacity)
+	}
+	if r.Dropped() != total-uint64(capacity) {
+		t.Fatalf("Dropped: got %d want %d", r.Dropped(), total-uint64(capacity))
+	}
+
+	events := r.Events()
+	if len(events) != capacity {
+		t.Fatalf("Events: got %d want %d", len(events), capacity)
+	}
+	// No torn events: every surviving event must be one we emitted.
+	for _, e := range events {
+		switch e.Kind {
+		case EvRequestArrive, EvRequestDispatch, EvRequestComplete:
+		default:
+			t.Fatalf("torn or foreign event in ring: %+v", e)
+		}
+		if e.A >= uint64(goroutines*perG) {
+			t.Fatalf("event carries impossible request id: %+v", e)
+		}
+	}
+
+	// Span reconstruction on the wrapped window: every completion in
+	// the buffer must yield a span with the authoritative latency, even
+	// when its arrive/dispatch events were lost to wraparound.
+	spans := Spans(events)
+	if len(spans) == 0 {
+		t.Fatal("no spans reconstructed from wrapped window")
+	}
+	var completes int
+	for _, e := range events {
+		if e.Kind == EvRequestComplete {
+			completes++
+		}
+	}
+	if len(spans) != completes {
+		t.Fatalf("spans: got %d want %d (one per surviving completion)", len(spans), completes)
+	}
+	for _, sp := range spans {
+		if sp.LatencyCycles != 7 {
+			t.Fatalf("span %d latency: got %d want 7", sp.ID, sp.LatencyCycles)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceContextHeaderRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: "0abc", SpanID: "0def", Campaign: "c0001", Hedged: true}
+	h := make(http.Header)
+	tc.Inject(h)
+	got, ok := TraceFromHeaders(h)
+	if !ok {
+		t.Fatal("TraceFromHeaders: ok=false after Inject")
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v want %+v", got, tc)
+	}
+	if h.Get(HeaderHedge) != "1" {
+		t.Fatalf("hedge header: got %q want 1", h.Get(HeaderHedge))
+	}
+}
+
+func TestTraceContextZeroInjectsNothing(t *testing.T) {
+	h := make(http.Header)
+	TraceContext{}.Inject(h)
+	if len(h) != 0 {
+		t.Fatalf("zero context wrote headers: %v", h)
+	}
+	if _, ok := TraceFromHeaders(h); ok {
+		t.Fatal("TraceFromHeaders: ok=true on empty headers")
+	}
+}
+
+func TestMintIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := MintID()
+		if len(id) != 16 {
+			t.Fatalf("MintID length: got %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("MintID repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNilCellTraceIsSafe(t *testing.T) {
+	var tr *CellTrace
+	tr.Stage(StageCompute, time.Now())
+	tr.StageDetail(StageCache, time.Now(), "hit")
+	tr.Record(StageSpan{Stage: StageRemote})
+	tr.Adopt([]StageSpan{{Stage: StageCompute}}, "w1")
+	tr.SetJoined("x")
+	tr.SetCached(true)
+	tr.SetError(nil)
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil trace Spans: got %v", got)
+	}
+	if got := tr.TraceID(); got != "" {
+		t.Fatalf("nil trace TraceID: got %q", got)
+	}
+	if got := tr.Context(); got != (TraceContext{}) {
+		t.Fatalf("nil trace Context: got %+v", got)
+	}
+	if got := tr.Finish(); got.TraceID != "" {
+		t.Fatalf("nil trace Finish: got %+v", got)
+	}
+}
+
+func TestCellTraceInheritsAndFinishes(t *testing.T) {
+	parent := TraceContext{TraceID: "t1", SpanID: "s1", Campaign: "c0001"}
+	tr := NewCellTrace(parent, "deadbeef")
+	start := time.Now()
+	tr.Stage(StageAdmission, start)
+	tr.StageDetail(StageCache, start, "miss")
+	tr.Adopt([]StageSpan{{Stage: StageCompute, DurNs: 10}}, "w1")
+	tr.SetCached(false)
+
+	ctx := tr.Context()
+	if ctx.TraceID != "t1" || ctx.SpanID == "" || ctx.SpanID == "s1" {
+		t.Fatalf("Context: got %+v, want inherited trace with fresh span", ctx)
+	}
+
+	snap := tr.Finish()
+	if snap.TraceID != "t1" || snap.Parent != "s1" || snap.Campaign != "c0001" {
+		t.Fatalf("snapshot identity: %+v", snap)
+	}
+	if snap.Digest != "deadbeef" || len(snap.Spans) != 3 {
+		t.Fatalf("snapshot content: %+v", snap)
+	}
+	if !snap.Spans[2].Child || snap.Spans[2].Worker != "w1" {
+		t.Fatalf("adopted span not marked child/worker: %+v", snap.Spans[2])
+	}
+}
+
+func TestStageSumExcludesChildrenAndLosingHedges(t *testing.T) {
+	s := CellTraceSnapshot{
+		WallNs: 100,
+		Spans: []StageSpan{
+			{Stage: StageCache, DurNs: 10},
+			{Stage: StageRemote, DurNs: 50, Winner: true, Hedged: true},
+			{Stage: StageRemote, DurNs: 70, Hedged: true}, // losing leg overlaps
+			{Stage: StageCompute, DurNs: 40, Child: true}, // nested in remote
+		},
+	}
+	if got := s.StageSumNs(); got != 60 {
+		t.Fatalf("StageSumNs: got %d want 60", got)
+	}
+	totals := s.StageTotalsUs()
+	// Totals aggregate all top-level spans (both remote legs) by stage.
+	if len(totals) != 2 {
+		t.Fatalf("StageTotalsUs keys: %v", totals)
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 0; i < 10; i++ {
+		r.Add(CellTraceSnapshot{WallNs: int64(i)})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total: got %d want 10", r.Total())
+	}
+	snaps := r.Snapshot()
+	if len(snaps) != 4 {
+		t.Fatalf("Snapshot len: got %d want 4", len(snaps))
+	}
+	for i, s := range snaps {
+		if want := int64(6 + i); s.WallNs != want {
+			t.Fatalf("snapshot[%d]: got wall %d want %d (oldest-first)", i, s.WallNs, want)
+		}
+	}
+}
+
+func TestTraceRingNilSafe(t *testing.T) {
+	var r *TraceRing
+	r.Add(CellTraceSnapshot{})
+	if r.Total() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil TraceRing not inert")
+	}
+}
+
+func TestWaterfallRenders(t *testing.T) {
+	base := time.Now().UnixNano()
+	s := CellTraceSnapshot{
+		TraceID: "t1", Digest: "deadbeefdeadbeef", StartUnixNs: base, WallNs: 1e6,
+		Spans: []StageSpan{
+			{Stage: StageAdmission, StartUnixNs: base, DurNs: 2e5},
+			{Stage: StageRemote, StartUnixNs: base + 2e5, DurNs: 8e5, Worker: "w1", Hedged: true, Winner: true},
+			{Stage: StageCompute, StartUnixNs: base + 3e5, DurNs: 6e5, Worker: "w1", Child: true},
+		},
+	}
+	var b strings.Builder
+	if err := s.Waterfall(&b, 40); err != nil {
+		t.Fatalf("Waterfall: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"trace t1", "cell deadbeefdead", "admission", "remote", "└ compute", "winner", "hedge", "w1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") != 4 {
+		t.Fatalf("waterfall line count: got %d want 4\n%s", strings.Count(out, "\n"), out)
+	}
+}

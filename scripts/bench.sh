@@ -21,7 +21,8 @@
 # built-in load generator — one closed-loop run (cold cache, real
 # simulations) and one open-loop run (warm, mostly cache hits) — and
 # writes BENCH_serve.json with both envelopes: sent/ok/shed counts,
-# request throughput, and p50/p99 request latency.
+# request throughput, and p50/p99 request latency — plus a tracing
+# on/off A/B over the warm cache pinning the trace plane's overhead.
 #
 # Finally it benchmarks the distributed tier: the same small campaign
 # run against a single-node daemon and against a coordinator sharding
@@ -30,7 +31,8 @@
 # rather than speedup; the envelope records, it does not assert.)
 #
 # Every BENCH_*.json envelope records the host environment uniformly:
-# host_cpus, go_version, gomaxprocs.
+# host_cpus, go_version, gomaxprocs, git_commit — so a regression found
+# in a stored envelope can be pinned to the exact tree that produced it.
 #
 # Tunables: BENCH_SCALE (default 0.05), BENCH_WORKERS (default nproc),
 # BENCH_SERVE_ADDR (default 127.0.0.1:8124), BENCH_SERVE_REQUESTS
@@ -49,7 +51,8 @@ OUT="BENCH_campaign.json"
 NCPU="$(nproc)"
 GOVER="$(go env GOVERSION)"
 GMP="${GOMAXPROCS:-$NCPU}"
-ENV_JSON="\"host_cpus\": $NCPU, \"go_version\": \"$GOVER\", \"gomaxprocs\": $GMP"
+GITSHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+ENV_JSON="\"host_cpus\": $NCPU, \"go_version\": \"$GOVER\", \"gomaxprocs\": $GMP, \"git_commit\": \"$GITSHA\""
 
 tmp="$(mktemp -d)"
 cleanup() {
@@ -181,6 +184,40 @@ serve_pid=""
 [[ -f "$tmp/serve-cache/checkpoint.json" ]] \
     || { echo "FAIL: no checkpoint after drain"; exit 1; }
 
+# Tracing A/B: the same warm closed-loop load against the same cache,
+# once with tracing on and once off. Warm requests are pure serving
+# overhead, so this is the worst case for the trace plane's cost; the
+# overhead_pct figure pins the ISSUE's <2% tracing budget.
+AB_REQS="${BENCH_AB_REQUESTS:-400}"
+ab_run() {
+    local flag="$1" out="$2"
+    "$tmp/duplexityd" serve -addr "$SADDR" -scale "$SCALE" -seed 1 \
+        -workers "$WORKERS" -cachedir "$tmp/serve-cache" -tracing="$flag" \
+        2>"$tmp/served-ab.log" &
+    serve_pid=$!
+    for i in $(seq 1 100); do
+        curl -fsS "http://$SADDR/v1/healthz" >/dev/null 2>&1 && break
+        kill -0 "$serve_pid" 2>/dev/null \
+            || { echo "FAIL: duplexityd died during A/B boot"; cat "$tmp/served-ab.log"; exit 1; }
+        sleep 0.1
+    done
+    "$tmp/duplexityd" loadgen -addr "$SADDR" -conc "$WORKERS" -requests "$AB_REQS" \
+        -spread 16 >"$out"
+    kill -TERM "$serve_pid"
+    wait "$serve_pid" || true
+    serve_pid=""
+}
+echo "== tracing A/B (warm, $AB_REQS requests) =="
+ab_run true  "$tmp/serve-ab-on.json"
+ab_run false "$tmp/serve-ab-off.json"
+cat "$tmp/serve-ab-on.json" "$tmp/serve-ab-off.json"
+RPS_ON="$(sed 's/.*"rps":\([0-9.]*\).*/\1/' "$tmp/serve-ab-on.json")"
+RPS_OFF="$(sed 's/.*"rps":\([0-9.]*\).*/\1/' "$tmp/serve-ab-off.json")"
+AB_JSON="$(awk -v on="$RPS_ON" -v off="$RPS_OFF" -v n="$AB_REQS" 'BEGIN {
+    printf "{\"requests\": %d, \"rps_tracing_on\": %.3f, \"rps_tracing_off\": %.3f, \"overhead_pct\": %.2f}", n, on, off, (off - on) / off * 100
+}')"
+echo "tracing A/B: $AB_JSON"
+
 {
     echo "{"
     echo "  \"bench\": \"serve-loadgen\","
@@ -188,7 +225,8 @@ serve_pid=""
     echo "  \"scale\": $SCALE,"
     echo "  \"workers\": $WORKERS,"
     echo "  \"closed_cold\": $(cat "$tmp/serve-closed.json"),"
-    echo "  \"open_warm\": $(cat "$tmp/serve-open.json")"
+    echo "  \"open_warm\": $(cat "$tmp/serve-open.json"),"
+    echo "  \"tracing_ab\": $AB_JSON"
     echo "}"
 } >"$SERVEOUT"
 

@@ -45,6 +45,13 @@ go test -race -timeout 15m ./internal/serve
 # two-real-workers e2e byte-identity test, runs raced.
 go test -race -timeout 15m ./internal/fleet
 go test -race -run 'TestE2E' -timeout 15m .
+# Trace propagation crosses every concurrency boundary in the system
+# (admission queue, coalesced flights, hedged dispatch, ring snapshot);
+# name the trace suites explicitly so a -run filter tweak above can
+# never silently drop them from the raced gate.
+go test -race -timeout 15m \
+    -run 'TestTracez|TestCoalescedFollowerTrace|TestTracingOff|TestMetricsz|TestHedgedTrace|TestE2EFleetStitched|TestDoRawTraced|TestLockedRing' \
+    ./internal/serve ./internal/fleet ./internal/campaign ./internal/telemetry
 
 if [[ "${CHECK_SKIP_BENCH:-0}" == "1" ]]; then
     echo "== telemetry overhead guard skipped (CHECK_SKIP_BENCH=1) =="

@@ -12,7 +12,12 @@
 #      reference entries modulo wall_seconds (a measurement)
 #   4. assert /v1/fleetz shows both workers completed cells and the
 #      worker journals show no duplicated simulations for hedged cells
-#   5. kill one worker, submit more cells, and assert the campaign
+#   5. scrape the coordinator's /v1/fleet/metricsz and assert it merges
+#      both workers' Prometheus samples under worker="..." labels
+#   6. boot an aggressive-hedging coordinator (-hedge-after 1ms), run
+#      fresh cells through it, and assert every stitched trace shows
+#      exactly one winning remote leg and one adopted compute span
+#   7. kill one worker, submit more cells, and assert the campaign
 #      still completes against the surviving worker
 #
 # Tunables: FLEET_SCALE (default 0.02), FLEET_BASE_PORT (default 8131).
@@ -122,6 +127,57 @@ w_sims="$(cat "$tmp/w1-cache/journal.jsonl" "$tmp/w2-cache/journal.jsonl" 2>/dev
 [[ "$w_sims" == "$cells" ]] \
     || { echo "FAIL: workers simulated $w_sims cells, want $cells (duplicate or lost work)"; exit 1; }
 echo "workers simulated $w_sims cells for $cells results (no duplicated simulation)"
+
+echo "== fleet metricsz aggregation =="
+curl -fsS "http://$CO_ADDR/v1/fleet/metricsz" >"$tmp/fleet-metricsz.txt"
+bad="$(grep -v '^#' "$tmp/fleet-metricsz.txt" | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*(\\")?[^}]*\})? (-?[0-9.eE+]+|\+Inf|NaN)$' || true)"
+[[ -z "$bad" ]] \
+    || { echo "FAIL: unparseable fleet metricsz lines:"; echo "$bad"; exit 1; }
+for w in "$W1_ADDR" "$W2_ADDR"; do
+    grep -q "^duplexity_fleet_worker_completed{worker=\"http://$w\"}" "$tmp/fleet-metricsz.txt" \
+        || { echo "FAIL: no coordinator-side counters for $w"; cat "$tmp/fleet-metricsz.txt"; exit 1; }
+    grep -q "duplexity_serve_admitted{worker=\"http://$w\"}" "$tmp/fleet-metricsz.txt" \
+        || { echo "FAIL: $w's scraped serve metrics missing"; cat "$tmp/fleet-metricsz.txt"; exit 1; }
+done
+echo "fleet metricsz merges both workers: $(grep -cv '^#' "$tmp/fleet-metricsz.txt") samples"
+
+echo "== hedged traces: exactly one winning leg per cell =="
+CO2_ADDR="127.0.0.1:$((BASE_PORT + 4))"
+"$tmp/duplexityd" coordinate -addr "$CO2_ADDR" -fleet "$W1_ADDR,$W2_ADDR" \
+    -cachedir "$tmp/co2-cache" -hedge-after 1ms 2>"$tmp/co2.log" &
+co2_pid=$!; pids+=("$co2_pid")
+wait_healthy "$CO2_ADDR" "$co2_pid" "$tmp/co2.log"
+# Fresh load points: nothing cached anywhere upstream of the workers'
+# own caches, so every cell crosses the fleet and outlives the 1ms
+# hedge threshold.
+submit_campaign "$CO2_ADDR" "$tmp/hedged.ndjson" -loads 0.35,0.65
+curl -fsS "http://$CO2_ADDR/v1/fleetz" >"$tmp/fleetz2.json"
+curl -fsS "http://$CO2_ADDR/v1/tracez" >"$tmp/tracez2.json"
+python3 - "$tmp/tracez2.json" "$tmp/fleetz2.json" <<'PYEOF'
+import json, sys
+tz = json.load(open(sys.argv[1]))
+fz = json.load(open(sys.argv[2]))
+assert fz["hedges"] >= 1, f"hedge-after=1ms fired no hedges: {fz}"
+traces = tz.get("traces") or []
+assert traces, "coordinator recorded no traces"
+hedged_traces = 0
+for tr in traces:
+    spans = tr.get("spans") or []
+    remotes = [s for s in spans if s["stage"] == "remote" and not s.get("child")]
+    if not remotes:
+        continue  # answered from a cache tier, no dispatch
+    winners = [s for s in remotes if s.get("winner")]
+    assert len(winners) == 1, \
+        f"trace {tr['trace_id']}: {len(winners)} winning remote legs in {remotes}"
+    computes = [s for s in spans if s["stage"] == "compute" and s.get("child")]
+    assert len(computes) == 1, \
+        f"trace {tr['trace_id']}: {len(computes)} adopted compute spans, want exactly 1"
+    if any(s.get("hedged") for s in remotes):
+        hedged_traces += 1
+print(f"hedged traces OK: {len(traces)} traces, {hedged_traces} with a hedged winner, "
+      f"{fz['hedges']} hedges / {fz['hedge_wins']} wins fleet-wide")
+PYEOF
+kill -TERM "$co2_pid" && wait "$co2_pid" || true
 
 echo "== kill one worker mid-run; campaign must still complete =="
 submit_campaign "$CO_ADDR" "$tmp/resilience.ndjson" -loads 0.45 &

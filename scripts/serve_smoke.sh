@@ -7,8 +7,11 @@
 #   2. poll /v1/healthz until it answers ok
 #   3. submit one cell synchronously and one small campaign (streamed)
 #   4. re-submit the same cell and assert it is served from the cache
-#   5. SIGTERM the daemon and assert it exits 0 within the drain window
-#   6. assert the cache dir holds a checkpoint marked clean=false and a
+#   5. scrape /v1/metricsz (every sample must parse as Prometheus text
+#      format) and /v1/tracez (every cell got a stitched timeline with
+#      a compute span and stage sums bounded by wall time)
+#   6. SIGTERM the daemon and assert it exits 0 within the drain window
+#   7. assert the cache dir holds a checkpoint marked clean=false and a
 #      journal with zero incomplete cells
 #
 # Tunables: SMOKE_SCALE (default 0.02), SMOKE_ADDR (default
@@ -77,6 +80,58 @@ fi
 grep -q '"serve.cells.cache_hits": 1' "$tmp/statz.json" \
     || { echo "FAIL: statz does not show the cache hit"; cat "$tmp/statz.json"; exit 1; }
 
+echo "== metricsz =="
+curl -fsS "http://$ADDR/v1/metricsz" >"$tmp/metricsz.txt"
+# Every non-comment line must be a legal Prometheus text-format sample.
+bad="$(grep -v '^#' "$tmp/metricsz.txt" | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+]+|\+Inf|NaN)$' || true)"
+[[ -z "$bad" ]] \
+    || { echo "FAIL: unparseable metricsz lines:"; echo "$bad"; exit 1; }
+grep -q '^# TYPE duplexity_serve_admitted counter$' "$tmp/metricsz.txt" \
+    || { echo "FAIL: metricsz lacks a typed serve counter"; cat "$tmp/metricsz.txt"; exit 1; }
+grep -q '^duplexity_serve_latency_us_bucket{le="+Inf"}' "$tmp/metricsz.txt" \
+    || { echo "FAIL: metricsz lacks the latency histogram"; cat "$tmp/metricsz.txt"; exit 1; }
+echo "metricsz parses: $(grep -cv '^#' "$tmp/metricsz.txt") samples"
+
+echo "== tracez =="
+curl -fsS "http://$ADDR/v1/tracez" >"$tmp/tracez.json"
+python3 - "$tmp/tracez.json" <<'PYEOF'
+import json, sys
+tz = json.load(open(sys.argv[1]))
+traces = tz.get("traces") or []
+assert not tz.get("disabled"), "tracing unexpectedly disabled"
+# 1 cold cell + 2 campaign cells + 1 warm repeat
+assert tz["total"] == 4, f"tracez total = {tz['total']}, want 4"
+computes = 0
+for tr in traces:
+    spans = tr.get("spans") or []
+    assert spans, f"trace {tr['trace_id']} has no spans"
+    top = sum(s["dur_ns"] for s in spans
+              if not s.get("child")
+              and not (s["stage"] == "remote" and s.get("hedged") and not s.get("winner")))
+    assert 0 < top <= tr["wall_ns"], \
+        f"trace {tr['trace_id']}: stage sum {top} outside (0, wall={tr['wall_ns']}]"
+    if any(s["stage"] == "compute" for s in spans):
+        computes += 1
+assert computes == 3, f"{computes} traces have compute spans, want 3 (the warm repeat has none)"
+print(f"tracez OK: {len(traces)} stitched traces, {computes} with compute spans")
+PYEOF
+"$tmp/duplexityd" tracez -addr "$ADDR" -n 2 >"$tmp/waterfall.txt"
+grep -q 'compute' "$tmp/waterfall.txt" \
+    || { echo "FAIL: tracez waterfall shows no compute stage"; cat "$tmp/waterfall.txt"; exit 1; }
+echo "waterfall renders: $(head -1 "$tmp/waterfall.txt")"
+
+echo "== loadgen status counts =="
+"$tmp/duplexityd" loadgen -addr "$ADDR" -conc 2 -requests 8 -spread 4 >"$tmp/loadgen.json"
+python3 - "$tmp/loadgen.json" <<'PYEOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+counts = rep.get("status_counts") or {}
+assert sum(counts.values()) == rep["sent"], f"status_counts {counts} do not sum to sent={rep['sent']}"
+assert counts.get("200", 0) == rep["ok"], f"status_counts[200]={counts.get('200')} != ok={rep['ok']}"
+assert rep["shed_rate"] == rep["shed"] / rep["sent"]
+print(f"loadgen status_counts OK: {counts}, shed_rate={rep['shed_rate']}")
+PYEOF
+
 echo "== drain =="
 kill -TERM "$daemon_pid"
 drain_rc=0
@@ -96,12 +151,17 @@ if grep -q '"status"' "$tmp/cache/journal.jsonl"; then
     cat "$tmp/cache/journal.jsonl"
     exit 1
 fi
-# The journal audits every resolution (hits included); exactly three
-# distinct cells were simulated, and the repeat shows up as a hit line.
+# The journal audits every resolution (hits included): 3 distinct
+# cells from the submit phase plus 3 new load points from the loadgen
+# phase (its 4-point spread includes the already-cached load 0.5), and
+# the repeats show up as hit lines.
 cells="$(grep -c '"cached":false' "$tmp/cache/journal.jsonl")"
-[[ "$cells" == "3" ]] \
-    || { echo "FAIL: journal shows $cells simulated cells, want 3"; cat "$tmp/cache/journal.jsonl"; exit 1; }
+[[ "$cells" == "6" ]] \
+    || { echo "FAIL: journal shows $cells simulated cells, want 6"; cat "$tmp/cache/journal.jsonl"; exit 1; }
 grep -q '"cached":true' "$tmp/cache/journal.jsonl" \
     || { echo "FAIL: journal does not show the cache hit"; exit 1; }
+# Completed lines carry the traced per-stage breakdown.
+grep -q '"stages_us":{' "$tmp/cache/journal.jsonl" \
+    || { echo "FAIL: journal lines carry no stage breakdown"; head -2 "$tmp/cache/journal.jsonl"; exit 1; }
 
 echo "serve smoke OK: $cells cells simulated, cache hit confirmed, graceful drain verified"
