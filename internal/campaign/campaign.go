@@ -60,6 +60,16 @@ type Remote interface {
 	Exec(k Key, tr *telemetry.CellTrace) (Entry, bool, error)
 }
 
+// DeadlineRemote is an optional Remote refinement for deadline-lane
+// cells: ExecDeadline behaves like Exec but may place and hedge more
+// aggressively as the deadline nears (Hurry-up-style scheduling). A
+// Remote that does not implement it is driven through Exec regardless
+// of deadline.
+type DeadlineRemote interface {
+	Remote
+	ExecDeadline(k Key, tr *telemetry.CellTrace, deadline time.Time) (Entry, bool, error)
+}
+
 // Engine executes campaign cells on a bounded worker pool with optional
 // result caching. An Engine is safe for use from multiple goroutines,
 // though callers typically submit one batch at a time.
@@ -98,6 +108,24 @@ func New(o Options) (*Engine, error) {
 
 // Workers returns the configured pool width.
 func (e *Engine) Workers() int { return e.workers }
+
+// CacheDir returns the cache root, or "" when the engine is ephemeral.
+func (e *Engine) CacheDir() string {
+	if e.cache == nil {
+		return ""
+	}
+	return e.cache.Dir()
+}
+
+// Lookup probes the local cache for a completed cell without touching
+// hit/miss accounting or the journal — the read-only probe the durable
+// job store uses to rematerialize finished cells after a restart.
+func (e *Engine) Lookup(k Key) (Entry, bool) {
+	if e.cache == nil {
+		return Entry{}, false
+	}
+	return e.cache.GetEntry(k.Digest())
+}
 
 // Stats snapshots the engine's cache and wall-time accounting.
 func (e *Engine) Stats() Summary {
@@ -225,6 +253,15 @@ func (e *Engine) DoRaw(k Key, run func() (json.RawMessage, error)) (Entry, bool,
 // computed or cached — entries and results are byte-identical with tr
 // nil or not.
 func (e *Engine) DoRawTraced(k Key, run func() (json.RawMessage, error), tr *telemetry.CellTrace) (Entry, bool, error) {
+	return e.DoRawDeadline(k, run, tr, time.Time{})
+}
+
+// DoRawDeadline is DoRawTraced for deadline-lane cells: a non-zero
+// deadline is forwarded to the remote when it implements DeadlineRemote,
+// so a fleet coordinator can prefer the hot-cache worker and hedge
+// earlier as the budget shrinks. The deadline never changes what is
+// computed or cached — only where and how eagerly.
+func (e *Engine) DoRawDeadline(k Key, run func() (json.RawMessage, error), tr *telemetry.CellTrace, deadline time.Time) (Entry, bool, error) {
 	digest := k.Digest()
 
 	if e.cache != nil {
@@ -238,7 +275,13 @@ func (e *Engine) DoRawTraced(k Key, run func() (json.RawMessage, error), tr *tel
 	}
 
 	if e.remote != nil {
-		ent, remoteCached, err := e.remote.Exec(k, tr)
+		exec := e.remote.Exec
+		if dr, ok := e.remote.(DeadlineRemote); ok && !deadline.IsZero() {
+			exec = func(k Key, tr *telemetry.CellTrace) (Entry, bool, error) {
+				return dr.ExecDeadline(k, tr, deadline)
+			}
+		}
+		ent, remoteCached, err := exec(k, tr)
 		if err == nil {
 			if e.cache != nil {
 				put := time.Now()

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"duplexity/internal/campaign"
 	"duplexity/internal/core"
@@ -35,9 +36,9 @@ const (
 // the request: a daemon serves one (scale, seed, model-version) world,
 // so identical requests always map to identical cache keys.
 type CellSpec struct {
-	Kind     string  `json:"kind"`
-	Design   string  `json:"design"`
-	Workload string  `json:"workload"`
+	Kind     string `json:"kind"`
+	Design   string `json:"design"`
+	Workload string `json:"workload"`
 	// Load is the offered load in (0, 0.95] for matrix cells; slowdown
 	// cells are saturated closed-loop runs and must leave it 0.
 	Load float64 `json:"load,omitempty"`
@@ -202,6 +203,14 @@ func (s *Suite) RunServedRaw(cs CellSpec) (RawCellResult, error) {
 // RunServedRawTraced is RunServedRaw with per-stage tracing threaded
 // into the campaign engine (nil tr: untraced).
 func (s *Suite) RunServedRawTraced(cs CellSpec, tr *telemetry.CellTrace) (RawCellResult, error) {
+	return s.RunServedRawDeadline(cs, tr, time.Time{})
+}
+
+// RunServedRawDeadline is RunServedRawTraced for deadline-lane cells: a
+// non-zero deadline reaches the campaign engine's remote (a fleet
+// coordinator) for Hurry-up-style placement, never the simulation
+// itself, so results stay byte-identical with or without a deadline.
+func (s *Suite) RunServedRawDeadline(cs CellSpec, tr *telemetry.CellTrace, deadline time.Time) (RawCellResult, error) {
 	if s.engErr != nil {
 		return RawCellResult{}, s.engErr
 	}
@@ -231,7 +240,7 @@ func (s *Suite) RunServedRawTraced(cs CellSpec, tr *telemetry.CellTrace) (RawCel
 			return json.Marshal(v)
 		}
 	}
-	ent, cached, err := s.eng.DoRawTraced(key, run, tr)
+	ent, cached, err := s.eng.DoRawDeadline(key, run, tr, deadline)
 	if err != nil {
 		return RawCellResult{}, err
 	}
@@ -253,9 +262,16 @@ func (s *Suite) RunServed(cs CellSpec) (ServedResult, error) {
 }
 
 // RunServedTraced is RunServed with per-stage tracing threaded through
-// (nil tr: untraced). This is the serve layer's run hook.
+// (nil tr: untraced).
 func (s *Suite) RunServedTraced(cs CellSpec, tr *telemetry.CellTrace) (ServedResult, error) {
-	raw, err := s.RunServedRawTraced(cs, tr)
+	return s.RunServedDeadline(cs, tr, time.Time{})
+}
+
+// RunServedDeadline is RunServedTraced with a placement deadline for
+// interactive-lane cells (zero deadline: batch semantics). This is the
+// serve layer's run hook.
+func (s *Suite) RunServedDeadline(cs CellSpec, tr *telemetry.CellTrace, deadline time.Time) (ServedResult, error) {
+	raw, err := s.RunServedRawDeadline(cs, tr, deadline)
 	if err != nil {
 		return ServedResult{}, err
 	}

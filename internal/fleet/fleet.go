@@ -50,8 +50,10 @@ import (
 
 // Options configures a Coordinator.
 type Options struct {
-	// Workers lists worker daemon base URLs ("http://host:9400").
-	// Required, at least one.
+	// Workers lists worker daemon base URLs ("http://host:9400") known
+	// at boot. May be empty: workers can also join (and leave) the fleet
+	// at runtime through POST /v1/fleet/join, so a coordinator can start
+	// with nothing and grow as daemons come up.
 	Workers []string
 	// World is the (model, scale, seed) world every worker must serve.
 	// Zero-valued, Register adopts the first reachable worker's world
@@ -71,6 +73,13 @@ type Options struct {
 	// MaxAttempts bounds dispatch attempts per cell. <= 0 means
 	// 3 × len(Workers), minimum 4.
 	MaxAttempts int
+	// HeartbeatInterval is how often joined workers are expected to
+	// re-POST /v1/fleet/join, and how often the membership loop sweeps
+	// for stale ones. <= 0 means 2s.
+	HeartbeatInterval time.Duration
+	// EvictAfter is how long a joined worker may go without a heartbeat
+	// before it is removed from the ring. <= 0 means 3 × HeartbeatInterval.
+	EvictAfter time.Duration
 }
 
 // l1flight coalesces concurrent Execs of the same digest.
@@ -86,8 +95,14 @@ type l1flight struct {
 // Coordinator shards cells across a worker fleet. It implements
 // campaign.Remote and is safe for concurrent use.
 type Coordinator struct {
-	opts    Options
-	client  *http.Client
+	opts   Options
+	client *http.Client
+
+	// wmu guards the membership view: the worker list and the agreed
+	// world. Dispatch reads a snapshot; join/leave/evict rewrite the
+	// slice, which rebuilds the rendezvous ring implicitly (HRW ranking
+	// is a pure function of the current membership).
+	wmu     sync.RWMutex
 	workers []*worker
 	world   expt.World
 
@@ -98,18 +113,21 @@ type Coordinator struct {
 	latMu sync.Mutex
 	lat   *stats.LatencyRecorder // completed-cell seconds, feeds the hedge threshold
 
-	hedges    atomic.Int64
-	hedgeWins atomic.Int64
-	retries   atomic.Int64
-	l1Hits    atomic.Int64
+	hedges         atomic.Int64
+	hedgeWins      atomic.Int64
+	retries        atomic.Int64
+	l1Hits         atomic.Int64
+	joins          atomic.Int64
+	leaves         atomic.Int64
+	evictions      atomic.Int64
+	deadlineCells  atomic.Int64
+	deadlineHedges atomic.Int64
 }
 
-// New builds a coordinator over a static worker list. Call Register
-// before dispatching to verify world identity and size the windows.
+// New builds a coordinator over a (possibly empty) boot worker list.
+// Call Register before dispatching to verify world identity and size
+// the windows; workers may also Join at runtime.
 func New(o Options) (*Coordinator, error) {
-	if len(o.Workers) == 0 {
-		return nil, fmt.Errorf("fleet: at least one worker required")
-	}
 	seen := make(map[string]bool, len(o.Workers))
 	ws := make([]*worker, 0, len(o.Workers))
 	for _, name := range o.Workers {
@@ -131,6 +149,12 @@ func New(o Options) (*Coordinator, error) {
 			o.MaxAttempts = 4
 		}
 	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 2 * time.Second
+	}
+	if o.EvictAfter <= 0 {
+		o.EvictAfter = 3 * o.HeartbeatInterval
+	}
 	client := o.Client
 	if client == nil {
 		client = &http.Client{}
@@ -147,34 +171,58 @@ func New(o Options) (*Coordinator, error) {
 }
 
 // World returns the fleet's agreed world identity (meaningful after
-// Register; when Options.World was zero it is the adopted one).
-func (c *Coordinator) World() expt.World { return c.world }
+// Register or the first Join; when Options.World was zero it is the
+// adopted one).
+func (c *Coordinator) World() expt.World {
+	c.wmu.RLock()
+	defer c.wmu.RUnlock()
+	return c.world
+}
+
+// snapshot copies the current membership for lock-free iteration.
+// Workers removed after the copy still finish their in-flight cells —
+// the dispatch path holds the *worker, not an index — so the fleet can
+// shrink without failing work already placed.
+func (c *Coordinator) snapshot() []*worker {
+	c.wmu.RLock()
+	defer c.wmu.RUnlock()
+	return append([]*worker(nil), c.workers...)
+}
 
 // Register probes every worker's /v1/queuez: verifies all reachable
 // workers serve the same (model, scale, seed) world and sizes each
 // in-flight window from the worker's simulation pool width. Unreachable
 // workers are down-marked, not fatal — dispatch retries them — but at
-// least one worker must answer, and any world mismatch is a hard error
-// (mismatched worlds would compute different cells for the same spec).
+// least one configured worker must answer, and any world mismatch is a
+// hard error (mismatched worlds would compute different cells for the
+// same spec). With an empty boot list Register is a no-op: the fleet
+// fills in as workers join.
 func (c *Coordinator) Register(ctx context.Context) error {
+	ws := c.snapshot()
+	if len(ws) == 0 {
+		return nil
+	}
 	reachable := 0
-	for _, w := range c.workers {
+	for _, w := range ws {
 		qz, err := c.queuez(ctx, w)
 		if err != nil {
 			w.connFail(time.Now())
 			continue
 		}
+		c.wmu.Lock()
 		if c.world == (expt.World{}) {
 			c.world = qz.World
 		}
-		if qz.World != c.world {
-			return fmt.Errorf("fleet: worker %s serves world %+v, want %+v", w.name, qz.World, c.world)
+		world := c.world
+		c.wmu.Unlock()
+		if qz.World != world {
+			return fmt.Errorf("fleet: worker %s serves world %+v, want %+v", w.name, qz.World, world)
 		}
 		w.configure(qz.Workers)
 		reachable++
 	}
 	if reachable == 0 {
-		return fmt.Errorf("fleet: no worker reachable of %d", len(c.workers))
+		return fmt.Errorf("fleet: no worker reachable of %d", len(ws))
 	}
 	return nil
 }
@@ -208,6 +256,22 @@ func (c *Coordinator) queuez(ctx context.Context, w *worker) (serve.Queuez, erro
 // dispatch's remote spans, with the worker's shipped spans adopted as
 // children.
 func (c *Coordinator) Exec(k campaign.Key, tr *telemetry.CellTrace) (campaign.Entry, bool, error) {
+	return c.execDeadline(k, tr, time.Time{})
+}
+
+// ExecDeadline is the campaign.DeadlineRemote seam: identical routing
+// and result semantics to Exec, but the hedge threshold shrinks as the
+// deadline approaches (Hurry-up-style placement) — a straggling
+// deadline-lane cell is duplicated onto the next-ranked worker sooner
+// than the adaptive p99 threshold would on its own.
+func (c *Coordinator) ExecDeadline(k campaign.Key, tr *telemetry.CellTrace, deadline time.Time) (campaign.Entry, bool, error) {
+	if !deadline.IsZero() {
+		c.deadlineCells.Add(1)
+	}
+	return c.execDeadline(k, tr, deadline)
+}
+
+func (c *Coordinator) execDeadline(k campaign.Key, tr *telemetry.CellTrace, deadline time.Time) (campaign.Entry, bool, error) {
 	digest := k.Digest()
 	probe := time.Now()
 	c.mu.Lock()
@@ -234,7 +298,7 @@ func (c *Coordinator) Exec(k campaign.Key, tr *telemetry.CellTrace) (campaign.En
 	c.flights[digest] = f
 	c.mu.Unlock()
 
-	ent, cached, err := c.dispatch(k, digest, tr)
+	ent, cached, err := c.dispatch(k, digest, tr, deadline)
 
 	c.mu.Lock()
 	delete(c.flights, digest)
@@ -251,7 +315,7 @@ func (c *Coordinator) Exec(k campaign.Key, tr *telemetry.CellTrace) (campaign.En
 // worker, attempt (with hedging), reshard to the next worker on
 // failure. Validation failures and digest mismatches are fatal; 429s
 // and connection errors reshard.
-func (c *Coordinator) dispatch(k campaign.Key, digest string, tr *telemetry.CellTrace) (campaign.Entry, bool, error) {
+func (c *Coordinator) dispatch(k campaign.Key, digest string, tr *telemetry.CellTrace, deadline time.Time) (campaign.Entry, bool, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.CellTimeout)
 	defer cancel()
 	var lastErr error
@@ -266,7 +330,7 @@ func (c *Coordinator) dispatch(k campaign.Key, digest string, tr *telemetry.Cell
 			}
 			return campaign.Entry{}, false, fmt.Errorf("fleet: cell %s: %w", digest[:12], err)
 		}
-		out := c.attemptHedged(ctx, w, k, digest, tr)
+		out := c.attemptHedged(ctx, w, k, digest, tr, deadline)
 		if out.err == nil {
 			return out.ent, out.cached, nil
 		}
@@ -298,7 +362,7 @@ func (c *Coordinator) acquireWait(ctx context.Context, digest string) (*worker, 
 // exclude (the hedge's primary).
 func (c *Coordinator) acquire(digest string, exclude *worker) *worker {
 	now := time.Now()
-	for _, w := range rankWorkers(digest, c.workers) {
+	for _, w := range rankWorkers(digest, c.snapshot()) {
 		if w == exclude {
 			continue
 		}
@@ -340,13 +404,13 @@ func (out attemptOutcome) record(tr *telemetry.CellTrace, winner bool) {
 // hedge threshold, also on the next-ranked available worker. The first
 // success wins and cancels the other request; the worker's coalescing
 // layer cancels the losing cell if it is still queued there.
-func (c *Coordinator) attemptHedged(ctx context.Context, primary *worker, k campaign.Key, digest string, tr *telemetry.CellTrace) attemptOutcome {
+func (c *Coordinator) attemptHedged(ctx context.Context, primary *worker, k campaign.Key, digest string, tr *telemetry.CellTrace, deadline time.Time) attemptOutcome {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan attemptOutcome, 2)
 	go c.attempt(ctx, primary, k, digest, tr.Context(), false, results)
 	inFlight := 1
-	hedgeT := time.NewTimer(c.hedgeDelay())
+	hedgeT := time.NewTimer(c.hedgeDelayFor(deadline))
 	defer hedgeT.Stop()
 	var firstErr attemptOutcome
 	haveErr := false
@@ -382,6 +446,9 @@ func (c *Coordinator) attemptHedged(ctx context.Context, primary *worker, k camp
 			if inFlight == 1 {
 				if h := c.acquire(digest, primary); h != nil {
 					c.hedges.Add(1)
+					if !deadline.IsZero() {
+						c.deadlineHedges.Add(1)
+					}
 					inFlight++
 					go c.attempt(ctx, h, k, digest, tr.Context(), true, results)
 				}
@@ -401,6 +468,26 @@ func (c *Coordinator) hedgeDelay() time.Duration {
 		return c.opts.HedgeAfter
 	}
 	d := time.Duration(1.1 * c.lat.Quantile(0.99) * float64(time.Second))
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	return d
+}
+
+// hedgeDelayFor tightens the hedge threshold for deadline-lane cells:
+// never wait longer than half the remaining budget before duplicating
+// the cell, so a straggling primary still leaves the hedge a real
+// chance of beating the deadline. The 10ms floor keeps microsecond
+// cells from doubling traffic even when the deadline has nearly (or
+// already) passed.
+func (c *Coordinator) hedgeDelayFor(deadline time.Time) time.Duration {
+	d := c.hedgeDelay()
+	if deadline.IsZero() {
+		return d
+	}
+	if budget := time.Until(deadline) / 2; budget < d {
+		d = budget
+	}
 	if d < 10*time.Millisecond {
 		d = 10 * time.Millisecond
 	}
@@ -522,6 +609,7 @@ type WorkerStatus struct {
 	Window     int    `json:"window"`
 	InFlight   int    `json:"in_flight"`
 	Down       bool   `json:"down"`
+	Joined     bool   `json:"joined,omitempty"`
 	Dispatched int64  `json:"dispatched"`
 	Completed  int64  `json:"completed"`
 	Rejected   int64  `json:"rejected"`
@@ -530,26 +618,36 @@ type WorkerStatus struct {
 
 // Status is the GET /v1/fleetz body.
 type Status struct {
-	World     expt.World     `json:"world"`
-	Workers   []WorkerStatus `json:"workers"`
-	Hedges    int64          `json:"hedges"`
-	HedgeWins int64          `json:"hedge_wins"`
-	Retries   int64          `json:"retries"`
-	L1Hits    int64          `json:"l1_hits"`
-	L1Entries int            `json:"l1_entries"`
+	World          expt.World     `json:"world"`
+	Workers        []WorkerStatus `json:"workers"`
+	Hedges         int64          `json:"hedges"`
+	HedgeWins      int64          `json:"hedge_wins"`
+	Retries        int64          `json:"retries"`
+	L1Hits         int64          `json:"l1_hits"`
+	L1Entries      int            `json:"l1_entries"`
+	Joins          int64          `json:"joins,omitempty"`
+	Leaves         int64          `json:"leaves,omitempty"`
+	Evictions      int64          `json:"evictions,omitempty"`
+	DeadlineCells  int64          `json:"deadline_cells,omitempty"`
+	DeadlineHedges int64          `json:"deadline_hedges,omitempty"`
 }
 
 // Stats snapshots the fleet's dispatch accounting.
 func (c *Coordinator) Stats() Status {
 	now := time.Now()
 	st := Status{
-		World:     c.world,
-		Hedges:    c.hedges.Load(),
-		HedgeWins: c.hedgeWins.Load(),
-		Retries:   c.retries.Load(),
-		L1Hits:    c.l1Hits.Load(),
+		World:          c.World(),
+		Hedges:         c.hedges.Load(),
+		HedgeWins:      c.hedgeWins.Load(),
+		Retries:        c.retries.Load(),
+		L1Hits:         c.l1Hits.Load(),
+		Joins:          c.joins.Load(),
+		Leaves:         c.leaves.Load(),
+		Evictions:      c.evictions.Load(),
+		DeadlineCells:  c.deadlineCells.Load(),
+		DeadlineHedges: c.deadlineHedges.Load(),
 	}
-	for _, w := range c.workers {
+	for _, w := range c.snapshot() {
 		st.Workers = append(st.Workers, w.status(now))
 	}
 	c.mu.Lock()
@@ -558,9 +656,10 @@ func (c *Coordinator) Stats() Status {
 	return st
 }
 
-// Handler returns the coordinator's introspection API (GET /v1/fleetz
-// and the aggregated GET /v1/fleet/metricsz), mounted by duplexityd
-// coordinate next to the serving layer's routes.
+// Handler returns the coordinator's introspection and membership API
+// (GET /v1/fleetz, the aggregated GET /v1/fleet/metricsz, and the
+// POST /v1/fleet/join and /v1/fleet/leave membership endpoints),
+// mounted by duplexityd coordinate next to the serving layer's routes.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/fleetz", func(w http.ResponseWriter, r *http.Request) {
@@ -568,5 +667,7 @@ func (c *Coordinator) Handler() http.Handler {
 		_ = json.NewEncoder(w).Encode(c.Stats())
 	})
 	mux.HandleFunc("GET /v1/fleet/metricsz", c.handleFleetMetricsz)
+	mux.HandleFunc("POST /v1/fleet/join", c.handleJoin)
+	mux.HandleFunc("POST /v1/fleet/leave", c.handleLeave)
 	return mux
 }

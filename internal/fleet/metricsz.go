@@ -126,6 +126,11 @@ func (c *Coordinator) ownMetrics() telemetry.Snapshot {
 	f.Counter("hedge_wins").Set(uint64(st.HedgeWins))
 	f.Counter("retries").Set(uint64(st.Retries))
 	f.Counter("l1.hits").Set(uint64(st.L1Hits))
+	f.Counter("joins").Set(uint64(st.Joins))
+	f.Counter("leaves").Set(uint64(st.Leaves))
+	f.Counter("evictions").Set(uint64(st.Evictions))
+	f.Counter("deadline.cells").Set(uint64(st.DeadlineCells))
+	f.Counter("deadline.hedges").Set(uint64(st.DeadlineHedges))
 	f.Gauge("l1.entries").Set(float64(st.L1Entries))
 	f.Gauge("workers").Set(float64(len(st.Workers)))
 	return reg.Snapshot(0)
@@ -135,9 +140,12 @@ func (c *Coordinator) handleFleetMetricsz(w http.ResponseWriter, r *http.Request
 	doc := newPromDoc()
 
 	// Coordinator-side per-worker dispatch counters, labeled like the
-	// scraped worker metrics so dashboards can join them.
+	// scraped worker metrics so dashboards can join them. One membership
+	// snapshot serves the whole exposition so the status rows and the
+	// scrape loop below agree on who is in the fleet.
+	workers := c.snapshot()
 	now := time.Now()
-	for _, wk := range c.workers {
+	for _, wk := range workers {
 		st := wk.status(now)
 		lb := `worker="` + strings.ReplaceAll(st.Name, `"`, `\"`) + `"`
 		add := func(name, typ string, v interface{}) {
@@ -158,10 +166,10 @@ func (c *Coordinator) handleFleetMetricsz(w http.ResponseWriter, r *http.Request
 
 	// Scrape every worker concurrently; a down worker becomes a
 	// scrape_error sample instead of failing the whole exposition.
-	bodies := make([]string, len(c.workers))
-	errs := make([]error, len(c.workers))
+	bodies := make([]string, len(workers))
+	errs := make([]error, len(workers))
 	var wg sync.WaitGroup
-	for i, wk := range c.workers {
+	for i, wk := range workers {
 		wg.Add(1)
 		go func(i int, url string) {
 			defer wg.Done()
@@ -169,7 +177,7 @@ func (c *Coordinator) handleFleetMetricsz(w http.ResponseWriter, r *http.Request
 		}(i, wk.name)
 	}
 	wg.Wait()
-	for i, wk := range c.workers {
+	for i, wk := range workers {
 		lb := `worker="` + strings.ReplaceAll(wk.name, `"`, `\"`) + `"`
 		if errs[i] != nil {
 			doc.add("duplexity_fleet_scrape_error", "gauge",

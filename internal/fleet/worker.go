@@ -11,8 +11,15 @@ import (
 // and exponential down-marking on connection failure.
 type worker struct {
 	name string // base URL, e.g. "http://host:9400"
+	// joined marks a worker that entered the fleet through
+	// POST /v1/fleet/join rather than the boot-time -fleet list. Joined
+	// workers must keep heartbeating or they are evicted; static workers
+	// are only ever down-marked, never removed.
+	joined bool
 
 	mu sync.Mutex
+	// lastBeat is the most recent join/heartbeat for a joined worker.
+	lastBeat time.Time
 	// window bounds concurrent dispatches; additive increase on success
 	// up to windowCap, halved when the worker sheds with 429 — the same
 	// loop TCP runs, fed by the serving layer's admission signals.
@@ -34,6 +41,27 @@ type worker struct {
 
 func newWorker(name string) *worker {
 	return &worker{name: name, window: 1, windowCap: 16}
+}
+
+// beat records a heartbeat and clears any down-marking: a worker that
+// can reach us to heartbeat is dispatchable again.
+func (w *worker) beat(now time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.lastBeat = now
+	w.fails = 0
+	w.downUntil = time.Time{}
+}
+
+// stale reports whether a joined worker has missed heartbeats long
+// enough to evict. Static workers are never stale.
+func (w *worker) stale(now time.Time, evictAfter time.Duration) bool {
+	if !w.joined {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return now.Sub(w.lastBeat) > evictAfter
 }
 
 // configure sizes the window from the worker's reported simulation pool
@@ -123,6 +151,7 @@ func (w *worker) status(now time.Time) WorkerStatus {
 		Window:     w.window,
 		InFlight:   w.inflight,
 		Down:       now.Before(w.downUntil),
+		Joined:     w.joined,
 		Dispatched: w.dispatched.Load(),
 		Completed:  w.completed.Load(),
 		Rejected:   w.rejected.Load(),

@@ -1,0 +1,291 @@
+package jobstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func schedJobOf(id string, n int) *schedJob {
+	sj := &schedJob{id: id}
+	cells := testCells(n)
+	for i, c := range cells {
+		sj.cells = append(sj.cells, pendingCell{jobID: id, index: i, cell: c, queued: time.Now()})
+	}
+	return sj
+}
+
+// drain pulls up to n dispatches without blocking forever, releasing
+// each immediately so quotas never throttle the drain itself.
+func drain(t *testing.T, s *Scheduler, n int) []Dispatched {
+	t.Helper()
+	out := make([]Dispatched, 0, n)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			d, ok := s.Next()
+			if !ok {
+				return
+			}
+			out = append(out, d)
+			s.Release(d.Tenant)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("scheduler drain stalled after %d dispatches", len(out))
+	}
+	return out
+}
+
+func TestFairShareProportionalToWeights(t *testing.T) {
+	s := NewScheduler(Quota{Weight: 1, MaxInflight: 100, MaxQueuedJobs: 10},
+		map[string]float64{"heavy": 3, "light": 1}, 1000)
+	if err := s.AddJob("heavy", schedJobOf("j1", 40), LaneBatch, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddJob("light", schedJobOf("j2", 40), LaneBatch, false); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, d := range drain(t, s, 40) {
+		counts[d.Tenant]++
+	}
+	// Weighted fair queueing: over the first 40 dispatches heavy should
+	// get ~3x light (30/10); allow one dispatch of slack for boundary
+	// rounding.
+	if counts["heavy"] < 29 || counts["heavy"] > 31 {
+		t.Fatalf("heavy got %d of 40 dispatches, want ~30 (weights 3:1): %v", counts["heavy"], counts)
+	}
+}
+
+func TestInteractiveLanePreempts(t *testing.T) {
+	s := NewScheduler(Quota{Weight: 1, MaxInflight: 100, MaxQueuedJobs: 10}, nil, 1000)
+	if err := s.AddJob("batcher", schedJobOf("j1", 10), LaneBatch, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddJob("urgent", schedJobOf("j2", 3), LaneInteractive, false); err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, s, 5)
+	for i := 0; i < 3; i++ {
+		if got[i].Lane != LaneInteractive {
+			t.Fatalf("dispatch %d is %s/%s, want the interactive lane first: %+v", i, got[i].Tenant, got[i].Lane, got)
+		}
+	}
+	if got[3].Lane != LaneBatch || got[4].Lane != LaneBatch {
+		t.Fatalf("batch lane did not follow: %+v", got)
+	}
+}
+
+func TestMaxInflightQuotaEnforced(t *testing.T) {
+	s := NewScheduler(Quota{Weight: 1, MaxInflight: 2, MaxQueuedJobs: 10}, nil, 1000)
+	if err := s.AddJob("t", schedJobOf("j1", 5), LaneBatch, false); err != nil {
+		t.Fatal(err)
+	}
+	var got []Dispatched
+	for i := 0; i < 2; i++ {
+		d, ok := s.Next()
+		if !ok {
+			t.Fatal("scheduler closed early")
+		}
+		got = append(got, d)
+	}
+	// Third dispatch must block until a release.
+	next := make(chan Dispatched, 1)
+	go func() {
+		if d, ok := s.Next(); ok {
+			next <- d
+		}
+	}()
+	select {
+	case d := <-next:
+		t.Fatalf("dispatch %+v exceeded MaxInflight=2", d)
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.Release("t")
+	select {
+	case <-next:
+	case <-time.After(2 * time.Second):
+		t.Fatal("release did not unblock the scheduler")
+	}
+}
+
+func TestMaxQueuedJobsSheds(t *testing.T) {
+	s := NewScheduler(Quota{Weight: 1, MaxInflight: 4, MaxQueuedJobs: 2}, nil, 100)
+	for i := 0; i < 2; i++ {
+		if err := s.AddJob("t", schedJobOf(fmt.Sprintf("j%d", i), 1), LaneBatch, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := s.AddJob("t", schedJobOf("j2", 1), LaneBatch, false)
+	qe, ok := err.(*QuotaError)
+	if !ok || qe.Tenant != "t" || qe.Limit != 2 {
+		t.Fatalf("third job error = %v, want QuotaError limit 2", err)
+	}
+	// JobDone frees a slot.
+	s.JobDone("t")
+	if err := s.AddJob("t", schedJobOf("j3", 1), LaneBatch, false); err != nil {
+		t.Fatalf("add after JobDone failed: %v", err)
+	}
+	// force (restart resume) bypasses the quota even at the limit.
+	if err := s.AddJob("t", schedJobOf("j4", 1), LaneBatch, true); err != nil {
+		t.Fatalf("forced add failed: %v", err)
+	}
+}
+
+func TestIdleTenantVtimeNormalized(t *testing.T) {
+	s := NewScheduler(Quota{Weight: 1, MaxInflight: 100, MaxQueuedJobs: 10}, nil, 1000)
+	if err := s.AddJob("busy", schedJobOf("j1", 20), LaneBatch, false); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, s, 10) // busy's vtime advances to 10
+	// A tenant arriving now starts at the active minimum, not zero: it
+	// must not monopolize dispatch to "catch up" time it never queued.
+	if err := s.AddJob("late", schedJobOf("j2", 20), LaneBatch, false); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, d := range drain(t, s, 10) {
+		counts[d.Tenant]++
+	}
+	if counts["late"] > 6 {
+		t.Fatalf("late tenant got %d of 10 dispatches after idling, want ~5: %v", counts["late"], counts)
+	}
+}
+
+func TestTryAcquireQuota(t *testing.T) {
+	s := NewScheduler(Quota{Weight: 1, MaxInflight: 2, MaxQueuedJobs: 4}, nil, 100)
+	for i := 0; i < 2; i++ {
+		if err := s.TryAcquire("t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.TryAcquire("t"); err == nil {
+		t.Fatal("TryAcquire beyond MaxInflight succeeded")
+	}
+	s.Release("t")
+	if err := s.TryAcquire("t"); err != nil {
+		t.Fatalf("TryAcquire after release: %v", err)
+	}
+}
+
+func TestCloseReturnsPending(t *testing.T) {
+	s := NewScheduler(Quota{Weight: 1, MaxInflight: 10, MaxQueuedJobs: 10}, nil, 100)
+	if err := s.AddJob("t", schedJobOf("j1", 3), LaneBatch, false); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := s.Next()
+	if !ok {
+		t.Fatal("no first dispatch")
+	}
+	rest := s.Close()
+	if len(rest) != 2 {
+		t.Fatalf("Close returned %d pending cells, want 2 (1 of 3 dispatched)", len(rest))
+	}
+	for _, r := range rest {
+		if r.Index == d.Index {
+			t.Fatalf("Close returned the already-dispatched cell %d", d.Index)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next returned work after Close")
+	}
+	if err := s.AddJob("t", schedJobOf("j2", 1), LaneBatch, false); err != ErrClosed {
+		t.Fatalf("AddJob after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestInteractiveDeadlineUnderSaturation is the acceptance-criteria
+// pin: two tenants saturating the batch lane, a third tenant submits a
+// small interactive-lane job with a deadline — the interactive job
+// finishes before its deadline and no tenant ever exceeds its
+// in-flight quota.
+func TestInteractiveDeadlineUnderSaturation(t *testing.T) {
+	const perCell = 2 * time.Millisecond
+	quota := Quota{Weight: 1, MaxInflight: 2, MaxQueuedJobs: 8}
+	s := NewScheduler(quota, nil, 4)
+
+	var mu sync.Mutex
+	inflight := map[string]int{}
+	maxInflight := map[string]int{}
+	interactiveLeft := 4
+	var interactiveDone time.Time
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				d, ok := s.Next()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				inflight[d.Tenant]++
+				if inflight[d.Tenant] > maxInflight[d.Tenant] {
+					maxInflight[d.Tenant] = inflight[d.Tenant]
+				}
+				mu.Unlock()
+				time.Sleep(perCell) // the "simulation"
+				mu.Lock()
+				inflight[d.Tenant]--
+				if d.Lane == LaneInteractive {
+					if interactiveLeft--; interactiveLeft == 0 {
+						interactiveDone = time.Now()
+					}
+				}
+				mu.Unlock()
+				s.Release(d.Tenant)
+			}
+		}()
+	}
+
+	// Two tenants pile on saturating batch work...
+	for _, tn := range []string{"batch-a", "batch-b"} {
+		for i := 0; i < 4; i++ {
+			if err := s.AddJob(tn, schedJobOf(fmt.Sprintf("%s-%d", tn, i), 10), LaneBatch, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	time.Sleep(5 * perCell) // let the batch lanes saturate the workers
+
+	// ...then a third tenant needs 4 interactive cells inside a budget
+	// that saturated FIFO service of 80 batch cells would blow through.
+	deadline := time.Now().Add(20 * perCell)
+	if err := s.AddJob("urgent", schedJobOf("rush", 4), LaneInteractive, false); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		mu.Lock()
+		done := interactiveLeft == 0
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline.Add(100 * perCell)) {
+			t.Fatal("interactive job never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	mu.Lock()
+	finished := interactiveDone
+	mu.Unlock()
+	if finished.After(deadline) {
+		t.Fatalf("interactive job finished %v past its deadline under batch saturation",
+			finished.Sub(deadline))
+	}
+	s.Close()
+	wg.Wait()
+	for tn, peak := range maxInflight {
+		if peak > quota.MaxInflight {
+			t.Fatalf("tenant %s peaked at %d in-flight cells, quota is %d", tn, peak, quota.MaxInflight)
+		}
+	}
+}

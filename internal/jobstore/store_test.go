@@ -1,0 +1,133 @@
+package jobstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"duplexity/internal/expt"
+)
+
+func testCells(n int) []expt.CellSpec {
+	out := make([]expt.CellSpec, n)
+	for i := range out {
+		out[i] = expt.CellSpec{
+			Kind: expt.KindMatrix, Design: "Baseline", Workload: "RSC",
+			Load: 0.1 + float64(i)*0.05,
+		}
+	}
+	return out
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{
+		ID: "j0001", Tenant: "acme", Lane: LaneInteractive, Kind: "fig5",
+		Cells: testCells(3), DeadlineUnixMs: 1234, TTLSec: 60,
+		CreatedUnixMs: 1000, State: StateRunning,
+	}
+	if err := st.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendCursor("j0001", CursorEntry{Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendCursor("j0001", CursorEntry{Index: 2, Error: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.MaxSeq(); got != 1 {
+		t.Fatalf("MaxSeq = %d, want 1", got)
+	}
+	jobs, err := st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("loaded %d jobs, want 1", len(jobs))
+	}
+	got := jobs[0]
+	if got.Record.ID != "j0001" || got.Record.Tenant != "acme" ||
+		got.Record.Lane != LaneInteractive || len(got.Record.Cells) != 3 ||
+		got.Record.DeadlineUnixMs != 1234 || got.Record.TTLSec != 60 {
+		t.Fatalf("record round trip mismatch: %+v", got.Record)
+	}
+	if len(got.Cursor) != 2 || got.Cursor[0].Index != 0 ||
+		got.Cursor[1].Index != 2 || got.Cursor[1].Error != "boom" {
+		t.Fatalf("cursor round trip mismatch: %+v", got.Cursor)
+	}
+}
+
+func TestStoreTornCursorTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(Record{ID: "j0001", Tenant: "t", Lane: LaneBatch, Cells: testCells(2), State: StateRunning}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendCursor("j0001", CursorEntry{Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn, unparseable trailing line.
+	f, err := os.OpenFile(filepath.Join(dir, "j0001"+cursorSuffix), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":1,"err`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	jobs, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || len(jobs[0].Cursor) != 1 || jobs[0].Cursor[0].Index != 0 {
+		t.Fatalf("torn tail not dropped: %+v", jobs)
+	}
+}
+
+func TestStoreReapAndSeq(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"j0001", "j0002"} {
+		if err := st.Put(Record{ID: id, Tenant: "t", Lane: LaneBatch, Cells: testCells(1), State: StateDone}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Reap("j0001"); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Record.ID != "j0002" {
+		t.Fatalf("reap left %+v", jobs)
+	}
+	// Reaping must not recycle IDs: the scan still sees j0002.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.MaxSeq(); got != 2 {
+		t.Fatalf("MaxSeq after reap = %d, want 2", got)
+	}
+	// Reaping an absent job is not an error (idempotent GC).
+	if err := st.Reap("j0009"); err != nil {
+		t.Fatalf("reap of missing job: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"duplexity/internal/campaign"
 	"duplexity/internal/expt"
+	"duplexity/internal/jobstore"
 	"duplexity/internal/telemetry"
 )
 
@@ -30,6 +31,32 @@ type CampaignAccepted struct {
 	ID     string `json:"id"`
 	Cells  int    `json:"cells"`
 	Stream string `json:"stream"`
+}
+
+// JobRequest is the POST /v1/jobs body: a campaign expansion plus
+// multi-tenant scheduling directives. The tenant may also arrive via
+// the X-Duplexity-Tenant header; the body wins when both are set.
+type JobRequest struct {
+	expt.CampaignSpec
+	Tenant string `json:"tenant,omitempty"`
+	// Lane is "interactive" (deadline lane, dispatched first) or
+	// "batch" (the default).
+	Lane string `json:"lane,omitempty"`
+	// DeadlineMs is the job's deadline relative to submission;
+	// interactive jobs without one get the server default.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// TTLSec bounds the job's state lifetime (0: server default).
+	TTLSec int64 `json:"ttl_sec,omitempty"`
+}
+
+// JobAccepted is the POST /v1/jobs response.
+type JobAccepted struct {
+	ID      string `json:"id"`
+	Cells   int    `json:"cells"`
+	Tenant  string `json:"tenant"`
+	Lane    string `json:"lane"`
+	Durable bool   `json:"durable"`
+	Stream  string `json:"stream"`
 }
 
 // Queuez is the GET /v1/queuez body: the dispatch-relevant slice of a
@@ -61,6 +88,9 @@ type Statz struct {
 	Campaign      campaign.Summary   `json:"campaign"`
 	Metrics       telemetry.Snapshot `json:"metrics"`
 	Jobs          []JobStatus        `json:"jobs,omitempty"`
+	// JobStats is the job manager's lifecycle accounting, including
+	// per-tenant scheduler state (weight, vtime, in-flight, queued).
+	JobStats jobstore.Stats `json:"job_stats"`
 }
 
 // Tracez is the GET /v1/tracez body: the most recent stitched cell
@@ -115,7 +145,17 @@ func writeExecError(w http.ResponseWriter, err error) {
 		writeJSON(w, se.status, ErrorResponse{Error: se.msg, RetryAfterSec: sec})
 		return
 	}
+	var qe *jobstore.QuotaError
+	if errors.As(err, &qe) {
+		// Over-quota is shed load, tenant-scoped: same 429 + Retry-After
+		// contract as a full queue.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: qe.Error(), RetryAfterSec: 1})
+		return
+	}
 	switch {
+	case errors.Is(err, jobstore.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
 	case errors.Is(err, errDraining):
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: errDraining.Error()})
 	case errors.Is(err, context.DeadlineExceeded):

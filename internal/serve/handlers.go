@@ -9,7 +9,15 @@ import (
 	"time"
 
 	"duplexity/internal/expt"
+	"duplexity/internal/jobstore"
 	"duplexity/internal/telemetry"
+)
+
+// Multi-tenant request headers: which tenant a request bills against
+// and which priority lane it rides.
+const (
+	HeaderTenant = "X-Duplexity-Tenant"
+	HeaderLane   = "X-Duplexity-Lane"
 )
 
 func (s *Server) routes() *http.ServeMux {
@@ -19,7 +27,12 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/queuez", s.handleQueuez)
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
 	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
-	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStreamCampaign)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStreamJobResults)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleStreamJobResults)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statz", s.handleStatz)
 	mux.HandleFunc("GET /v1/metricsz", s.handleMetricsz)
@@ -46,6 +59,26 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		writeExecError(w, err)
 		return
 	}
+	// Requests naming a tenant or lane opt into the multi-tenant quota
+	// gate: the cell charges the tenant's in-flight quota (429 when
+	// over) and interactive-lane cells inherit a placement deadline.
+	var deadline time.Time
+	if tenant, laneHdr := r.Header.Get(HeaderTenant), r.Header.Get(HeaderLane); tenant != "" || laneHdr != "" {
+		lane, err := jobstore.ParseLane(laneHdr)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		release, err := s.mgr.AdmitCell(tenant)
+		if err != nil {
+			writeExecError(w, err)
+			return
+		}
+		defer release()
+		if lane == jobstore.LaneInteractive {
+			deadline = time.Now().Add(s.cfg.InteractiveDeadline)
+		}
+	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
 		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
@@ -53,7 +86,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	tc, _ := telemetry.TraceFromHeaders(r.Header)
-	res, _, err := s.execCell(ctx, req.CellSpec, false, tc)
+	res, _, err := s.execCellOpts(ctx, req.CellSpec, execOpts{tc: tc, deadline: deadline})
 	if err != nil {
 		writeExecError(w, err)
 		return
@@ -123,7 +156,8 @@ func (s *Server) handleQueuez(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSubmitCampaign expands a batch submission into cells and starts
-// an asynchronous job; results stream from GET /v1/campaigns/{id}.
+// an asynchronous ephemeral job (dies with the process, like the
+// original campaign API); results stream from GET /v1/campaigns/{id}.
 func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 	var spec expt.CampaignSpec
 	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &spec); err != nil {
@@ -139,26 +173,107 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 		writeExecError(w, errDraining)
 		return
 	}
-	j := s.jobs.add(spec.Kind, cells)
-	s.startJob(j)
+	j, err := s.mgr.Submit(jobstore.JobSpec{
+		Tenant: r.Header.Get(HeaderTenant),
+		Kind:   spec.Kind,
+		Cells:  cells,
+	})
+	if err != nil {
+		writeExecError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusAccepted, CampaignAccepted{
-		ID: j.id, Cells: len(cells), Stream: "/v1/campaigns/" + j.id,
+		ID: j.ID(), Cells: len(cells), Stream: "/v1/campaigns/" + j.ID(),
 	})
 }
 
 func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.jobs.list())
+	writeJSON(w, http.StatusOK, s.mgr.List(""))
 }
 
-// handleStreamCampaign streams a job's per-cell results as they
+// handleSubmitJob is the multi-tenant submission path: a campaign
+// expansion plus tenant, lane, deadline, and TTL directives. Jobs are
+// durable whenever the daemon has a job directory — they survive a
+// restart and resume exactly where they stopped.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	cells, err := req.CampaignSpec.Expand()
+	if err != nil {
+		writeExecError(w, err)
+		return
+	}
+	lane, err := jobstore.ParseLane(req.Lane)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if s.Draining() {
+		writeExecError(w, errDraining)
+		return
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = r.Header.Get(HeaderTenant)
+	}
+	spec := jobstore.JobSpec{
+		Tenant:  tenant,
+		Lane:    lane,
+		Kind:    req.Kind,
+		Cells:   cells,
+		TTL:     time.Duration(req.TTLSec) * time.Second,
+		Durable: s.durable,
+	}
+	if req.DeadlineMs > 0 {
+		spec.Deadline = time.Now().Add(time.Duration(req.DeadlineMs) * time.Millisecond)
+	} else if lane == jobstore.LaneInteractive {
+		spec.Deadline = time.Now().Add(s.cfg.InteractiveDeadline)
+	}
+	j, err := s.mgr.Submit(spec)
+	if err != nil {
+		writeExecError(w, err)
+		return
+	}
+	st := j.Status()
+	writeJSON(w, http.StatusAccepted, JobAccepted{
+		ID: j.ID(), Cells: len(cells), Tenant: st.Tenant, Lane: string(st.Lane),
+		Durable: s.durable, Stream: "/v1/jobs/" + j.ID() + "/results",
+	})
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.List(r.URL.Query().Get("tenant")))
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j := s.mgr.Get(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleDrain asks the supervising process to drain: the handler only
+// raises the signal (DrainRequested); the daemon's signal loop runs the
+// actual Drain so HTTP shutdown ordering stays in one place.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.RequestDrain()
+	writeJSON(w, http.StatusAccepted, Healthz{Status: "draining"})
+}
+
+// handleStreamJobResults streams a job's per-cell results as they
 // complete, in submission order: NDJSON lines by default, SSE frames
 // when the client asks for text/event-stream. Completed lines replay
 // first (byte-stable), then the stream follows live completions and
 // ends with a status summary.
-func (s *Server) handleStreamCampaign(w http.ResponseWriter, r *http.Request) {
-	j := s.jobs.get(r.PathValue("id"))
+func (s *Server) handleStreamJobResults(w http.ResponseWriter, r *http.Request) {
+	j := s.mgr.Get(r.PathValue("id"))
 	if j == nil {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown campaign id"})
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "unknown job id"})
 		return
 	}
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
@@ -180,13 +295,13 @@ func (s *Server) handleStreamCampaign(w http.ResponseWriter, r *http.Request) {
 
 	sent := 0
 	for {
-		lines, done, wait := j.next(sent)
+		lines, done, wait := j.Next(sent)
 		for _, l := range lines {
 			writeLine("cell", l)
 			sent++
 		}
 		if done {
-			final, _ := json.Marshal(j.status())
+			final, _ := json.Marshal(j.Status())
 			writeLine("done", final)
 			return
 		}
@@ -238,7 +353,8 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		QueueCapacity: cap(s.runq),
 		QueueLength:   len(s.runq),
 		Metrics:       s.metricsSnapshot(),
-		Jobs:          s.jobs.list(),
+		Jobs:          s.mgr.List(""),
+		JobStats:      s.mgr.Stats(),
 	}
 	if eng := s.suite.Engine(); eng != nil {
 		st.Campaign = eng.Stats()

@@ -4,168 +4,55 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
-	"sync"
 
 	"duplexity/internal/expt"
+	"duplexity/internal/jobstore"
 	"duplexity/internal/telemetry"
 )
 
-// CellLine is one streamed result line of a campaign job: the cell's
-// index in canonical submission order plus its result or error.
-type CellLine struct {
-	Index  int                `json:"index"`
-	Cell   expt.CellSpec      `json:"cell"`
-	Result *expt.ServedResult `json:"result,omitempty"`
-	Error  string             `json:"error,omitempty"`
-}
+// CellLine is one streamed result line of an ephemeral campaign job —
+// the NDJSON shape the /v1/campaigns API has always used, now owned by
+// the jobstore package.
+type CellLine = jobstore.CellLine
 
-// JobStatus is the API-facing summary of one campaign job.
-type JobStatus struct {
-	ID    string `json:"id"`
-	Kind  string `json:"kind"`
-	State string `json:"state"` // "running" | "done"
-	Cells int    `json:"cells"`
-	// Completed + Failed + Cancelled == streamed lines so far.
-	Completed int `json:"completed"`
-	Failed    int `json:"failed,omitempty"`
-	// Cancelled counts cells refused by a drain before execution.
-	Cancelled int  `json:"cancelled,omitempty"`
-	Done      bool `json:"done"`
-}
+// JobStatus is the API-facing summary of one job (campaign or
+// multi-tenant), shared with the jobstore package.
+type JobStatus = jobstore.JobStatus
 
-// job tracks one submitted campaign. Results are streamed in
-// submission order (the engine's own contract: submission order, never
-// completion order), so two jobs over identical cells produce
-// byte-identical streams regardless of worker scheduling; out-of-order
-// completions buffer until their predecessors finish. Lines are
-// encoded once at completion, so replays are byte-stable too.
-type job struct {
-	id    string
-	kind  string
-	cells []expt.CellSpec
-
-	mu        sync.Mutex
-	lines     []json.RawMessage // index-aligned; nil until complete
-	ready     int               // contiguous encoded prefix length
-	completed int
-	failed    int
-	cancelled int
-	notify    chan struct{} // closed and replaced on every advance
-}
-
-func (j *job) status() JobStatus {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	st := JobStatus{
-		ID: j.id, Kind: j.kind, State: "running", Cells: len(j.cells),
-		Completed: j.completed, Failed: j.failed, Cancelled: j.cancelled,
+// runJobCell is the job manager's ExecFunc: it pushes one dispatched
+// cell through the server's normal admission → coalesce → pool path
+// with backpressure. Drain and shutdown outcomes are wrapped with
+// MarkCancelled so the manager treats the cell as interrupted-not-
+// failed: ephemeral jobs account it cancelled, durable jobs leave it
+// pending for the next boot's resume.
+func (s *Server) runJobCell(d jobstore.Dispatched) (expt.ServedResult, error) {
+	res, _, err := s.execCellOpts(context.Background(), d.Cell, execOpts{
+		block:    true,
+		tc:       telemetry.TraceContext{Campaign: d.JobID},
+		deadline: d.Deadline,
+		queuedAt: d.Queued,
+	})
+	if err != nil && (errors.Is(err, errDraining) || errors.Is(err, context.Canceled)) {
+		err = jobstore.MarkCancelled(err)
 	}
-	if j.completed+j.failed+j.cancelled == len(j.cells) {
-		st.State, st.Done = "done", true
-	}
-	return st
+	return res, err
 }
 
-// complete records cell i's outcome and wakes streamers.
-func (j *job) complete(i int, res expt.ServedResult, err error) {
-	line := CellLine{Index: i, Cell: j.cells[i]}
+// lookupCell is the job manager's LookupFunc: a read-only probe of the
+// campaign cache for a finished cell's raw result bytes, used to
+// rematerialize resumed durable jobs without re-simulating anything.
+func (s *Server) lookupCell(cs expt.CellSpec) (json.RawMessage, bool) {
+	eng := s.suite.Engine()
+	if eng == nil {
+		return nil, false
+	}
+	key, err := s.suite.ServedKey(cs)
 	if err != nil {
-		line.Error = err.Error()
-	} else {
-		line.Result = &res
+		return nil, false
 	}
-	raw, merr := json.Marshal(line)
-	if merr != nil {
-		// A result that cannot encode is a bug in the result type; keep
-		// the stream alive with an error line.
-		raw, _ = json.Marshal(CellLine{Index: i, Cell: j.cells[i], Error: "encoding result: " + merr.Error()})
+	ent, ok := eng.Lookup(key)
+	if !ok {
+		return nil, false
 	}
-
-	j.mu.Lock()
-	j.lines[i] = raw
-	switch {
-	case err == nil:
-		j.completed++
-	case errors.Is(err, errDraining) || errors.Is(err, context.Canceled):
-		j.cancelled++
-	default:
-		j.failed++
-	}
-	for j.ready < len(j.lines) && j.lines[j.ready] != nil {
-		j.ready++
-	}
-	close(j.notify)
-	j.notify = make(chan struct{})
-	j.mu.Unlock()
-}
-
-// next returns the encoded lines in [from, ready), whether the job is
-// fully streamed at that point, and the channel to wait on for more.
-func (j *job) next(from int) (lines []json.RawMessage, done bool, wait <-chan struct{}) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	lines = j.lines[from:j.ready]
-	return lines, j.ready == len(j.cells), j.notify
-}
-
-// jobTable registers campaign jobs under monotonic IDs.
-type jobTable struct {
-	mu    sync.Mutex
-	seq   int
-	jobs  map[string]*job
-	order []string
-}
-
-func newJobTable() *jobTable {
-	return &jobTable{jobs: make(map[string]*job)}
-}
-
-func (t *jobTable) add(kind string, cells []expt.CellSpec) *job {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.seq++
-	j := &job{
-		id:     fmt.Sprintf("c%04d", t.seq),
-		kind:   kind,
-		cells:  cells,
-		lines:  make([]json.RawMessage, len(cells)),
-		notify: make(chan struct{}),
-	}
-	t.jobs[j.id] = j
-	t.order = append(t.order, j.id)
-	return j
-}
-
-func (t *jobTable) get(id string) *job {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.jobs[id]
-}
-
-func (t *jobTable) list() []JobStatus {
-	t.mu.Lock()
-	ids := append([]string(nil), t.order...)
-	t.mu.Unlock()
-	out := make([]JobStatus, 0, len(ids))
-	for _, id := range ids {
-		if j := t.get(id); j != nil {
-			out = append(out, j.status())
-		}
-	}
-	return out
-}
-
-// startJob fans a campaign's cells into the admission path. Each cell
-// is a blocking submission (backpressure, not shedding); identical
-// cells across concurrent jobs coalesce to one simulation. A drain
-// cancels cells not yet admitted and lets admitted ones finish.
-func (s *Server) startJob(j *job) {
-	for i := range j.cells {
-		i := i
-		go func() {
-			res, _, err := s.execCell(context.Background(), j.cells[i], true, telemetry.TraceContext{Campaign: j.id})
-			j.complete(i, res, err)
-		}()
-	}
+	return ent.Result, true
 }

@@ -66,6 +66,22 @@ func (s *Server) metricsSnapshot() telemetry.Snapshot {
 	if s.traces != nil {
 		sc.Counter("traces.recorded").Set(s.traces.Total())
 	}
+	if s.mgr != nil {
+		jst := s.mgr.Stats()
+		js := reg.Scope("jobs")
+		jset := func(name string, v int64) { js.Counter(name).Set(uint64(v)) }
+		jset("submitted", jst.Submitted)
+		jset("resumed", jst.Resumed)
+		jset("completed", jst.Completed)
+		jset("failed", jst.Failed)
+		jset("expired", jst.Expired)
+		jset("reaped", jst.Reaped)
+		jset("cells.dispatched", jst.CellsDispatched)
+		jset("deadline.met", jst.DeadlineMet)
+		jset("deadline.missed", jst.DeadlineMissed)
+		js.Gauge("live").Set(float64(jst.Jobs))
+		s.mgr.WaitHistograms(js.Histogram("wait_interactive_us"), js.Histogram("wait_batch_us"))
+	}
 	if eng := s.suite.Engine(); eng != nil {
 		st := eng.Stats()
 		cs := reg.Scope("campaign")

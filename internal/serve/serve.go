@@ -28,12 +28,14 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
 	"duplexity/internal/campaign"
 	"duplexity/internal/expt"
+	"duplexity/internal/jobstore"
 	"duplexity/internal/telemetry"
 )
 
@@ -64,6 +66,31 @@ type Config struct {
 	// spans, no trace ring, /v1/tracez reports disabled. Results and
 	// cache bytes are identical either way.
 	DisableTracing bool
+
+	// JobDir is where durable job records and cursors live; "" means
+	// <cache dir>/jobs. With no cache directory either, jobs fall back
+	// to ephemeral (nothing survives a restart).
+	JobDir string
+	// JobTTL bounds job state lifetime: finished jobs are reaped JobTTL
+	// after completion, unfinished ones expired JobTTL after
+	// submission; <= 0 means 24h.
+	JobTTL time.Duration
+	// JobGCInterval is the reap/expire sweep period; <= 0 means 1m.
+	JobGCInterval time.Duration
+	// TenantInflight caps one tenant's concurrently executing cells;
+	// <= 0 means 4x Workers.
+	TenantInflight int
+	// TenantQueuedJobs caps one tenant's unfinished jobs; <= 0 means 16.
+	TenantQueuedJobs int
+	// TenantWeights overrides the fair-share weight per tenant name
+	// (default weight 1).
+	TenantWeights map[string]float64
+	// SchedInflight caps scheduler-dispatched cells in flight across all
+	// tenants; <= 0 means max(16, 4x Workers).
+	SchedInflight int
+	// InteractiveDeadline is the placement deadline granted to
+	// interactive-lane work that names none; <= 0 means 30s.
+	InteractiveDeadline time.Duration
 }
 
 // work is one enqueued leader cell.
@@ -73,6 +100,10 @@ type work struct {
 	// enq stamps the admission-queue entry; the worker closes the
 	// admission span against it at pickup.
 	enq time.Time
+	// deadline is the placement deadline inherited from an
+	// interactive-lane job (zero for everything else); it rides down to
+	// the engine so a fleet remote can hedge earlier as it nears.
+	deadline time.Time
 }
 
 // Server is the serving layer: an http.Handler plus the admission,
@@ -83,8 +114,9 @@ type Server struct {
 
 	// run executes one validated cell; swapped by tests to decouple
 	// admission/coalescing behavior from multi-second simulations. The
-	// trace is nil when tracing is disabled.
-	run func(expt.CellSpec, *telemetry.CellTrace) (expt.ServedResult, error)
+	// trace is nil when tracing is disabled; the deadline is zero for
+	// batch work.
+	run func(expt.CellSpec, *telemetry.CellTrace, time.Time) (expt.ServedResult, error)
 
 	bucket *tokenBucket
 	m      metrics
@@ -108,7 +140,19 @@ type Server struct {
 	fmu     sync.Mutex
 	flights map[string]*flight
 
-	jobs *jobTable
+	// mgr owns every campaign job's lifecycle: durable storage,
+	// fair-share dispatch, resume, and TTL garbage collection.
+	mgr *jobstore.Manager
+	// durable reports whether job state survives restarts (a job
+	// directory resolved at startup).
+	durable bool
+	// resumed counts the incomplete durable jobs re-admitted at startup.
+	resumed int
+
+	// drainReq closes when POST /v1/drain asks the supervising process
+	// to begin a graceful drain.
+	drainReq     chan struct{}
+	drainReqOnce sync.Once
 
 	drainOnce sync.Once
 	quitOnce  sync.Once
@@ -137,16 +181,31 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
-	s := &Server{
-		cfg:     cfg,
-		suite:   cfg.Suite,
-		runq:    make(chan *work, cfg.QueueDepth),
-		quit:    make(chan struct{}),
-		drainCh: make(chan struct{}),
-		flights: make(map[string]*flight),
-		jobs:    newJobTable(),
+	if cfg.TenantInflight <= 0 {
+		cfg.TenantInflight = 4 * cfg.Workers
 	}
-	s.run = s.suite.RunServedTraced
+	if cfg.TenantQueuedJobs <= 0 {
+		cfg.TenantQueuedJobs = 16
+	}
+	if cfg.SchedInflight <= 0 {
+		cfg.SchedInflight = 4 * cfg.Workers
+		if cfg.SchedInflight < 16 {
+			cfg.SchedInflight = 16
+		}
+	}
+	if cfg.InteractiveDeadline <= 0 {
+		cfg.InteractiveDeadline = 30 * time.Second
+	}
+	s := &Server{
+		cfg:      cfg,
+		suite:    cfg.Suite,
+		runq:     make(chan *work, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+		drainCh:  make(chan struct{}),
+		drainReq: make(chan struct{}),
+		flights:  make(map[string]*flight),
+	}
+	s.run = s.suite.RunServedDeadline
 	if !cfg.DisableTracing {
 		s.traces = telemetry.NewTraceRing(cfg.TraceDepth)
 	}
@@ -160,11 +219,45 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.bucket = newTokenBucket(cfg.RatePerSec, burst)
 	}
+	jobDir := cfg.JobDir
+	if jobDir == "" {
+		if eng := cfg.Suite.Engine(); eng != nil {
+			if d := eng.CacheDir(); d != "" {
+				jobDir = filepath.Join(d, "jobs")
+			}
+		}
+	}
+	s.durable = jobDir != ""
+	mgr, err := jobstore.NewManager(jobstore.Config{
+		Dir: jobDir,
+		Defaults: jobstore.Quota{
+			Weight:        1,
+			MaxInflight:   cfg.TenantInflight,
+			MaxQueuedJobs: cfg.TenantQueuedJobs,
+		},
+		Weights:     cfg.TenantWeights,
+		MaxInflight: cfg.SchedInflight,
+		DefaultTTL:  cfg.JobTTL,
+		GCInterval:  cfg.JobGCInterval,
+		Exec:        s.runJobCell,
+		Lookup:      s.lookupCell,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: job store: %w", err)
+	}
+	s.mgr = mgr
 	s.mux = s.routes()
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	// Resume after the pool is live: re-admitted cells flow through the
+	// normal admission path immediately.
+	resumed, err := mgr.Start()
+	if err != nil {
+		return nil, fmt.Errorf("serve: job resume: %w", err)
+	}
+	s.resumed = resumed
 	return s, nil
 }
 
@@ -178,6 +271,20 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// Resumed reports how many incomplete durable jobs the server
+// re-admitted at startup.
+func (s *Server) Resumed() int { return s.resumed }
+
+// Jobs exposes the job manager (CLI status plumbing and tests).
+func (s *Server) Jobs() *jobstore.Manager { return s.mgr }
+
+// RequestDrain signals DrainRequested; the process supervising the
+// server (the daemon's signal loop) performs the actual Drain.
+func (s *Server) RequestDrain() { s.drainReqOnce.Do(func() { close(s.drainReq) }) }
+
+// DrainRequested closes when an API client POSTs /v1/drain.
+func (s *Server) DrainRequested() <-chan struct{} { return s.drainReq }
+
 // Drain gracefully stops the server: refuse new work, finish every
 // admitted cell, stop the pool, and flush the campaign journal
 // checkpoint. Safe to call more than once; ctx bounds how long to wait
@@ -188,6 +295,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 	s.admitMu.Unlock()
 	s.drainOnce.Do(func() { close(s.drainCh) })
+
+	// Stop the job manager first: pending ephemeral cells cancel,
+	// pending durable cells stay on disk for the next boot's resume, and
+	// in-flight dispatches run to completion through the pool below.
+	if err := s.mgr.Stop(ctx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -209,14 +323,35 @@ func (s *Server) Drain(ctx context.Context) error {
 	return nil
 }
 
+// execOpts parameterizes one pass through the admission path.
+type execOpts struct {
+	// block selects backpressure (campaign/job cells) over shedding
+	// (the open-loop /v1/cells path).
+	block bool
+	// tc is the inherited trace context (zero: this daemon is the
+	// trace root).
+	tc telemetry.TraceContext
+	// deadline is the interactive-lane placement deadline (zero for
+	// batch work).
+	deadline time.Time
+	// queuedAt, when set, backdates the cell's trace to its scheduler
+	// enqueue so the wall time covers fair-share wait, recorded as a
+	// "sched" span.
+	queuedAt time.Time
+}
+
 // execCell runs one validated cell through admission → coalesce → pool.
 // Blocking submissions (campaign cells) wait for queue space with
 // backpressure; non-blocking ones (the open-loop /v1/cells path) are
-// shed with 429 when the queue is full. tc is the inherited trace
-// context (zero: this daemon is the trace root); the returned
+// shed with 429 when the queue is full.
+func (s *Server) execCell(ctx context.Context, spec expt.CellSpec, block bool, tc telemetry.TraceContext) (expt.ServedResult, *telemetry.CellTrace, error) {
+	return s.execCellOpts(ctx, spec, execOpts{block: block, tc: tc})
+}
+
+// execCellOpts is execCell with scheduling context. The returned
 // *telemetry.CellTrace is nil when tracing is disabled, and its
 // snapshot has already been pushed to the tracez ring by return time.
-func (s *Server) execCell(ctx context.Context, spec expt.CellSpec, block bool, tc telemetry.TraceContext) (expt.ServedResult, *telemetry.CellTrace, error) {
+func (s *Server) execCellOpts(ctx context.Context, spec expt.CellSpec, o execOpts) (expt.ServedResult, *telemetry.CellTrace, error) {
 	var zero expt.ServedResult
 	key, err := s.suite.ServedKey(spec)
 	if err != nil {
@@ -225,7 +360,12 @@ func (s *Server) execCell(ctx context.Context, spec expt.CellSpec, block bool, t
 	digest := key.Digest()
 	var tr *telemetry.CellTrace
 	if s.traces != nil {
-		tr = telemetry.NewCellTrace(tc, digest)
+		if !o.queuedAt.IsZero() {
+			tr = telemetry.NewCellTraceAt(o.tc, digest, o.queuedAt)
+			tr.Stage(telemetry.StageSched, o.queuedAt)
+		} else {
+			tr = telemetry.NewCellTrace(o.tc, digest)
+		}
 	}
 
 	s.admitMu.RLock()
@@ -270,9 +410,9 @@ func (s *Server) execCell(ctx context.Context, spec expt.CellSpec, block bool, t
 	s.m.coalesceLeaders.Add(1)
 
 	enqueued := false
-	if block {
+	if o.block {
 		select {
-		case s.runq <- &work{flight: f, spec: spec, enq: time.Now()}:
+		case s.runq <- &work{flight: f, spec: spec, enq: time.Now(), deadline: o.deadline}:
 			enqueued = true
 		case <-s.drainCh:
 			err = errDraining
@@ -282,7 +422,7 @@ func (s *Server) execCell(ctx context.Context, spec expt.CellSpec, block bool, t
 		}
 	} else {
 		select {
-		case s.runq <- &work{flight: f, spec: spec, enq: time.Now()}:
+		case s.runq <- &work{flight: f, spec: spec, enq: time.Now(), deadline: o.deadline}:
 			enqueued = true
 		default:
 			err = &shedError{status: http.StatusTooManyRequests, retryAfter: s.retryAfter(), msg: "submission queue full"}
@@ -400,7 +540,7 @@ func (s *Server) runFlight(w *work) {
 	// worker pickup.
 	f.tr.Stage(telemetry.StageAdmission, w.enq)
 	start := time.Now()
-	res, err := s.safeRun(w.spec, f)
+	res, err := s.safeRun(w.spec, f, w.deadline)
 	elapsed := time.Since(start)
 
 	s.fmu.Lock()
@@ -422,7 +562,7 @@ func (s *Server) runFlight(w *work) {
 
 // safeRun is the panic-isolation boundary: a panicking cell becomes a
 // request error and a journal record, never a dead daemon.
-func (s *Server) safeRun(spec expt.CellSpec, f *flight) (res expt.ServedResult, err error) {
+func (s *Server) safeRun(spec expt.CellSpec, f *flight, deadline time.Time) (res expt.ServedResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("cell panicked: %v", r)
@@ -432,7 +572,7 @@ func (s *Server) safeRun(spec expt.CellSpec, f *flight) (res expt.ServedResult, 
 			}
 		}
 	}()
-	return s.run(spec, f.tr)
+	return s.run(spec, f.tr, deadline)
 }
 
 // retryAfter estimates when a shed submission is worth retrying: the

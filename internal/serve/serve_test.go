@@ -61,7 +61,7 @@ func TestE2EServeCampaignBitIdentical(t *testing.T) {
 	// Gate the real runner so both submissions are in the house before
 	// any cell finishes — the duplicate MUST coalesce, deterministically.
 	gate := make(chan struct{})
-	s.run = func(cs expt.CellSpec, tr *telemetry.CellTrace) (expt.ServedResult, error) {
+	s.run = func(cs expt.CellSpec, tr *telemetry.CellTrace, _ time.Time) (expt.ServedResult, error) {
 		<-gate
 		return suite.RunServedTraced(cs, tr)
 	}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"duplexity/internal/expt"
 	"duplexity/internal/telemetry"
@@ -84,7 +85,7 @@ func TestCoalescedFollowerTraceJoins(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8}, nil)
 	gate := make(chan struct{})
 	started := make(chan struct{}, 4)
-	s.run = func(cs expt.CellSpec, tr *telemetry.CellTrace) (expt.ServedResult, error) {
+	s.run = func(cs expt.CellSpec, tr *telemetry.CellTrace, _ time.Time) (expt.ServedResult, error) {
 		started <- struct{}{}
 		<-gate
 		return stubResult(cs), nil

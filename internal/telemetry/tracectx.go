@@ -35,6 +35,9 @@ const (
 // records against, so cross-process timelines stitch without name
 // translation. See DESIGN.md §11.
 const (
+	// StageSched is time a campaign-job cell spent in the multi-tenant
+	// fair-share scheduler before being dispatched into admission.
+	StageSched = "sched"
 	// StageAdmission is time spent queued behind the serve admission
 	// gate before a worker goroutine picked the cell up.
 	StageAdmission = "admission"
@@ -178,10 +181,20 @@ type CellTrace struct {
 // context mints a fresh trace id; the execution always gets its own
 // span id with tc.SpanID as parent.
 func NewCellTrace(tc TraceContext, digest string) *CellTrace {
+	return NewCellTraceAt(tc, digest, time.Now())
+}
+
+// NewCellTraceAt opens a trace whose wall clock starts at start — used
+// when the cell's life began before execution (a scheduler queue), so
+// queue-wait spans stay inside the trace's wall time.
+func NewCellTraceAt(tc TraceContext, digest string, start time.Time) *CellTrace {
 	if tc.TraceID == "" {
 		tc.TraceID = MintID()
 	}
-	return &CellTrace{tc: tc, span: MintID(), digest: digest, start: time.Now()}
+	if start.IsZero() {
+		start = time.Now()
+	}
+	return &CellTrace{tc: tc, span: MintID(), digest: digest, start: start}
 }
 
 // Context returns the propagation context for outbound hops: the trace

@@ -30,6 +30,14 @@
 # cells/sec figures. (On a single-core host the fleet adds overhead
 # rather than speedup; the envelope records, it does not assert.)
 #
+# Finally it benchmarks the multi-tenant job store: two equal batch
+# jobs from tenants weighted 2:1 run to completion (scheduler
+# throughput in cells/sec, plus the observed mid-run fair-share ratio),
+# then single-cell probe jobs race a saturating batch job through the
+# interactive and batch lanes, writing BENCH_jobs.json with both
+# per-lane latency envelopes. (Like the fleet figure, the envelope
+# records; it does not assert.)
+#
 # Every BENCH_*.json envelope records the host environment uniformly:
 # host_cpus, go_version, gomaxprocs, git_commit — so a regression found
 # in a stored envelope can be pinned to the exact tree that produced it.
@@ -307,3 +315,117 @@ awk -v scale="$SCALE" -v workers="$WORKERS" -v envjson="$ENV_JSON" \
 
 echo "== $FLEETOUT =="
 cat "$FLEETOUT"
+
+# --- job-store benchmark ------------------------------------------------
+# BENCH_jobs.json reports the multi-tenant control plane's envelope on a
+# deliberately narrow daemon (-workers 2) so saturation is reproducible
+# regardless of host core count:
+#
+#   * scheduler throughput: two 12-cell batch jobs from tenants alpha
+#     (weight 2) and beta (weight 1) submitted together, cells/sec over
+#     the whole run
+#   * fairness ratio: alpha's vs beta's completed cells sampled mid-run
+#     (expected to track the 2:1 weights)
+#   * lane latency: single-cell probe jobs submitted while a 24-cell
+#     batch job saturates the pool, alternating interactive and batch
+#     lanes; per-lane mean and worst-case job latency
+JOBSOUT="BENCH_jobs.json"
+JADDR="${BENCH_JOBS_ADDR:-127.0.0.1:8146}"
+JWORKERS=2
+echo "== jobs bench =="
+
+"$tmp/duplexityd" serve -addr "$JADDR" -scale "$SCALE" -seed 1 \
+    -workers "$JWORKERS" -cachedir "$tmp/jobs-cache" \
+    -tenant-weights alpha=2,beta=1 2>"$tmp/jobsd.log" &
+serve_pid=$!
+for i in $(seq 1 100); do
+    curl -fsS "http://$JADDR/v1/healthz" >/dev/null 2>&1 && break
+    kill -0 "$serve_pid" 2>/dev/null \
+        || { echo "FAIL: jobs-bench daemon died during boot"; cat "$tmp/jobsd.log"; exit 1; }
+    sleep 0.1
+done
+
+submit_job() { # submit_job <tenant> <lane> <loads> -> job id on stdout
+    "$tmp/duplexityd" jobs -addr "$JADDR" -submit -kind fig5 \
+        -designs Baseline,Duplexity -workloads RSC -loads "$3" \
+        -tenant "$1" -lane "$2" 2>/dev/null \
+        | python3 -c "import json,sys; print(json.load(sys.stdin)['id'])"
+}
+job_done() { # job_done <id> -> completed count; "done" appended when finished
+    curl -fsS "http://$JADDR/v1/jobs/$1" | python3 -c \
+        "import json,sys; j=json.load(sys.stdin); print(j['completed'], 'done' if j['done'] else '')"
+}
+
+t0="$(date +%s.%N)"
+job_a="$(submit_job alpha batch 0.11,0.22,0.33,0.44,0.55,0.66)"
+job_b="$(submit_job beta  batch 0.12,0.23,0.34,0.45,0.56,0.67)"
+fair_a=""; fair_b=""
+while :; do
+    read -r ca da <<<"$(job_done "$job_a")"
+    read -r cb db <<<"$(job_done "$job_b")"
+    # First sample past the halfway mark is the fairness observation.
+    if [[ -z "$fair_a" && $((ca + cb)) -ge 12 ]]; then fair_a="$ca"; fair_b="$cb"; fi
+    [[ "$da" == "done" && "$db" == "done" ]] && break
+    sleep 0.025
+done
+t1="$(date +%s.%N)"
+# If both jobs finished between polls the mid-run sample never fired;
+# fall back to the final (uninformative, 1.0) counts so the envelope
+# stays well-formed.
+[[ -n "$fair_a" ]] || { fair_a="$ca"; fair_b="$cb"; }
+SCHED_WALL="$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", b-a}')"
+echo "scheduler: 24 cells in ${SCHED_WALL}s; mid-run completed alpha=$fair_a beta=$fair_b"
+
+# Lane probes: a long batch job keeps both pool slots busy while
+# single-cell jobs race through each lane. Probe loads are unique so
+# every probe is a real (cold) simulation.
+sat_job="$(submit_job beta batch 0.13,0.24,0.35,0.46,0.57,0.68,0.79,0.85,0.14,0.25,0.36,0.47)"
+probe() { # probe <lane> <load> -> wall seconds for the 1-cell job
+    local pt0 pt1
+    pt0="$(date +%s.%N)"
+    "$tmp/duplexityd" jobs -addr "$JADDR" -submit -kind fig5 \
+        -designs Baseline -workloads RSC -loads "$2" \
+        -tenant alpha -lane "$1" -stream >/dev/null 2>&1
+    pt1="$(date +%s.%N)"
+    awk -v a="$pt0" -v b="$pt1" 'BEGIN{printf "%.4f", b-a}'
+}
+int_lat=(); bat_lat=()
+for i in 1 2 3 4; do
+    int_lat+=("$(probe interactive "0.15$i")")
+    bat_lat+=("$(probe batch "0.16$i")")
+done
+read -r _ sat_done <<<"$(job_done "$sat_job")"
+echo "lane probes: interactive=(${int_lat[*]}) batch=(${bat_lat[*]}) saturator_done=${sat_done:-no}"
+while :; do
+    read -r _ d <<<"$(job_done "$sat_job")"
+    [[ "$d" == "done" ]] && break
+    sleep 0.1
+done
+
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "FAIL: jobs-bench daemon drain exited nonzero"; cat "$tmp/jobsd.log"; exit 1; }
+serve_pid=""
+
+lane_stats() { # lane_stats <lat...> -> {"mean_s":..,"worst_s":..,"samples":N}
+    awk 'BEGIN { n = ARGC - 1; sum = 0; max = 0
+        for (i = 1; i < ARGC; i++) { sum += ARGV[i]; if (ARGV[i] + 0 > max) max = ARGV[i] + 0 }
+        printf "{\"samples\": %d, \"mean_s\": %.4f, \"worst_s\": %.4f}", n, sum / n, max
+    }' "$@"
+}
+awk -v scale="$SCALE" -v workers="$JWORKERS" -v envjson="$ENV_JSON" \
+    -v sw="$SCHED_WALL" -v fa="$fair_a" -v fb="$fair_b" \
+    -v intj="$(lane_stats "${int_lat[@]}")" -v batj="$(lane_stats "${bat_lat[@]}")" 'BEGIN {
+    printf "{\n"
+    printf "  \"bench\": \"jobstore-scheduler\",\n"
+    printf "  %s,\n", envjson
+    printf "  \"scale\": %s,\n", scale
+    printf "  \"workers\": %d,\n", workers
+    printf "  \"tenant_weights\": {\"alpha\": 2, \"beta\": 1},\n"
+    printf "  \"scheduler\": {\"cells\": 24, \"wall_seconds\": %s, \"cells_per_sec\": %.3f},\n", sw, 24/sw
+    printf "  \"fairness\": {\"mid_run_completed\": {\"alpha\": %d, \"beta\": %d}, \"ratio\": %.2f, \"weight_ratio\": 2.0},\n", fa, fb, (fb > 0 ? fa/fb : fa)
+    printf "  \"lane_probe_jobs\": {\"interactive\": %s, \"batch\": %s}\n", intj, batj
+    printf "}\n"
+}' >"$JOBSOUT"
+
+echo "== $JOBSOUT =="
+cat "$JOBSOUT"

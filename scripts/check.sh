@@ -40,9 +40,13 @@ go test -race -timeout 15m ./internal/campaign ./internal/expt
 # (admission, coalescing, drain, panic isolation all cross goroutines);
 # its whole suite, including the real-simulator e2e tests, runs raced.
 go test -race -timeout 15m ./internal/serve
+# The job store's scheduler and manager coordinate tenants, the GC
+# loop, and resume across goroutines; the whole suite runs raced.
+go test -race -timeout 15m ./internal/jobstore
 # The fleet coordinator crosses goroutines on every dispatch (hedges,
-# window accounting, L1 singleflight); its suite, including the
-# two-real-workers e2e byte-identity test, runs raced.
+# window accounting, L1 singleflight, runtime membership changes); its
+# suite, including the two-real-workers e2e byte-identity test, runs
+# raced.
 go test -race -timeout 15m ./internal/fleet
 go test -race -run 'TestE2E' -timeout 15m .
 # Trace propagation crosses every concurrency boundary in the system

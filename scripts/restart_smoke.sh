@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# restart_smoke.sh — end-to-end crash-recovery smoke test of the
+# durable job store (the part a Go test can't exercise faithfully: a
+# real SIGKILL of a real process mid-campaign, then a real re-exec over
+# the same cache dir):
+#
+#   1. boot duplexityd with a fresh cache dir and a single worker
+#   2. submit a durable 6-cell fig5 job
+#   3. poll /v1/jobs/<id> until the job is mid-flight (some cells
+#      completed, some not), then SIGKILL the daemon — no drain, no
+#      checkpoint flush
+#   4. restart duplexityd over the same cache dir and assert the boot
+#      log reports exactly one resumed incomplete job
+#   5. poll the job to completion, stream its results, and assert
+#      "resumed": true with zero failed/cancelled cells
+#   6. assert zero duplicate simulation: the cache journal across both
+#      daemon lifetimes holds exactly one '"cached":false' line per cell
+#   7. run the same job on a fresh daemon with a clean cache dir and
+#      assert the resumed job's result stream is byte-identical to it
+#
+# Tunables: SMOKE_SCALE (default 0.2 — big enough that a one-worker
+# daemon is reliably mid-job when the kill lands), SMOKE_ADDR (default
+# 127.0.0.1:8124).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${SMOKE_SCALE:-0.2}"
+ADDR="${SMOKE_ADDR:-127.0.0.1:8124}"
+CELLS=6 # 2 designs x 1 workload x 3 loads
+
+tmp="$(mktemp -d)"
+cleanup() {
+    [[ -n "${daemon_pid:-}" ]] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+boot() { # boot <cachedir> <logfile>
+    "$tmp/duplexityd" serve -addr "$ADDR" -scale "$SCALE" -seed 1 \
+        -workers 1 -cachedir "$1" 2>"$2" &
+    daemon_pid=$!
+    for i in $(seq 1 100); do
+        if curl -fsS "http://$ADDR/v1/healthz" >/dev/null 2>&1; then break; fi
+        if ! kill -0 "$daemon_pid" 2>/dev/null; then
+            echo "FAIL: daemon died during boot"; cat "$2"; exit 1
+        fi
+        sleep 0.1
+    done
+    curl -fsS "http://$ADDR/v1/healthz" | grep -q '"ok"' \
+        || { echo "FAIL: daemon never became healthy"; cat "$2"; exit 1; }
+}
+
+job_field() { # job_field <id> <python-expr over job dict j>
+    curl -fsS "http://$ADDR/v1/jobs/$1" \
+        | python3 -c "import json,sys; j=json.load(sys.stdin); print($2)"
+}
+
+echo "== build =="
+go build -o "$tmp/duplexityd" ./cmd/duplexityd
+
+echo "== boot A =="
+boot "$tmp/cache" "$tmp/daemonA.log"
+echo "daemon A healthy on $ADDR"
+
+echo "== submit durable job =="
+"$tmp/duplexityd" jobs -addr "$ADDR" -submit -kind fig5 \
+    -designs Baseline,Duplexity -workloads RSC -loads 0.3,0.5,0.7 \
+    -tenant smoke >"$tmp/accepted.json"
+grep -q '"durable":true' "$tmp/accepted.json" \
+    || { echo "FAIL: job not durable"; cat "$tmp/accepted.json"; exit 1; }
+job="$(python3 -c "import json;print(json.load(open('$tmp/accepted.json'))['id'])")"
+echo "job $job accepted"
+
+echo "== kill mid-job =="
+# Wait until the job is genuinely mid-flight: >=1 cell completed (so
+# the resume has finished work to preserve) and >=1 still pending (so
+# there is something to resume).
+mid=0
+for i in $(seq 1 200); do
+    done_cells="$(job_field "$job" "j['completed']")"
+    if [[ "$done_cells" -ge 1 && "$done_cells" -lt "$CELLS" ]]; then mid=1; break; fi
+    if [[ "$done_cells" -ge "$CELLS" ]]; then break; fi
+    sleep 0.05
+done
+[[ "$mid" == "1" ]] \
+    || { echo "FAIL: never caught the job mid-flight ($done_cells/$CELLS done); raise SMOKE_SCALE"; exit 1; }
+kill -KILL "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+echo "killed daemon A with $done_cells/$CELLS cells complete"
+
+echo "== boot B over the same cache dir =="
+boot "$tmp/cache" "$tmp/daemonB.log"
+grep -q "jobstore: resumed 1 incomplete job(s)" "$tmp/daemonB.log" \
+    || { echo "FAIL: restart did not resume the job"; cat "$tmp/daemonB.log"; exit 1; }
+
+for i in $(seq 1 600); do
+    if [[ "$(job_field "$job" "j['done']")" == "True" ]]; then break; fi
+    sleep 0.05
+done
+state="$(job_field "$job" "j['state']")"
+[[ "$state" == "done" ]] \
+    || { echo "FAIL: resumed job state = $state, want done"; curl -fsS "http://$ADDR/v1/jobs/$job"; exit 1; }
+job_field "$job" "j.get('resumed', False)" | grep -q True \
+    || { echo "FAIL: finished job is not marked resumed"; exit 1; }
+failed="$(job_field "$job" "j.get('failed', 0) + j.get('cancelled', 0)")"
+[[ "$failed" == "0" ]] \
+    || { echo "FAIL: resumed job finished with $failed failed/cancelled cells"; exit 1; }
+
+"$tmp/duplexityd" jobs -addr "$ADDR" -id "$job" -results >"$tmp/resumed.ndjson"
+lines="$(wc -l <"$tmp/resumed.ndjson")"
+[[ "$lines" == "$((CELLS + 1))" ]] \
+    || { echo "FAIL: resumed stream has $lines lines, want $CELLS cells + status"; exit 1; }
+tail -1 "$tmp/resumed.ndjson" | grep -q '"state":"done"' \
+    || { echo "FAIL: resumed stream did not end done"; tail -1 "$tmp/resumed.ndjson"; exit 1; }
+
+# `duplexityd status` must agree (exit 0: no job finished with failures).
+"$tmp/duplexityd" status -addr "$ADDR" >/dev/null \
+    || { echo "FAIL: status exited non-zero on a clean resumed job"; exit 1; }
+
+echo "== zero duplicate simulation =="
+# Every simulated cell writes one '"cached":false' journal line; the
+# journal survives both daemon lifetimes in the shared cache dir, so
+# any re-simulated cell would push the count past $CELLS.
+sims="$(grep -c '"cached":false' "$tmp/cache/journal.jsonl")"
+[[ "$sims" == "$CELLS" ]] \
+    || { echo "FAIL: journal shows $sims simulated cells across both runs, want $CELLS"; cat "$tmp/cache/journal.jsonl"; exit 1; }
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "FAIL: daemon B did not drain cleanly"; cat "$tmp/daemonB.log"; exit 1; }
+daemon_pid=""
+
+echo "== byte-identity vs an uninterrupted run =="
+boot "$tmp/cache-ref" "$tmp/daemonC.log"
+"$tmp/duplexityd" jobs -addr "$ADDR" -submit -kind fig5 \
+    -designs Baseline,Duplexity -workloads RSC -loads 0.3,0.5,0.7 \
+    -tenant smoke -stream >"$tmp/reference.ndjson"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=""
+
+# Cell lines must match byte-for-byte; the trailing status summary is
+# compared separately because only the resumed run carries
+# "resumed":true.
+if ! diff <(head -n "$CELLS" "$tmp/resumed.ndjson") \
+          <(head -n "$CELLS" "$tmp/reference.ndjson") >/dev/null; then
+    echo "FAIL: resumed results diverge from an uninterrupted run"
+    diff "$tmp/resumed.ndjson" "$tmp/reference.ndjson" || true
+    exit 1
+fi
+tail -1 "$tmp/reference.ndjson" | grep -q '"state":"done"' \
+    || { echo "FAIL: reference stream did not end done"; tail -1 "$tmp/reference.ndjson"; exit 1; }
+
+echo "restart smoke OK: killed at $done_cells/$CELLS, resumed to done, $sims total simulations (no duplicates), results byte-identical"
