@@ -1,17 +1,26 @@
 // Command simbench measures the cycle-level simulator's own speed: for
-// each requested design it builds the same dyad twice — one stepped
-// cycle by cycle, one with event-driven fast-forward — runs both for the
-// same simulated-cycle budget, and prints a JSON report with simulated
-// cycles per wall second, the fast-forward speedup, and the skip ratio
+// each requested design it builds the same dyad three times — stepped
+// cycle by cycle, with the legacy whole-dyad fast-forward, and on the
+// discrete-event engine — runs all three for the same simulated-cycle
+// budget, and prints a JSON report with simulated cycles per wall
+// second, the per-mode speedup over stepping, and the skip ratio
 // (fraction of simulated cycles advanced by jumps rather than steps).
 //
 // Usage:
 //
-//	simbench [-cycles n] [-seed n] [-load f] [-workload name] [-designs a,b]
+//	simbench [-cycles n] [-seed n] [-load f] [-workload name]
+//	         [-designs a,b] [-batch n] [-floor x]
 //
-// The two runs double as a live equivalence check: simbench exits
-// non-zero if the stepped and fast-forwarded dyads disagree on retired
-// instructions or completed requests.
+// -batch sets the dyad's batch-thread population; -batch 0 empties the
+// lender side so the dyad idles between requests and stalls — the
+// stall-heavy configuration where the event engine must shine.
+//
+// The runs double as a live equivalence check: simbench exits non-zero
+// if any mode disagrees with stepping on retired instructions, completed
+// requests, master-core stats, or elapsed cycles. -floor makes the
+// measurement itself a gate: if the event engine's speedup over stepping
+// falls below the floor on any design, simbench exits non-zero, so CI
+// can pin the discrete-event win and fail when it rots.
 package main
 
 import (
@@ -25,13 +34,11 @@ import (
 )
 
 type row struct {
-	design          duplexity.Design
-	cycles          uint64
-	stepSec, ffSec  float64
-	skipped         uint64
-	retired         uint64
-	requestsStepped uint64
-	requestsFF      uint64
+	design                duplexity.Design
+	cycles                uint64
+	stepSec, ffSec, evSec float64
+	ffSkipped, evSkipped  uint64
+	retired, requests     uint64
 }
 
 func main() {
@@ -40,6 +47,8 @@ func main() {
 	load := flag.Float64("load", 0.5, "offered load in (0,1)")
 	wlName := flag.String("workload", "mcrouter", "flann-ha|flann-ll|rsc|mcrouter|wordstem")
 	designs := flag.String("designs", "baseline,duplexity", "comma-separated design list")
+	batch := flag.Int("batch", 32, "batch threads per dyad (0 = stall-heavy: no lender work)")
+	floor := flag.Float64("floor", 0, "exit non-zero if event speedup over stepping falls below this (0 = off)")
 	flag.Parse()
 
 	spec, err := findWorkload(*wlName)
@@ -55,7 +64,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
 			os.Exit(2)
 		}
-		r, err := measure(design, spec, *load, *seed, *cycles)
+		r, err := measure(design, spec, *load, *seed, *cycles, *batch)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
 			os.Exit(1)
@@ -67,6 +76,7 @@ func main() {
 	fmt.Printf("  %q: %q,\n", "bench", "simcore")
 	fmt.Printf("  %q: %q,\n", "workload", spec.Name)
 	fmt.Printf("  %q: %g,\n", "load", *load)
+	fmt.Printf("  %q: %d,\n", "batch", *batch)
 	fmt.Printf("  %q: %d,\n", "cycles", *cycles)
 	fmt.Printf("  %q: [\n", "designs")
 	for i, r := range rows {
@@ -75,17 +85,34 @@ func main() {
 			comma = ""
 		}
 		fmt.Printf("    {\"design\": %q, \"step_cycles_per_sec\": %.0f, \"ff_cycles_per_sec\": %.0f, "+
-			"\"speedup\": %.2f, \"skip_ratio\": %.4f, \"retired\": %d, \"requests\": %d}%s\n",
+			"\"event_cycles_per_sec\": %.0f, \"ff_speedup\": %.2f, \"event_speedup\": %.2f, "+
+			"\"ff_skip_ratio\": %.4f, \"event_skip_ratio\": %.4f, \"retired\": %d, \"requests\": %d}%s\n",
 			r.design.String(), float64(r.cycles)/r.stepSec, float64(r.cycles)/r.ffSec,
-			r.stepSec/r.ffSec, float64(r.skipped)/float64(r.cycles), r.retired, r.requestsFF, comma)
+			float64(r.cycles)/r.evSec, r.stepSec/r.ffSec, r.stepSec/r.evSec,
+			float64(r.ffSkipped)/float64(r.cycles), float64(r.evSkipped)/float64(r.cycles),
+			r.retired, r.requests, comma)
 	}
 	fmt.Println("  ]")
 	fmt.Println("}")
+
+	if *floor > 0 {
+		ok := true
+		for _, r := range rows {
+			if sp := r.stepSec / r.evSec; sp < *floor {
+				fmt.Fprintf(os.Stderr, "simbench: %v event speedup %.2fx below floor %.2fx\n",
+					r.design, sp, *floor)
+				ok = false
+			}
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	}
 }
 
-// build constructs one dyad for the measurement; both runs of a design
+// build constructs one dyad for the measurement; all runs of a design
 // call it with identical arguments so their streams are identical.
-func build(design duplexity.Design, spec *duplexity.Workload, load float64, seed uint64) (*duplexity.Dyad, error) {
+func build(design duplexity.Design, spec *duplexity.Workload, load float64, seed uint64, batch int, mode duplexity.ExecMode) (*duplexity.Dyad, error) {
 	master, err := spec.NewMaster(load, design.FreqGHz(), seed)
 	if err != nil {
 		return nil, err
@@ -98,40 +125,68 @@ func build(design duplexity.Design, spec *duplexity.Workload, load float64, seed
 	if err != nil {
 		return nil, err
 	}
-	return duplexity.NewDyad(duplexity.DyadConfig{
+	if batch < len(fillers) {
+		fillers = fillers[:batch]
+	}
+	d, err := duplexity.NewDyad(duplexity.DyadConfig{
 		Design:       design,
 		MasterStream: master,
 		BatchStreams: fillers,
 	})
+	if err != nil {
+		return nil, err
+	}
+	d.Exec = mode
+	return d, nil
 }
 
-func measure(design duplexity.Design, spec *duplexity.Workload, load float64, seed, cycles uint64) (row, error) {
+func measure(design duplexity.Design, spec *duplexity.Workload, load float64, seed, cycles uint64, batch int) (row, error) {
 	r := row{design: design, cycles: cycles}
 
-	slow, err := build(design, spec, load, seed)
+	run := func(mode duplexity.ExecMode) (*duplexity.Dyad, float64, error) {
+		d, err := build(design, spec, load, seed, batch, mode)
+		if err != nil {
+			return nil, 0, err
+		}
+		t0 := time.Now()
+		d.Run(cycles)
+		return d, time.Since(t0).Seconds(), nil
+	}
+
+	slow, stepSec, err := run(duplexity.ExecStepped)
 	if err != nil {
 		return r, err
 	}
-	slow.FastForward = false
-	t0 := time.Now()
-	slow.Run(cycles)
-	r.stepSec = time.Since(t0).Seconds()
-	r.requestsStepped = slow.MasterOoO.ThreadStats(0).RequestsCompleted
-
-	fast, err := build(design, spec, load, seed)
+	r.stepSec = stepSec
+	ff, ffSec, err := run(duplexity.ExecFastForward)
 	if err != nil {
 		return r, err
 	}
-	t0 = time.Now()
-	fast.Run(cycles)
-	r.ffSec = time.Since(t0).Seconds()
-	r.skipped = fast.SkippedCycles
-	r.retired = fast.MasterOoO.Stats.TotalRetired
-	r.requestsFF = fast.MasterOoO.ThreadStats(0).RequestsCompleted
+	r.ffSec, r.ffSkipped = ffSec, ff.SkippedCycles
+	ev, evSec, err := run(duplexity.ExecEvent)
+	if err != nil {
+		return r, err
+	}
+	r.evSec, r.evSkipped = evSec, ev.SkippedCycles
+	r.retired = ev.MasterOoO.Stats.TotalRetired
+	r.requests = ev.MasterOoO.ThreadStats(0).RequestsCompleted
 
-	if r.retired != slow.MasterOoO.Stats.TotalRetired || r.requestsFF != r.requestsStepped {
-		return r, fmt.Errorf("%v: fast-forward diverged from stepping: retired %d vs %d, requests %d vs %d",
-			design, r.retired, slow.MasterOoO.Stats.TotalRetired, r.requestsFF, r.requestsStepped)
+	// Live equivalence check: every mode must agree with stepping on the
+	// externally visible outcome.
+	for _, d := range []*duplexity.Dyad{ff, ev} {
+		if d.Now() != slow.Now() {
+			return r, fmt.Errorf("%v/%v: clock diverged from stepping: %d vs %d",
+				design, d.Exec, d.Now(), slow.Now())
+		}
+		if d.MasterOoO.Stats != slow.MasterOoO.Stats {
+			return r, fmt.Errorf("%v/%v: master core stats diverged from stepping:\n%+v\nvs\n%+v",
+				design, d.Exec, d.MasterOoO.Stats, slow.MasterOoO.Stats)
+		}
+		if a, b := d.MasterOoO.ThreadStats(0).RequestsCompleted,
+			slow.MasterOoO.ThreadStats(0).RequestsCompleted; a != b {
+			return r, fmt.Errorf("%v/%v: completed requests diverged from stepping: %d vs %d",
+				design, d.Exec, a, b)
+		}
 	}
 	return r, nil
 }

@@ -63,6 +63,19 @@ const (
 // AllDesigns lists every design point in evaluation order.
 var AllDesigns = core.AllDesigns
 
+// ExecMode selects how a Dyad or Chip advances simulated time: the
+// default discrete-event engine (never ticks an idle cycle), the legacy
+// whole-dyad fast-forward loop, or reference cycle-by-cycle stepping.
+// Results are bit-identical in all three modes.
+type ExecMode = core.ExecMode
+
+// Execution modes.
+const (
+	ExecEvent       = core.ExecEvent
+	ExecFastForward = core.ExecFastForward
+	ExecStepped     = core.ExecStepped
+)
+
 // Dyad is a cycle-level simulation of one design point: the evaluated
 // core paired with a throughput lender-core, a shared LLC, and a shared
 // virtual-context pool.

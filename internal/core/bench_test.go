@@ -6,7 +6,7 @@ import (
 	"duplexity/internal/workload"
 )
 
-func benchDyad(tb testing.TB, design Design, ff bool) *Dyad {
+func benchDyad(tb testing.TB, design Design, mode ExecMode) *Dyad {
 	tb.Helper()
 	gen := masterGen(1, true)
 	master, err := workload.NewRequestStream(gen, 100_000, design.FreqGHz(), 7)
@@ -21,7 +21,7 @@ func benchDyad(tb testing.TB, design Design, ff bool) *Dyad {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	d.FastForward = ff
+	d.Exec = mode
 	return d
 }
 
@@ -31,7 +31,7 @@ func benchDyad(tb testing.TB, design Design, ff bool) *Dyad {
 func BenchmarkDyadStep(b *testing.B) {
 	for _, design := range []Design{DesignBaseline, DesignDuplexity} {
 		b.Run(design.String(), func(b *testing.B) {
-			d := benchDyad(b, design, false)
+			d := benchDyad(b, design, ExecStepped)
 			for i := 0; i < 200_000; i++ {
 				d.Step()
 			}
@@ -45,15 +45,13 @@ func BenchmarkDyadStep(b *testing.B) {
 }
 
 // BenchmarkDyadRun measures simulated cycles per wall second through the
-// Run path, fast-forward off vs on; the ratio is the event-driven
-// speedup on this workload.
+// Run path in all three execution modes; the step-to-event ratio is the
+// discrete-event speedup on this (moderate-load) workload. Steady state
+// must not allocate in any mode.
 func BenchmarkDyadRun(b *testing.B) {
-	for _, mode := range []struct {
-		name string
-		ff   bool
-	}{{"step", false}, {"fastforward", true}} {
-		b.Run(mode.name, func(b *testing.B) {
-			d := benchDyad(b, DesignDuplexity, mode.ff)
+	for _, mode := range []ExecMode{ExecStepped, ExecFastForward, ExecEvent} {
+		b.Run(mode.String(), func(b *testing.B) {
+			d := benchDyad(b, DesignDuplexity, mode)
 			d.Run(200_000)
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -71,12 +69,29 @@ func TestDyadStepZeroAlloc(t *testing.T) {
 		t.Skip("multi-million-cycle warmup; skipped with -short")
 	}
 	for _, design := range []Design{DesignBaseline, DesignDuplexity} {
-		d := benchDyad(t, design, false)
+		d := benchDyad(t, design, ExecStepped)
 		for i := 0; i < 2_000_000; i++ {
 			d.Step()
 		}
 		if n := testing.AllocsPerRun(20_000, func() { d.Step() }); n != 0 {
 			t.Fatalf("%v: Dyad.Step allocates %.4f objects/cycle in steady state, want 0", design, n)
+		}
+	}
+}
+
+// TestDyadEventRunZeroAlloc pins the same property for the event
+// engine's run loop: after the engine is built (first Run), further runs
+// — heap maintenance, lazy span charging, pool invalidation included —
+// must not allocate.
+func TestDyadEventRunZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-cycle warmup; skipped with -short")
+	}
+	for _, design := range []Design{DesignBaseline, DesignDuplexity} {
+		d := benchDyad(t, design, ExecEvent)
+		d.Run(2_000_000)
+		if n := testing.AllocsPerRun(100, func() { d.Run(1_000) }); n != 0 {
+			t.Fatalf("%v: event-mode Run allocates %.4f objects/call in steady state, want 0", design, n)
 		}
 	}
 }

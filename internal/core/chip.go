@@ -34,6 +34,13 @@ type Chip struct {
 	Dyads  []*Dyad
 	Shared *memsys.Shared
 	now    uint64
+
+	// engine is the lazily built chip-wide discrete-event engine (all
+	// dyads' components on one queue); scanPenalty/scanHoldoff back off
+	// unprofitable NextEvent scans on the legacy fast-forward path.
+	engine      *eventEngine
+	scanPenalty uint32
+	scanHoldoff uint32
 }
 
 // NewChip wires up the dyads on a shared LLC.
@@ -88,21 +95,48 @@ func (c *Chip) Step() {
 	c.now++
 }
 
-// Run advances n cycles. Dyads share the LLC and must stay in lockstep,
-// so the clock only fast-forwards when every dyad is quiescent, jumping
-// to the chip-wide earliest event; any dyad with FastForward disabled
-// pins the whole chip to cycle-by-cycle stepping.
+// execMode resolves the chip-wide execution mode: the strictest mode
+// any dyad requests wins (stepped over fast-forward over event), so a
+// single dyad pinned to ExecStepped pins the whole chip.
+func (c *Chip) execMode() ExecMode {
+	m := ExecEvent
+	for _, d := range c.Dyads {
+		if d.Exec > m {
+			m = d.Exec
+		}
+	}
+	return m
+}
+
+// Run advances n cycles on the shared clock. In the default event mode
+// every dyad's master and lender sides are components of one chip-wide
+// event queue — sharing is through the (passive) LLC and each dyad's
+// own context pool, so one dyad's stall span is skipped even while a
+// neighbour is busy. The legacy fast-forward mode keeps dyads in
+// lockstep and only jumps when every dyad is quiescent, to the
+// chip-wide earliest event.
 func (c *Chip) Run(n uint64) {
 	end := c.now + n
-	ff := true
-	for _, d := range c.Dyads {
-		ff = ff && d.FastForward
-	}
-	for c.now < end {
-		if !ff {
+	switch c.execMode() {
+	case ExecStepped:
+		for c.now < end {
 			c.Step()
-			continue
 		}
+	case ExecFastForward:
+		c.runFastForward(end)
+	default:
+		if c.engine == nil {
+			c.engine = newDyadEngine(c.Dyads...)
+		}
+		c.now = c.engine.run(c.now, end, nil)
+		for _, d := range c.Dyads {
+			d.now = c.now
+		}
+	}
+}
+
+func (c *Chip) runFastForward(end uint64) {
+	for c.now < end {
 		idle := true
 		for _, d := range c.Dyads {
 			if !d.stepQuiet() {
@@ -111,6 +145,10 @@ func (c *Chip) Run(n uint64) {
 		}
 		c.now++
 		if !idle || c.now >= end {
+			continue
+		}
+		if c.scanHoldoff > 0 {
+			c.scanHoldoff--
 			continue
 		}
 		target := end
@@ -123,6 +161,16 @@ func (c *Chip) Run(n uint64) {
 			if ev < target {
 				target = ev
 			}
+		}
+		if target >= c.now+scanMinGain {
+			c.scanPenalty = 0
+		} else {
+			pen := c.scanPenalty*2 + 1
+			if pen > scanHoldoffCap {
+				pen = scanHoldoffCap
+			}
+			c.scanPenalty = pen
+			c.scanHoldoff = pen
 		}
 		if target > c.now {
 			for _, d := range c.Dyads {

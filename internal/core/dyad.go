@@ -85,23 +85,31 @@ type Dyad struct {
 	// master stream implements RequestTracker.
 	Latencies *stats.LatencyRecorder
 
-	// FastForward enables event-driven cycle skipping in Run and
-	// RunUntilRequests (default on): spans in which no component can
-	// fetch, issue, or retire are jumped in one step, with the skipped
-	// cycles bulk-charged to the same stall/idle counters the
-	// cycle-by-cycle path would have used. Results are bit-identical
-	// either way (see DESIGN.md, "Event-driven fast-forward"); the flag
-	// exists for the equivalence tests and for debugging.
-	FastForward bool
-	// SkippedCycles counts cycles advanced by fast-forward jumps. It is
-	// a diagnostic for the skip ratio only — deliberately not part of
-	// CollectInto or any printed table, so outputs and campaign cache
+	// Exec selects how Run and RunUntilRequests advance time. The zero
+	// value is ExecEvent: a discrete-event engine in which each side of
+	// the dyad registers its next wake cycle in a priority queue and the
+	// clock jumps from event to event, never ticking an idle cycle.
+	// ExecFastForward restores the whole-dyad skip loop; ExecStepped
+	// forces cycle-by-cycle stepping. Results are bit-identical in all
+	// three modes (see DESIGN.md §8 and §13); the knob exists for the
+	// equivalence tests and for debugging.
+	Exec ExecMode
+	// SkippedCycles counts cycles advanced by jumps rather than steps.
+	// It is a diagnostic for the skip ratio only — deliberately not part
+	// of CollectInto or any printed table, so outputs and campaign cache
 	// keys are unaffected by how time advanced.
 	SkippedCycles uint64
 
 	tracker      RequestTracker
 	masterStream isa.Stream
 	now          uint64
+
+	// engine is the lazily built discrete-event engine for ExecEvent
+	// runs; scanPenalty/scanHoldoff are the legacy fast-forward path's
+	// profitability backoff (see engine.go: scanMinGain).
+	engine      *eventEngine
+	scanPenalty uint32
+	scanHoldoff uint32
 
 	// telemetry is the attached event sink (nil until EnableTelemetry);
 	// completedSeq numbers RequestComplete events, aligning with the
@@ -125,7 +133,6 @@ func NewDyad(cfg Config) (*Dyad, error) {
 		Freq:         freq,
 		Latencies:    stats.NewLatencyRecorder(1 << 12),
 		masterStream: cfg.MasterStream,
-		FastForward:  true,
 	}
 
 	// Shared LLC: 1MB per core x 2 cores in the dyad (Table I), unless
@@ -370,11 +377,29 @@ func (d *Dyad) stepQuiet() bool {
 // that made no visible progress it consults NextEvent and jumps any
 // quiescent span in one go — the expensive exact scan runs only on idle
 // cycles, so busy spans pay just the counter comparisons of stepQuiet.
+// Scans that yield only tiny jumps (workloads whose quiet cycles come
+// one or two at a time) back off exponentially, so the scan cost can
+// never make fast-forward slower than plain stepping.
 func (d *Dyad) stepOrSkip(end uint64) {
 	if !d.stepQuiet() || d.now >= end {
 		return
 	}
-	if ev := d.NextEvent(); ev > d.now {
+	if d.scanHoldoff > 0 {
+		d.scanHoldoff--
+		return
+	}
+	ev := d.NextEvent()
+	if ev >= d.now+scanMinGain {
+		d.scanPenalty = 0
+	} else {
+		pen := d.scanPenalty*2 + 1
+		if pen > scanHoldoffCap {
+			pen = scanHoldoffCap
+		}
+		d.scanPenalty = pen
+		d.scanHoldoff = pen
+	}
+	if ev > d.now {
 		target := ev
 		if target > end {
 			target = end
@@ -383,17 +408,28 @@ func (d *Dyad) stepOrSkip(end uint64) {
 	}
 }
 
+// eventEngineFor returns the dyad's lazily built discrete-event engine.
+func (d *Dyad) eventEngineFor() *eventEngine {
+	if d.engine == nil {
+		d.engine = newDyadEngine(d)
+	}
+	return d.engine
+}
+
 // Run advances n cycles.
 func (d *Dyad) Run(n uint64) {
 	end := d.now + n
-	if !d.FastForward {
+	switch d.Exec {
+	case ExecStepped:
 		for d.now < end {
 			d.Step()
 		}
-		return
-	}
-	for d.now < end {
-		d.stepOrSkip(end)
+	case ExecFastForward:
+		for d.now < end {
+			d.stepOrSkip(end)
+		}
+	default:
+		d.now = d.eventEngineFor().run(d.now, end, nil)
 	}
 }
 
@@ -401,11 +437,22 @@ func (d *Dyad) Run(n uint64) {
 // least n requests or maxCycles elapse; it returns the completed count.
 func (d *Dyad) RunUntilRequests(n uint64, maxCycles uint64) uint64 {
 	ts := d.MasterOoO.ThreadStats(0)
-	for ts.RequestsCompleted < n && d.now < maxCycles {
-		if d.FastForward {
-			d.stepOrSkip(maxCycles)
-		} else {
+	switch d.Exec {
+	case ExecStepped:
+		for ts.RequestsCompleted < n && d.now < maxCycles {
 			d.Step()
+		}
+	case ExecFastForward:
+		for ts.RequestsCompleted < n && d.now < maxCycles {
+			d.stepOrSkip(maxCycles)
+		}
+	default:
+		// The stop condition only changes on an executed cycle (a
+		// request completes at a master commit), so the engine checks it
+		// exactly as often as the stepped loop does.
+		if ts.RequestsCompleted < n && d.now < maxCycles {
+			d.now = d.eventEngineFor().run(d.now, maxCycles,
+				func() bool { return ts.RequestsCompleted >= n })
 		}
 	}
 	return ts.RequestsCompleted

@@ -36,9 +36,9 @@ func (s *hashSink) Emit(e telemetry.Event) {
 	s.n++
 }
 
-// makeTracedDyad is makeDyad with an explicit fast-forward setting and a
+// makeTracedDyad is makeDyad with an explicit execution mode and a
 // hashing telemetry sink attached before any cycle runs.
-func makeTracedDyad(t *testing.T, design Design, qps float64, ff bool) (*Dyad, *hashSink) {
+func makeTracedDyad(t *testing.T, design Design, qps float64, mode ExecMode) (*Dyad, *hashSink) {
 	t.Helper()
 	gen := masterGen(1, true)
 	master, err := workload.NewRequestStream(gen, qps, design.FreqGHz(), 7)
@@ -53,103 +53,134 @@ func makeTracedDyad(t *testing.T, design Design, qps float64, ff bool) (*Dyad, *
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.FastForward = ff
+	d.Exec = mode
 	sink := newHashSink()
 	d.EnableTelemetry(sink)
 	return d, sink
 }
 
-// compareDyads asserts that a fast-forwarded dyad and a cycle-by-cycle
-// dyad ended in externally identical states: clock, every stats struct,
-// the telemetry event stream, the collected metric registry, the
-// formatted thread report, and the raw latency samples.
-func compareDyads(t *testing.T, design Design, ff, slow *Dyad, ffSink, slowSink *hashSink) {
+// compareDyads asserts that a dyad run in some skipping mode and the
+// cycle-by-cycle reference ended in externally identical states: clock,
+// every stats struct, the telemetry event stream, the collected metric
+// registry, the formatted thread report, and the raw latency samples.
+func compareDyads(t *testing.T, design Design, mode ExecMode, got, ref *Dyad, gotSink, refSink *hashSink) {
 	t.Helper()
-	if ff.Now() != slow.Now() {
-		t.Fatalf("%v: clock diverged: ff %d vs slow %d", design, ff.Now(), slow.Now())
+	if got.Now() != ref.Now() {
+		t.Fatalf("%v/%v: clock diverged: %d vs stepped %d", design, mode, got.Now(), ref.Now())
 	}
-	if ffSink.n != slowSink.n || ffSink.h != slowSink.h {
-		t.Fatalf("%v: telemetry streams diverged: ff %d events hash %x, slow %d events hash %x",
-			design, ffSink.n, ffSink.h, slowSink.n, slowSink.h)
+	if gotSink.n != refSink.n || gotSink.h != refSink.h {
+		t.Fatalf("%v/%v: telemetry streams diverged: %d events hash %x, stepped %d events hash %x",
+			design, mode, gotSink.n, gotSink.h, refSink.n, refSink.h)
 	}
-	if a, b := *ff.MasterOoO.ThreadStats(0), *slow.MasterOoO.ThreadStats(0); a != b {
-		t.Fatalf("%v: master thread stats diverged:\nff   %+v\nslow %+v", design, a, b)
+	if a, b := *got.MasterOoO.ThreadStats(0), *ref.MasterOoO.ThreadStats(0); a != b {
+		t.Fatalf("%v/%v: master thread stats diverged:\ngot     %+v\nstepped %+v", design, mode, a, b)
 	}
-	if ff.MasterOoO.Stats != slow.MasterOoO.Stats {
-		t.Fatalf("%v: master core stats diverged:\nff   %+v\nslow %+v",
-			design, ff.MasterOoO.Stats, slow.MasterOoO.Stats)
+	if got.MasterOoO.Stats != ref.MasterOoO.Stats {
+		t.Fatalf("%v/%v: master core stats diverged:\ngot     %+v\nstepped %+v",
+			design, mode, got.MasterOoO.Stats, ref.MasterOoO.Stats)
 	}
-	if (ff.Master == nil) != (slow.Master == nil) {
-		t.Fatalf("%v: master-core presence diverged", design)
+	if (got.Master == nil) != (ref.Master == nil) {
+		t.Fatalf("%v/%v: master-core presence diverged", design, mode)
 	}
-	if ff.Master != nil && ff.Master.Stats != slow.Master.Stats {
-		t.Fatalf("%v: morph stats diverged:\nff   %+v\nslow %+v",
-			design, ff.Master.Stats, slow.Master.Stats)
+	if got.Master != nil && got.Master.Stats != ref.Master.Stats {
+		t.Fatalf("%v/%v: morph stats diverged:\ngot     %+v\nstepped %+v",
+			design, mode, got.Master.Stats, ref.Master.Stats)
 	}
-	if got, want := ff.Latencies.Samples(), slow.Latencies.Samples(); !reflect.DeepEqual(got, want) {
-		t.Fatalf("%v: latency samples diverged: ff %d samples, slow %d", design, len(got), len(want))
+	if a, b := got.Latencies.Samples(), ref.Latencies.Samples(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("%v/%v: latency samples diverged: got %d samples, stepped %d", design, mode, len(a), len(b))
 	}
-	ffReg, slowReg := telemetry.NewRegistry(), telemetry.NewRegistry()
-	ff.CollectInto(ffReg)
-	slow.CollectInto(slowReg)
-	if a, b := ffReg.Snapshot(ff.Now()), slowReg.Snapshot(slow.Now()); !reflect.DeepEqual(a, b) {
-		t.Fatalf("%v: collected registries diverged:\nff   %+v\nslow %+v", design, a, b)
+	gotReg, refReg := telemetry.NewRegistry(), telemetry.NewRegistry()
+	got.CollectInto(gotReg)
+	ref.CollectInto(refReg)
+	if a, b := gotReg.Snapshot(got.Now()), refReg.Snapshot(ref.Now()); !reflect.DeepEqual(a, b) {
+		t.Fatalf("%v/%v: collected registries diverged:\ngot     %+v\nstepped %+v", design, mode, a, b)
 	}
-	if a, b := ff.ThreadReport(), slow.ThreadReport(); a != b {
-		t.Fatalf("%v: thread reports diverged:\nff:\n%s\nslow:\n%s", design, a, b)
+	if a, b := got.ThreadReport(), ref.ThreadReport(); a != b {
+		t.Fatalf("%v/%v: thread reports diverged:\ngot:\n%s\nstepped:\n%s", design, mode, a, b)
 	}
 }
 
-// TestFastForwardEquivalence is the fast-forward invariant check: for
-// every design, a dyad run with event-driven cycle skipping must be
-// bit-identical — stats, telemetry counters, event stream, latency
-// samples — to the same dyad stepped cycle by cycle.
+// skipModes are the two time-skipping execution modes, each held to bit
+// equality against the ExecStepped reference.
+var skipModes = []ExecMode{ExecFastForward, ExecEvent}
+
+// TestFastForwardEquivalence is the three-way equivalence invariant: for
+// every design, a dyad run with the legacy whole-dyad fast-forward and
+// one run on the discrete-event engine must both be bit-identical —
+// stats, telemetry counters, event stream, latency samples — to the same
+// dyad stepped cycle by cycle.
 func TestFastForwardEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-million-cycle simulation; skipped with -short")
 	}
 	const budget = 1_200_000
 	for _, design := range AllDesigns {
-		ff, ffSink := makeTracedDyad(t, design, 100_000, true)
-		slow, slowSink := makeTracedDyad(t, design, 100_000, false)
-		ff.Run(budget)
-		slow.Run(budget)
-		compareDyads(t, design, ff, slow, ffSink, slowSink)
-		if slow.SkippedCycles != 0 {
-			t.Fatalf("%v: cycle-by-cycle dyad reports %d skipped cycles", design, slow.SkippedCycles)
+		ref, refSink := makeTracedDyad(t, design, 100_000, ExecStepped)
+		ref.Run(budget)
+		if ref.SkippedCycles != 0 {
+			t.Fatalf("%v: cycle-by-cycle dyad reports %d skipped cycles", design, ref.SkippedCycles)
 		}
-		if design == DesignBaseline && ff.SkippedCycles == 0 {
-			t.Fatalf("%v: fast-forward never skipped (remote stalls should quiesce the dyad)", design)
+		for _, mode := range skipModes {
+			d, sink := makeTracedDyad(t, design, 100_000, mode)
+			d.Run(budget)
+			compareDyads(t, design, mode, d, ref, sink, refSink)
+			if design == DesignBaseline && d.SkippedCycles == 0 {
+				t.Fatalf("%v/%v: never skipped (remote stalls should quiesce the dyad)", design, mode)
+			}
 		}
 	}
 }
 
 // TestFastForwardEquivalenceUntilRequests exercises the RunUntilRequests
-// path, which interleaves skip decisions with request-completion checks.
+// path, which interleaves skip decisions with request-completion checks,
+// in both skipping modes.
 func TestFastForwardEquivalenceUntilRequests(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-million-cycle simulation; skipped with -short")
 	}
 	for _, design := range []Design{DesignBaseline, DesignDuplexity} {
-		ff, ffSink := makeTracedDyad(t, design, 100_000, true)
-		slow, slowSink := makeTracedDyad(t, design, 100_000, false)
-		nff := ff.RunUntilRequests(60, 6_000_000)
-		nslow := slow.RunUntilRequests(60, 6_000_000)
-		if nff != nslow {
-			t.Fatalf("%v: completed requests diverged: ff %d vs slow %d", design, nff, nslow)
+		ref, refSink := makeTracedDyad(t, design, 100_000, ExecStepped)
+		nref := ref.RunUntilRequests(60, 6_000_000)
+		for _, mode := range skipModes {
+			d, sink := makeTracedDyad(t, design, 100_000, mode)
+			n := d.RunUntilRequests(60, 6_000_000)
+			if n != nref {
+				t.Fatalf("%v/%v: completed requests diverged: %d vs stepped %d", design, mode, n, nref)
+			}
+			compareDyads(t, design, mode, d, ref, sink, refSink)
 		}
-		compareDyads(t, design, ff, slow, ffSink, slowSink)
 	}
 }
 
-// TestChipFastForwardEquivalence checks the chip-level lockstep skip: a
-// two-dyad chip sharing an LLC must produce identical per-dyad stats with
-// fast-forward on and off.
+// TestEventEquivalenceQuick is the raced smoke variant of the three-way
+// suite: small enough to run under the race detector in check.sh's
+// -short pass, yet covering both designs' full mode machinery
+// (master/draining/filler transitions, pool steals between the lender
+// and the master's filler engine). Unlike the full suite it is NOT
+// skipped with -short.
+func TestEventEquivalenceQuick(t *testing.T) {
+	const budget = 220_000
+	for _, design := range []Design{DesignBaseline, DesignDuplexity} {
+		ref, refSink := makeTracedDyad(t, design, 100_000, ExecStepped)
+		ref.Run(budget)
+		for _, mode := range skipModes {
+			d, sink := makeTracedDyad(t, design, 100_000, mode)
+			d.Run(budget)
+			compareDyads(t, design, mode, d, ref, sink, refSink)
+		}
+	}
+}
+
+// TestChipFastForwardEquivalence checks the chip-level engines: a
+// two-dyad chip sharing an LLC must produce identical per-dyad stats in
+// all three execution modes. Event mode is the interesting one — a
+// busy dyad must not keep a stalled neighbour's clock ticking, and the
+// shared-LLC access interleaving must still match lockstep exactly.
 func TestChipFastForwardEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-million-cycle simulation; skipped with -short")
 	}
-	build := func(ff bool) *Chip {
+	build := func(mode ExecMode) *Chip {
 		t.Helper()
 		cfg := ChipConfig{Design: DesignDuplexity}
 		for i := uint64(0); i < 2; i++ {
@@ -166,36 +197,41 @@ func TestChipFastForwardEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, d := range c.Dyads {
-			d.FastForward = ff
+			d.Exec = mode
 		}
 		return c
 	}
-	ff := build(true)
-	slow := build(false)
-	ff.Run(800_000)
-	slow.Run(800_000)
-	if ff.Now() != slow.Now() {
-		t.Fatalf("chip clock diverged: ff %d vs slow %d", ff.Now(), slow.Now())
-	}
-	for i := range ff.Dyads {
-		a, b := ff.Dyads[i], slow.Dyads[i]
-		if a.MasterOoO.Stats != b.MasterOoO.Stats {
-			t.Fatalf("dyad %d: master core stats diverged:\nff   %+v\nslow %+v",
-				i, a.MasterOoO.Stats, b.MasterOoO.Stats)
+	ref := build(ExecStepped)
+	ref.Run(800_000)
+	for _, mode := range skipModes {
+		c := build(mode)
+		c.Run(800_000)
+		if c.Now() != ref.Now() {
+			t.Fatalf("%v: chip clock diverged: %d vs stepped %d", mode, c.Now(), ref.Now())
 		}
-		if a.Master.Stats != b.Master.Stats {
-			t.Fatalf("dyad %d: morph stats diverged:\nff   %+v\nslow %+v",
-				i, a.Master.Stats, b.Master.Stats)
+		for i := range c.Dyads {
+			a, b := c.Dyads[i], ref.Dyads[i]
+			if a.Now() != b.Now() {
+				t.Fatalf("%v: dyad %d clock diverged: %d vs stepped %d", mode, i, a.Now(), b.Now())
+			}
+			if a.MasterOoO.Stats != b.MasterOoO.Stats {
+				t.Fatalf("%v: dyad %d: master core stats diverged:\ngot     %+v\nstepped %+v",
+					mode, i, a.MasterOoO.Stats, b.MasterOoO.Stats)
+			}
+			if a.Master.Stats != b.Master.Stats {
+				t.Fatalf("%v: dyad %d: morph stats diverged:\ngot     %+v\nstepped %+v",
+					mode, i, a.Master.Stats, b.Master.Stats)
+			}
+			if !reflect.DeepEqual(a.Latencies.Samples(), b.Latencies.Samples()) {
+				t.Fatalf("%v: dyad %d: latency samples diverged", mode, i)
+			}
+			if a.ThreadReport() != b.ThreadReport() {
+				t.Fatalf("%v: dyad %d: thread reports diverged", mode, i)
+			}
 		}
-		if !reflect.DeepEqual(a.Latencies.Samples(), b.Latencies.Samples()) {
-			t.Fatalf("dyad %d: latency samples diverged", i)
+		if c.Shared.LLC.Stats != ref.Shared.LLC.Stats {
+			t.Fatalf("%v: shared LLC stats diverged:\ngot     %+v\nstepped %+v",
+				mode, c.Shared.LLC.Stats, ref.Shared.LLC.Stats)
 		}
-		if a.ThreadReport() != b.ThreadReport() {
-			t.Fatalf("dyad %d: thread reports diverged", i)
-		}
-	}
-	if ff.Shared.LLC.Stats != slow.Shared.LLC.Stats {
-		t.Fatalf("shared LLC stats diverged:\nff   %+v\nslow %+v",
-			ff.Shared.LLC.Stats, slow.Shared.LLC.Stats)
 	}
 }

@@ -50,6 +50,9 @@ type fillerEngine interface {
 	// SkipCycles bulk-charges a quiescent span [now, now+n) exactly as n
 	// per-cycle Steps would have.
 	SkipCycles(now, n uint64)
+	// pool returns the shared run queue the engine steals from and
+	// returns to, nil for engines with private streams (fixedFiller).
+	pool() *hsmt.Pool
 	// setTelemetry attaches an event sink, tagging emissions with src.
 	setTelemetry(sink telemetry.Sink, src uint8)
 }
@@ -71,6 +74,7 @@ func (h hsmtFiller) SkipCycles(now, n uint64) {
 	h.sched.SkipCycles(now, n)
 	h.sched.Core().SkipCycles(now, n)
 }
+func (h hsmtFiller) pool() *hsmt.Pool { return h.sched.Pool() }
 func (h hsmtFiller) setTelemetry(sink telemetry.Sink, src uint8) {
 	h.sched.Telemetry = sink
 	h.sched.TelemetrySrc = src
@@ -141,6 +145,8 @@ func (f *fixedFiller) NextEvent(now uint64) uint64 {
 }
 
 func (f *fixedFiller) SkipCycles(now, n uint64) { f.core.SkipCycles(now, n) }
+
+func (f *fixedFiller) pool() *hsmt.Pool { return nil }
 
 func (f *fixedFiller) setTelemetry(sink telemetry.Sink, src uint8) {
 	f.sink = sink
@@ -215,6 +221,10 @@ func (m *MasterCore) OoO() *cpu.OoOCore { return m.ooo }
 
 // FillerCore exposes the filler-thread datapath.
 func (m *MasterCore) FillerCore() *cpu.InOCore { return m.filler.Core() }
+
+// runQueue returns the dyad-shared context pool the filler engine draws
+// from, nil when the engine runs private streams (MorphCore).
+func (m *MasterCore) runQueue() *hsmt.Pool { return m.filler.pool() }
 
 // onRemote fires when the master-thread issues a µs-scale operation:
 // demarcate the stall, flush younger work, and begin draining.
@@ -321,8 +331,26 @@ func (m *MasterCore) NextEvent(now uint64) uint64 {
 		// holds, and the condition can only become true at an OoO event
 		// (commit draining the ROB) or a stream arrival — both priced
 		// by the engine's NextEvent.
-		if m.signaler != nil && m.ooo.Drained(0) && !m.signaler.HasWork(now) {
-			return now
+		if m.signaler != nil && m.ooo.Drained(0) {
+			if !m.signaler.HasWork(now) {
+				return now
+			}
+			// Drained with work pending: Step polls the signaler every
+			// cycle (the idle-morph check), and each poll admits — and
+			// emits — due arrivals. The wake must therefore price the
+			// next arrival itself, not just the engine's events: inside
+			// a restart window the engine is fetch-ineligible and its
+			// NextEvent never consults the stream, yet the per-cycle
+			// polls still admit arrivals the moment they land.
+			ev := m.ooo.NextEvent(now)
+			sig, ok := m.signaler.(isa.Eventer)
+			if !ok {
+				return now // cannot bound the poll: check every cycle
+			}
+			if w := sig.NextWorkAt(now); w < ev {
+				ev = w
+			}
+			return ev
 		}
 		return m.ooo.NextEvent(now)
 

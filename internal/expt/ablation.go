@@ -34,6 +34,7 @@ func (s *Suite) ablationDyad(nContexts int, noL0 bool, restart int64) (*core.Dya
 	if err != nil {
 		return nil, err
 	}
+	d.Exec = s.opts.Exec
 	if restart >= 0 {
 		d.Master.SetRestartLat(uint64(restart))
 	}

@@ -35,6 +35,12 @@ type Options struct {
 	// simulating them in this process. Remote entries land in the local
 	// cache verbatim, so a fleet run is byte-identical to a local one.
 	Remote campaign.Remote
+	// Exec selects the simulator's execution mode for every cell (zero
+	// value: the discrete-event engine). Cell results — and therefore
+	// campaign cache digests — are bit-identical in every mode, which
+	// TestCellDigestExecEquivalence pins; the knob exists for that test
+	// and for debugging.
+	Exec core.ExecMode
 }
 
 func (o Options) withDefaults() Options {

@@ -98,6 +98,7 @@ func (s *Suite) runCell(design core.Design, spec *workload.Spec, load float64) (
 	if err != nil {
 		return cell{}, err
 	}
+	d.Exec = s.opts.Exec
 	// Budget: enough cycles to observe the idle/stall structure at the
 	// lowest load; bounded for smoke runs by Options.Scale.
 	budget := s.opts.cycles(3_000_000)
@@ -181,6 +182,7 @@ func (s *Suite) measureSlowdown(design core.Design, spec *workload.Spec) (float6
 	if err != nil {
 		return 0, err
 	}
+	d.Exec = s.opts.Exec
 	done := d.RunUntilRequests(reqTarget, cap)
 	if done == 0 {
 		return 0, fmt.Errorf("no requests completed for %v/%s", design, spec.Name)

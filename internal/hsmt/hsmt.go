@@ -176,6 +176,12 @@ func NewScheduler(core *cpu.InOCore, pool *Pool, swapLat, quantum uint64) (*Sche
 // Core returns the scheduled datapath.
 func (s *Scheduler) Core() *cpu.InOCore { return s.core }
 
+// Pool returns the run queue this scheduler draws from. Two schedulers
+// attached to one pool (a dyad's lender and a master-core's filler
+// engine) interact only through it, which is what the event engine's
+// cross-component wake invalidation keys on.
+func (s *Scheduler) Pool() *Pool { return s.pool }
+
 // Bound returns the context bound to slot i (nil if none).
 func (s *Scheduler) Bound(i int) *VirtualContext { return s.bound[i] }
 

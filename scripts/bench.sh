@@ -13,9 +13,16 @@
 # stdout tables from all three runs are byte-identical (modulo the
 # per-experiment "took" timing lines).
 #
-# It then runs cmd/simbench and writes BENCH_simcore.json: simulated
-# cycles/sec stepped vs fast-forwarded, the cycle-skip ratio, and the
-# sequential campaign throughput in cells/sec.
+# It then runs cmd/simbench twice and writes BENCH_simcore.json with a
+# stanza per configuration: "moderate" (steady load, full batch
+# population — parity territory, the event engine must simply never be
+# slower) and "stall_heavy" (near-idle load, no batch threads — the
+# paper's killer-microsecond regime, where the discrete-event engine
+# must hold a >=10x speedup over cycle stepping; simbench's -floor flag
+# makes the measurement itself the gate). Each stanza records simulated
+# cycles/sec for stepped, fast-forward, and event execution plus skip
+# ratios, alongside the sequential campaign throughput in cells/sec
+# when the campaign section ran.
 #
 # Finally it boots duplexityd on a loopback port and drives it with the
 # built-in load generator — one closed-loop run (cold cache, real
@@ -45,6 +52,12 @@
 # Tunables: BENCH_SCALE (default 0.05), BENCH_WORKERS (default nproc),
 # BENCH_SERVE_ADDR (default 127.0.0.1:8124), BENCH_SERVE_REQUESTS
 # (default 32), BENCH_FLEET_BASE_PORT (default 8141).
+# BENCH_ONLY selects sections as a comma list from
+# {campaign,simcore,serve,fleet,jobs} — e.g. BENCH_ONLY=simcore
+# refreshes BENCH_simcore.json alone. Unset runs everything. Every
+# envelope restamps git_commit (with a -dirty suffix when the tree
+# differs from HEAD) and host metadata on every run, so a stored
+# envelope can never silently describe an older tree.
 # Note: the parallel speedup is only meaningful on a multi-core host;
 # the warm-cache speedup is meaningful anywhere.
 set -euo pipefail
@@ -55,12 +68,24 @@ WORKERS="${BENCH_WORKERS:-$(nproc)}"
 EXPTS=(fig5a fig5b fig5c fig5f fig6)
 OUT="BENCH_campaign.json"
 
-# The uniform host-environment stanza every BENCH_*.json carries.
+# The uniform host-environment stanza every BENCH_*.json carries,
+# recomputed on every invocation so stored envelopes always name the
+# tree that actually produced them; a worktree that differs from HEAD
+# gets a -dirty suffix.
 NCPU="$(nproc)"
 GOVER="$(go env GOVERSION)"
 GMP="${GOMAXPROCS:-$NCPU}"
 GITSHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if [[ "$GITSHA" != "unknown" ]] && ! git diff --quiet HEAD -- 2>/dev/null; then
+    GITSHA="$GITSHA-dirty"
+fi
 ENV_JSON="\"host_cpus\": $NCPU, \"go_version\": \"$GOVER\", \"gomaxprocs\": $GMP, \"git_commit\": \"$GITSHA\""
+
+# should_run <section>: true when BENCH_ONLY is unset/empty or names the
+# section in its comma list.
+should_run() {
+    [[ -z "${BENCH_ONLY:-}" || ",${BENCH_ONLY}," == *",$1,"* ]]
+}
 
 tmp="$(mktemp -d)"
 cleanup() {
@@ -70,7 +95,14 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== build =="
-go build -o "$tmp/duplexity" ./cmd/duplexity
+if should_run campaign; then
+    go build -o "$tmp/duplexity" ./cmd/duplexity
+fi
+if should_run serve || should_run fleet || should_run jobs; then
+    go build -o "$tmp/duplexityd" ./cmd/duplexityd
+fi
+
+if should_run campaign; then
 
 # run <name> <workers> <cachedir>: executes the matrix figures, records
 # wall seconds to $tmp/<name>.wall and the campaign summary counters to
@@ -127,35 +159,55 @@ awk -v scale="$SCALE" -v workers="$WORKERS" -v envjson="$ENV_JSON" \
 
 echo "== $OUT =="
 cat "$OUT"
+fi # campaign
 
 # --- simulator-core benchmark -------------------------------------------
 # BENCH_simcore.json reports how fast the cycle-level simulator itself
-# runs: simulated cycles per wall second with cycle-by-cycle stepping vs
-# event-driven fast-forward, the skip ratio (cycles advanced by jumps),
-# and the campaign throughput in cells/sec from the sequential cold run
-# above. simbench also cross-checks that both time-advancement modes
-# retire identical work, failing the benchmark on any divergence.
+# runs: simulated cycles per wall second stepped cycle by cycle, with
+# the legacy fast-forward loop, and on the discrete-event engine, plus
+# per-mode skip ratios — under two configurations:
+#
+#   moderate    steady load, full batch population: compute-bound, the
+#               event engine's job is to never be slower than stepping
+#   stall_heavy near-idle load, no batch threads: the killer-microsecond
+#               regime, where the event engine must hold >=10x; the
+#               -floor flag turns the run into a gate (non-zero exit
+#               below the floor), so the headline win cannot rot
+#
+# simbench also cross-checks that every mode retires identical work,
+# failing the benchmark on any divergence. The campaign throughput
+# figure rides along when the campaign section ran in this invocation.
+if should_run simcore; then
 SIMOUT="BENCH_simcore.json"
 echo "== simbench =="
 go build -o "$tmp/simbench" ./cmd/simbench
-"$tmp/simbench" -cycles "${BENCH_SIM_CYCLES:-3000000}" -seed 1 >"$tmp/simbench.json"
-cat "$tmp/simbench.json"
+"$tmp/simbench" -cycles "${BENCH_SIM_CYCLES:-3000000}" -seed 1 >"$tmp/sim-moderate.json"
+cat "$tmp/sim-moderate.json"
+"$tmp/simbench" -cycles "${BENCH_SIM_CYCLES:-3000000}" -seed 1 \
+    -load 0.02 -batch 0 -designs baseline,duplexity \
+    -floor "${BENCH_SIM_FLOOR:-10}" >"$tmp/sim-stall.json"
+cat "$tmp/sim-stall.json"
 
 {
     echo "{"
     echo "  \"bench\": \"simcore\","
     echo "  $ENV_JSON,"
-    awk -v sw="$(cat "$tmp/sequential.wall")" -v sc="$(cat "$tmp/sequential.cells")" \
-        'BEGIN { printf "  \"campaign_cells_per_sec\": %.3f,\n", sc/sw }'
-    # Inline the simbench report (drop its outer braces and bench tag).
-    echo "  \"simulator\": {"
-    sed -e '1d' -e '$d' -e '/"bench"/d' "$tmp/simbench.json"
-    echo "  }"
+    if [[ -f "$tmp/sequential.wall" ]]; then
+        awk -v sw="$(cat "$tmp/sequential.wall")" -v sc="$(cat "$tmp/sequential.cells")" \
+            'BEGIN { printf "  \"campaign_cells_per_sec\": %.3f,\n", sc/sw }'
+    fi
+    echo "  \"moderate\":"
+    sed -e 's/^/  /' -e '$s/$/,/' "$tmp/sim-moderate.json"
+    echo "  \"stall_heavy\":"
+    sed 's/^/  /' "$tmp/sim-stall.json"
     echo "}"
 } >"$SIMOUT"
+python3 -m json.tool "$SIMOUT" >/dev/null \
+    || { echo "FAIL: $SIMOUT is not valid JSON"; exit 1; }
 
 echo "== $SIMOUT =="
 cat "$SIMOUT"
+fi # simcore
 
 # --- serving-layer benchmark --------------------------------------------
 # BENCH_serve.json reports the daemon's request envelope under the two
@@ -164,11 +216,11 @@ cat "$SIMOUT"
 # the now-warm cache, so its latency is the serving overhead itself
 # (admission, coalescing, HTTP). Shed counts quantify the admission
 # controller rather than failing the bench: overload answers 429.
+if should_run serve; then
 SERVEOUT="BENCH_serve.json"
 SADDR="${BENCH_SERVE_ADDR:-127.0.0.1:8124}"
 SREQS="${BENCH_SERVE_REQUESTS:-32}"
 echo "== duplexityd loadgen =="
-go build -o "$tmp/duplexityd" ./cmd/duplexityd
 "$tmp/duplexityd" serve -addr "$SADDR" -scale "$SCALE" -seed 1 \
     -workers "$WORKERS" -cachedir "$tmp/serve-cache" 2>"$tmp/served.log" &
 serve_pid=$!
@@ -240,6 +292,7 @@ echo "tracing A/B: $AB_JSON"
 
 echo "== $SERVEOUT =="
 cat "$SERVEOUT"
+fi # serve
 
 # --- fleet benchmark ----------------------------------------------------
 # BENCH_fleet.json compares campaign throughput (cells/sec, cold cache)
@@ -248,6 +301,7 @@ cat "$SERVEOUT"
 # fleet's extra hop costs more than the second worker earns; on
 # multi-core (or real multi-host) fleets the two-worker figure should
 # approach 2x.
+if should_run fleet; then
 FLEETOUT="BENCH_fleet.json"
 FBASE="${BENCH_FLEET_BASE_PORT:-8141}"
 F_SINGLE="127.0.0.1:$FBASE"
@@ -315,6 +369,7 @@ awk -v scale="$SCALE" -v workers="$WORKERS" -v envjson="$ENV_JSON" \
 
 echo "== $FLEETOUT =="
 cat "$FLEETOUT"
+fi # fleet
 
 # --- job-store benchmark ------------------------------------------------
 # BENCH_jobs.json reports the multi-tenant control plane's envelope on a
@@ -329,6 +384,7 @@ cat "$FLEETOUT"
 #   * lane latency: single-cell probe jobs submitted while a 24-cell
 #     batch job saturates the pool, alternating interactive and batch
 #     lanes; per-lane mean and worst-case job latency
+if should_run jobs; then
 JOBSOUT="BENCH_jobs.json"
 JADDR="${BENCH_JOBS_ADDR:-127.0.0.1:8146}"
 JWORKERS=2
@@ -429,3 +485,4 @@ awk -v scale="$SCALE" -v workers="$JWORKERS" -v envjson="$ENV_JSON" \
 
 echo "== $JOBSOUT =="
 cat "$JOBSOUT"
+fi # jobs
