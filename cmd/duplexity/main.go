@@ -7,7 +7,12 @@
 //	          [-pprof addr] <experiment>...
 //
 // Experiments: fig1a fig1b fig1c fig2a fig2b table1 table2 fig5a fig5b
-// fig5c fig5d fig5e fig5f fig6 workloads slowdowns all motivation
+// fig5c fig5d fig5e fig5f fig6 workloads slowdowns energyprop all
+// motivation. Experiments are given as positional arguments;
+// -experiment name1,name2 is an equivalent flag form. "all" covers the
+// paper's own tables and figures; energyprop (the energy-proportionality
+// sweep over load × design × idle governor) is its own results axis and
+// runs when named explicitly.
 //
 // -scale 1.0 reproduces the paper-scale campaign (minutes of CPU);
 // smaller values trade fidelity for time. Simulation cells fan out
@@ -90,16 +95,23 @@ func main() {
 	telemetryPath := flag.String("telemetry", "", "write a JSON campaign manifest to this file")
 	progress := flag.Bool("progress", false, "report per-experiment progress on stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	experimentFlag := flag.String("experiment", "", "comma-separated experiment names (equivalent to positional arguments)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: duplexity [-scale f] [-seed n] [-workers n] [-cachedir dir] [-resume] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1a fig1b fig1c fig2a fig2b table1 table2\n")
 		fmt.Fprintf(os.Stderr, "             fig5a fig5b fig5c fig5d fig5e fig5f fig6\n")
-		fmt.Fprintf(os.Stderr, "             workloads slowdowns motivation all\n")
+		fmt.Fprintf(os.Stderr, "             workloads slowdowns energyprop motivation all\n")
 		fmt.Fprintf(os.Stderr, "             ablation-contexts ablation-restart ablation-l0\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() == 0 {
+	args := flag.Args()
+	for _, name := range strings.Split(*experimentFlag, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			args = append(args, name)
+		}
+	}
+	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -161,16 +173,17 @@ func main() {
 		"workloads": s.Workloads,
 	}
 	dynamic := map[string]func() (*duplexity.Table, error){
-		"fig1c":     s.Fig1c,
-		"fig2a":     s.Fig2a,
-		"fig5a":     s.Fig5a,
-		"fig5b":     s.Fig5b,
-		"fig5c":     s.Fig5c,
-		"fig5d":     s.Fig5d,
-		"fig5e":     s.Fig5e,
-		"fig5f":     s.Fig5f,
-		"fig6":      s.Fig6,
-		"slowdowns": s.ServiceSlowdowns,
+		"fig1c":      s.Fig1c,
+		"fig2a":      s.Fig2a,
+		"fig5a":      s.Fig5a,
+		"fig5b":      s.Fig5b,
+		"fig5c":      s.Fig5c,
+		"fig5d":      s.Fig5d,
+		"fig5e":      s.Fig5e,
+		"fig5f":      s.Fig5f,
+		"fig6":       s.Fig6,
+		"slowdowns":  s.ServiceSlowdowns,
+		"energyprop": s.EnergyProp,
 		// Ablation studies of Duplexity's design choices (not paper figures).
 		"ablation-contexts": s.AblationVirtualContexts,
 		"ablation-restart":  s.AblationRestartLatency,
@@ -185,7 +198,7 @@ func main() {
 	motivation := []string{"fig1a", "fig1b", "fig1c", "fig2a", "fig2b"}
 
 	var names []string
-	for _, arg := range flag.Args() {
+	for _, arg := range args {
 		switch arg {
 		case "all":
 			names = append(names, order...)
@@ -259,6 +272,7 @@ func main() {
 			Extra: map[string]interface{}{
 				"experiment_timings": timings,
 				"campaign_cells":     s.ReportCached(),
+				"energy_cells":       s.ReportEnergyCached(),
 			},
 		}
 		if err := m.WriteFile(*telemetryPath); err != nil {

@@ -18,7 +18,8 @@
 //	                   [-tenant-inflight n] [-tenant-jobs n]
 //	                   [-tenant-weights a=2,b=1]
 //	duplexityd submit  [-addr a] [-campaign] [-kind k] [-designs l]
-//	                   [-workloads l] [-loads l] [-design d] [-workload w]
+//	                   [-workloads l] [-loads l] [-governors l]
+//	                   [-design d] [-workload w] [-governor g]
 //	                   [-load f] [-timeout-ms n]
 //	duplexityd jobs    [-addr a] [-submit] [-kind k] [-designs l]
 //	                   [-workloads l] [-loads l] [-tenant t] [-lane l]
@@ -530,20 +531,22 @@ func cmdSubmit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8077", "daemon address")
 	campaign := fs.Bool("campaign", false, "submit a campaign instead of one cell")
-	kind := fs.String("kind", "matrix", "cell or campaign kind (matrix | slowdown | fig5 | slowdowns)")
+	kind := fs.String("kind", "matrix", "cell or campaign kind (matrix | slowdown | energyprop | fig5 | slowdowns)")
 	design := fs.String("design", "Baseline", "cell design")
 	workload := fs.String("workload", "RSC", "cell workload")
 	load := fs.Float64("load", 0.5, "cell offered load (0 for slowdown cells)")
+	governor := fs.String("governor", "", "cell idle governor (energyprop cells only)")
 	timeoutMs := fs.Int64("timeout-ms", 0, "per-request deadline in ms (0 = server default)")
 	designs := fs.String("designs", "", "campaign designs, comma-separated (empty = all)")
 	workloads := fs.String("workloads", "", "campaign workloads, comma-separated (empty = all)")
 	loads := fs.String("loads", "", "campaign loads, comma-separated (empty = default grid)")
+	governors := fs.String("governors", "", "campaign idle governors, comma-separated (energyprop; empty = default set)")
 	fs.Parse(args)
 	base := "http://" + *addr
 
 	if !*campaign {
 		body, err := postExpectOK(base+"/v1/cells", serve.CellRequest{
-			CellSpec:  expt.CellSpec{Kind: *kind, Design: *design, Workload: *workload, Load: *load},
+			CellSpec:  expt.CellSpec{Kind: *kind, Design: *design, Workload: *workload, Load: *load, Governor: *governor},
 			TimeoutMs: *timeoutMs,
 		}, http.StatusOK)
 		if err != nil {
@@ -568,6 +571,9 @@ func cmdSubmit(args []string) error {
 			}
 			spec.Loads = append(spec.Loads, v)
 		}
+	}
+	if *governors != "" {
+		spec.Governors = strings.Split(*governors, ",")
 	}
 	body, err := postExpectOK(base+"/v1/campaigns", spec, http.StatusAccepted)
 	if err != nil {
@@ -596,10 +602,11 @@ func cmdJobs(args []string) error {
 	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8077", "daemon address")
 	submit := fs.Bool("submit", false, "submit a job instead of listing")
-	kind := fs.String("kind", "fig5", "campaign kind (fig5 | slowdowns)")
+	kind := fs.String("kind", "fig5", "campaign kind (fig5 | slowdowns | energyprop)")
 	designs := fs.String("designs", "", "designs, comma-separated (empty = all)")
 	workloads := fs.String("workloads", "", "workloads, comma-separated (empty = all)")
 	loads := fs.String("loads", "", "loads, comma-separated (empty = default grid)")
+	governors := fs.String("governors", "", "idle governors, comma-separated (energyprop; empty = default set)")
 	tenant := fs.String("tenant", "", "tenant the job (or listing filter) belongs to")
 	lane := fs.String("lane", "", "priority lane: interactive (deadline) | batch (default)")
 	deadlineMs := fs.Int64("deadline-ms", 0, "interactive deadline in ms (0 = server default)")
@@ -666,6 +673,9 @@ func cmdJobs(args []string) error {
 				}
 				req.Loads = append(req.Loads, v)
 			}
+		}
+		if *governors != "" {
+			req.Governors = strings.Split(*governors, ",")
 		}
 		body, err := postExpectOK(base+"/v1/jobs", req, http.StatusAccepted)
 		if err != nil {

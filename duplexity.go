@@ -37,6 +37,7 @@ import (
 	"duplexity/internal/core"
 	"duplexity/internal/expt"
 	"duplexity/internal/graphwl"
+	"duplexity/internal/idle"
 	"duplexity/internal/isa"
 	"duplexity/internal/queueing"
 	"duplexity/internal/sched"
@@ -148,6 +149,28 @@ type Table = expt.Table
 
 // NewSuite builds an experiment harness.
 func NewSuite(opts SuiteOptions) *Suite { return expt.NewSuite(opts) }
+
+// IdleCState is one CPU idle state of the energy model: entry/exit
+// latency, residency power fraction, and break-even target residency.
+type IdleCState = idle.CState
+
+// IdleGovernor classifies server-idle intervals into C-states; attach
+// one to QueueConfig.IdleGov to model core parking (or Duplexity's
+// fill alternative) in the tail simulation.
+type IdleGovernor = idle.Governor
+
+// IdleSummary is the per-state residency accounting of one simulation,
+// consumed by the power model for load-dependent chip power.
+type IdleSummary = idle.Summary
+
+// IdleGovernors returns the governor catalogue in canonical order:
+// always-shallow (C1), fixed-deep core parking (C6), AgileWatts-style
+// agile deep (C6A), adaptive, and Duplexity fill.
+func IdleGovernors() []IdleGovernor { return idle.Governors() }
+
+// IdleGovernorByName resolves a governor name ("shallow", "deep",
+// "agile", "adaptive", "fill").
+func IdleGovernorByName(name string) (IdleGovernor, bool) { return idle.ByName(name) }
 
 // QueueConfig parameterizes the BigHouse-style M/G/1 tail simulator.
 type QueueConfig = queueing.Config

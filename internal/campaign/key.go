@@ -25,6 +25,11 @@ type Key struct {
 	// editing a workload invalidates its cells even under the same name.
 	Workload string `json:"workload"`
 	Spec     string `json:"spec"`
+	// Governor names the idle governor for energy-proportionality
+	// cells; empty for cell kinds that predate the idle model. Empty is
+	// omitted from the digest so every legacy cache address is
+	// byte-identical to before the field existed.
+	Governor string `json:"governor,omitempty"`
 	// Load is the offered load (0 for closed-loop cells).
 	Load float64 `json:"load"`
 	// Scale is the fidelity multiplier (it scales cycle budgets).
@@ -42,6 +47,9 @@ func (k Key) Digest() string {
 	fmt.Fprintf(h, "campaign-key-v1\n")
 	fmt.Fprintf(h, "kind=%s\nmodel=%s\ndesign=%s\nworkload=%s\nspec=%s\n",
 		k.Kind, k.Model, k.Design, k.Workload, k.Spec)
+	if k.Governor != "" {
+		fmt.Fprintf(h, "governor=%s\n", k.Governor)
+	}
 	fmt.Fprintf(h, "load=%s\nscale=%s\nseed=%d\n",
 		strconv.FormatFloat(k.Load, 'g', -1, 64),
 		strconv.FormatFloat(k.Scale, 'g', -1, 64),

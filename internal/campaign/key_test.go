@@ -1,0 +1,39 @@
+package campaign
+
+import "testing"
+
+// The cache address of a governor-free key is pinned byte-for-byte: the
+// idle-governor field must never perturb legacy digests (a cache full
+// of months-old cells would silently resimulate), and any change to the
+// canonical encoding must be a deliberate ModelVersion-style decision,
+// not an accident. The hex below was produced by this exact key when
+// the Governor field was introduced.
+func TestLegacyDigestPinned(t *testing.T) {
+	k := Key{
+		Kind: "matrix", Model: "hpca19-duplexity-v1", Design: "Duplexity",
+		Workload: "RSC", Spec: "0123456789abcdef", Load: 0.5, Scale: 1, Seed: 1,
+	}
+	const pinned = "9ea5cad8adc4cd21c77267efdfc7c9e751eeaaf5b7133e25179fcec9ce051063"
+	if got := k.Digest(); got != pinned {
+		t.Fatalf("legacy digest drifted:\n got %s\nwant %s", got, pinned)
+	}
+}
+
+// A non-empty governor extends the digest (distinct cells), and every
+// governor gets its own address.
+func TestGovernorExtendsDigest(t *testing.T) {
+	base := Key{
+		Kind: "energyprop", Model: "m", Design: "Baseline",
+		Workload: "RSC", Spec: "s", Load: 0.5, Scale: 1, Seed: 1,
+	}
+	seen := map[string]string{base.Digest(): "(none)"}
+	for _, gov := range []string{"shallow", "deep", "agile", "adaptive", "fill"} {
+		k := base
+		k.Governor = gov
+		d := k.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("governor %q collides with %q", gov, prev)
+		}
+		seen[d] = gov
+	}
+}

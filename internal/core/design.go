@@ -71,11 +71,17 @@ func (d Design) String() string {
 	}
 }
 
+// LenderFreqGHz is the lender-core's clock from Table II. The simple
+// in-order lender closes timing at the same frequency as the baseline
+// OoO core; Table II (internal/power) and the simulator share this
+// constant so the table cannot drift from the simulated clock.
+const LenderFreqGHz = 3.4
+
 // FreqGHz returns the design's clock frequency from Table II.
 func (d Design) FreqGHz() float64 {
 	switch d {
 	case DesignBaseline:
-		return 3.4
+		return LenderFreqGHz
 	case DesignSMT, DesignSMTPlus:
 		return 3.35
 	case DesignMorphCore:

@@ -90,28 +90,28 @@ func TestCampaignCellsCacheRoundTrip(t *testing.T) {
 func TestCellKeySensitivity(t *testing.T) {
 	s := NewSuite(Options{Scale: 0.05, Seed: 1})
 	spec := workload.McRouter()
-	base := s.cellKey("matrix", core.DesignDuplexity, spec, 0.5).Digest()
+	base := s.cellKey("matrix", core.DesignDuplexity, spec, 0.5, "").Digest()
 
-	if d := s.cellKey("slowdown", core.DesignDuplexity, spec, 0.5).Digest(); d == base {
+	if d := s.cellKey("slowdown", core.DesignDuplexity, spec, 0.5, "").Digest(); d == base {
 		t.Error("kind change did not change digest")
 	}
-	if d := s.cellKey("matrix", core.DesignSMT, spec, 0.5).Digest(); d == base {
+	if d := s.cellKey("matrix", core.DesignSMT, spec, 0.5, "").Digest(); d == base {
 		t.Error("design change did not change digest")
 	}
-	if d := s.cellKey("matrix", core.DesignDuplexity, spec, 0.7).Digest(); d == base {
+	if d := s.cellKey("matrix", core.DesignDuplexity, spec, 0.7, "").Digest(); d == base {
 		t.Error("load change did not change digest")
 	}
 	s2 := NewSuite(Options{Scale: 0.1, Seed: 1})
-	if d := s2.cellKey("matrix", core.DesignDuplexity, spec, 0.5).Digest(); d == base {
+	if d := s2.cellKey("matrix", core.DesignDuplexity, spec, 0.5, "").Digest(); d == base {
 		t.Error("scale change did not change digest")
 	}
 	s3 := NewSuite(Options{Scale: 0.05, Seed: 2})
-	if d := s3.cellKey("matrix", core.DesignDuplexity, spec, 0.5).Digest(); d == base {
+	if d := s3.cellKey("matrix", core.DesignDuplexity, spec, 0.5, "").Digest(); d == base {
 		t.Error("seed change did not change digest")
 	}
 	edited := workload.McRouter()
 	edited.Phases = edited.Phases[:1] // same name, different definition
-	if d := s.cellKey("matrix", core.DesignDuplexity, edited, 0.5).Digest(); d == base {
+	if d := s.cellKey("matrix", core.DesignDuplexity, edited, 0.5, "").Digest(); d == base {
 		t.Error("workload-spec edit did not change digest")
 	}
 }

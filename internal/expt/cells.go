@@ -10,6 +10,7 @@ import (
 
 	"duplexity/internal/campaign"
 	"duplexity/internal/core"
+	"duplexity/internal/idle"
 	"duplexity/internal/telemetry"
 	"duplexity/internal/workload"
 )
@@ -29,6 +30,10 @@ const (
 	// KindSlowdown is one saturated closed-loop service-time cell (the
 	// Figure 5d-e slowdown measurement).
 	KindSlowdown = "slowdown"
+	// KindEnergyProp is one energy-proportionality point: a queueing
+	// simulation under an idle governor plus the power model over the
+	// resulting C-state residency.
+	KindEnergyProp = "energyprop"
 )
 
 // CellSpec is a single simulation cell requested over the serve API.
@@ -39,9 +44,13 @@ type CellSpec struct {
 	Kind     string `json:"kind"`
 	Design   string `json:"design"`
 	Workload string `json:"workload"`
-	// Load is the offered load in (0, 0.95] for matrix cells; slowdown
-	// cells are saturated closed-loop runs and must leave it 0.
+	// Load is the offered load in (0, 0.95] for matrix and energyprop
+	// cells; slowdown cells are saturated closed-loop runs and must
+	// leave it 0.
 	Load float64 `json:"load,omitempty"`
+	// Governor names the idle governor for energyprop cells
+	// (idle.Names); other kinds must leave it empty.
+	Governor string `json:"governor,omitempty"`
 }
 
 // FieldError locates one invalid request field.
@@ -118,8 +127,22 @@ func (cs CellSpec) Validate() error {
 		if cs.Load != 0 {
 			errs = append(errs, FieldError{"load", "slowdown cells are saturated closed-loop runs; leave load 0"})
 		}
+	case KindEnergyProp:
+		if math.IsNaN(cs.Load) || cs.Load <= 0 || cs.Load > 0.95 {
+			errs = append(errs, FieldError{"load", fmt.Sprintf("energyprop cells need 0 < load <= 0.95, got %v", cs.Load)})
+		}
+		if _, ok := idle.ByName(cs.Governor); !ok {
+			errs = append(errs, FieldError{"governor", fmt.Sprintf("unknown idle governor %q (known: %s)", cs.Governor, strings.Join(idle.Names(), ", "))})
+		} else if idle.RequiresMorphing(cs.Governor) {
+			if d, ok := ParseDesign(cs.Design); ok && !d.Morphs() {
+				errs = append(errs, FieldError{"governor", fmt.Sprintf("the %s governor needs a morphing design; %s cannot run filler-threads", cs.Governor, cs.Design)})
+			}
+		}
 	default:
-		errs = append(errs, FieldError{"kind", fmt.Sprintf("unknown kind %q (known: %s, %s)", cs.Kind, KindMatrix, KindSlowdown)})
+		errs = append(errs, FieldError{"kind", fmt.Sprintf("unknown kind %q (known: %s, %s, %s)", cs.Kind, KindMatrix, KindSlowdown, KindEnergyProp)})
+	}
+	if cs.Kind != KindEnergyProp && cs.Governor != "" {
+		errs = append(errs, FieldError{"governor", "only energyprop cells take an idle governor"})
 	}
 	if _, ok := ParseDesign(cs.Design); !ok {
 		errs = append(errs, FieldError{"design", fmt.Sprintf("unknown design %q (known: %s)", cs.Design, strings.Join(KnownDesignNames(), ", "))})
@@ -147,10 +170,14 @@ type ServedResult struct {
 	// when this request simulated it, or received a coalesced result
 	// from a concurrent identical request's simulation).
 	Cached bool `json:"cached"`
-	// Cell is the matrix-cell payload (nil for slowdown cells).
+	// Governor echoes the requested idle governor (energyprop only).
+	Governor string `json:"governor,omitempty"`
+	// Cell is the matrix-cell payload (nil for other kinds).
 	Cell *CellReport `json:"cell,omitempty"`
-	// CyclesPerReq is the slowdown-cell payload (0 for matrix cells).
+	// CyclesPerReq is the slowdown-cell payload (0 for other kinds).
 	CyclesPerReq float64 `json:"cycles_per_req,omitempty"`
+	// Energy is the energyprop-cell payload (nil for other kinds).
+	Energy *EnergyCellReport `json:"energy,omitempty"`
 	// Raw is the cache-entry-level form this result decoded from. It is
 	// what a fleet worker ships to its coordinator (the serve layer's
 	// /v1/exec endpoint returns it); excluded from client-facing JSON.
@@ -188,7 +215,7 @@ func (s *Suite) ServedKey(cs CellSpec) (campaign.Key, error) {
 	}
 	design, _ := ParseDesign(cs.Design)
 	spec := workloadByName(cs.Workload)
-	return s.cellKey(cs.Kind, design, spec, cs.Load), nil
+	return s.cellKey(cs.Kind, design, spec, cs.Load, cs.Governor), nil
 }
 
 // RunServedRaw resolves one validated cell through the campaign engine
@@ -219,7 +246,7 @@ func (s *Suite) RunServedRawDeadline(cs CellSpec, tr *telemetry.CellTrace, deadl
 	}
 	design, _ := ParseDesign(cs.Design)
 	spec := workloadByName(cs.Workload)
-	key := s.cellKey(cs.Kind, design, spec, cs.Load)
+	key := s.cellKey(cs.Kind, design, spec, cs.Load, cs.Governor)
 
 	var run func() (json.RawMessage, error)
 	switch cs.Kind {
@@ -238,6 +265,14 @@ func (s *Suite) RunServedRawDeadline(cs CellSpec, tr *telemetry.CellTrace, deadl
 				return nil, err
 			}
 			return json.Marshal(v)
+		}
+	case KindEnergyProp:
+		run = func() (json.RawMessage, error) {
+			c, err := s.runEnergyCell(design, spec, cs.Governor, cs.Load)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(c)
 		}
 	}
 	ent, cached, err := s.eng.DoRawDeadline(key, run, tr, deadline)
@@ -277,7 +312,7 @@ func (s *Suite) RunServedDeadline(cs CellSpec, tr *telemetry.CellTrace, deadline
 	}
 	out := ServedResult{
 		Kind: cs.Kind, Design: cs.Design, Workload: cs.Workload, Load: cs.Load,
-		Digest: raw.Digest, Cached: raw.Cached, Raw: &raw,
+		Governor: cs.Governor, Digest: raw.Digest, Cached: raw.Cached, Raw: &raw,
 	}
 	switch cs.Kind {
 	case KindMatrix:
@@ -304,6 +339,12 @@ func (s *Suite) RunServedDeadline(cs CellSpec, tr *telemetry.CellTrace, deadline
 			return ServedResult{}, fmt.Errorf("expt: decoding slowdown cell %s: %w", raw.Digest[:12], err)
 		}
 		out.CyclesPerReq = v
+	case KindEnergyProp:
+		var c energyCell
+		if err := json.Unmarshal(raw.Result, &c); err != nil {
+			return ServedResult{}, fmt.Errorf("expt: decoding energyprop cell %s: %w", raw.Digest[:12], err)
+		}
+		out.Energy = c.report()
 	}
 	return out, nil
 }
@@ -313,19 +354,21 @@ func (s *Suite) RunServedDeadline(cs CellSpec, tr *telemetry.CellTrace, deadline
 // campaign, mirroring the experiment families the duplexity CLI
 // validates up front.
 const (
-	CampaignMatrix    = "matrix"
-	CampaignFig5      = "fig5"
-	CampaignSlowdowns = "slowdowns"
+	CampaignMatrix     = "matrix"
+	CampaignFig5       = "fig5"
+	CampaignSlowdowns  = "slowdowns"
+	CampaignEnergyProp = "energyprop"
 )
 
 // CampaignSpec is a batch submission: a cell family crossed over design
-// × workload (× load for matrix kinds). Empty lists default to the full
-// paper campaign for that axis.
+// × workload (× load for matrix kinds, × governor for energyprop).
+// Empty lists default to the full paper campaign for that axis.
 type CampaignSpec struct {
 	Kind      string    `json:"kind"`
 	Designs   []string  `json:"designs,omitempty"`
 	Workloads []string  `json:"workloads,omitempty"`
 	Loads     []float64 `json:"loads,omitempty"`
+	Governors []string  `json:"governors,omitempty"`
 }
 
 // Expand validates a campaign submission and enumerates its cells in
@@ -343,13 +386,24 @@ func (c CampaignSpec) Expand() ([]CellSpec, error) {
 		if len(c.Loads) > 0 {
 			errs = append(errs, FieldError{"loads", "slowdown campaigns are closed-loop; leave loads empty"})
 		}
+	case CampaignEnergyProp:
+		cellKind = KindEnergyProp
 	default:
-		errs = append(errs, FieldError{"kind", fmt.Sprintf("unknown campaign kind %q (known: %s, %s, %s)",
-			c.Kind, CampaignMatrix, CampaignFig5, CampaignSlowdowns)})
+		errs = append(errs, FieldError{"kind", fmt.Sprintf("unknown campaign kind %q (known: %s, %s, %s, %s)",
+			c.Kind, CampaignMatrix, CampaignFig5, CampaignSlowdowns, CampaignEnergyProp)})
+	}
+	if cellKind != KindEnergyProp && len(c.Governors) > 0 {
+		errs = append(errs, FieldError{"governors", "only energyprop campaigns take idle governors"})
 	}
 	designs := c.Designs
 	if len(designs) == 0 {
-		designs = KnownDesignNames()
+		if cellKind == KindEnergyProp {
+			// The canonical proportionality story: the baseline OoO core
+			// under sleep states vs Duplexity filling idle.
+			designs = []string{core.DesignBaseline.String(), core.DesignDuplexity.String()}
+		} else {
+			designs = KnownDesignNames()
+		}
 	}
 	for _, d := range designs {
 		if _, ok := ParseDesign(d); !ok {
@@ -366,17 +420,34 @@ func (c CampaignSpec) Expand() ([]CellSpec, error) {
 		}
 	}
 	loads := c.Loads
-	if cellKind == KindMatrix {
+	switch cellKind {
+	case KindMatrix, KindEnergyProp:
 		if len(loads) == 0 {
-			loads = append([]float64(nil), Loads...)
+			if cellKind == KindEnergyProp {
+				loads = append([]float64(nil), EnergyLoads...)
+			} else {
+				loads = append([]float64(nil), Loads...)
+			}
 		}
 		for _, l := range loads {
 			if math.IsNaN(l) || l <= 0 || l > 0.95 {
-				errs = append(errs, FieldError{"loads", fmt.Sprintf("matrix loads need 0 < load <= 0.95, got %v", l)})
+				errs = append(errs, FieldError{"loads", fmt.Sprintf("%s loads need 0 < load <= 0.95, got %v", cellKind, l)})
 			}
 		}
-	} else {
+	default:
 		loads = []float64{0}
+	}
+	governors := []string{""}
+	if cellKind == KindEnergyProp {
+		governors = c.Governors
+		if len(governors) == 0 {
+			governors = []string{idle.GovShallow, idle.GovDeep, idle.GovAgile, idle.GovFill}
+		}
+		for _, g := range governors {
+			if _, ok := idle.ByName(g); !ok {
+				errs = append(errs, FieldError{"governors", fmt.Sprintf("unknown idle governor %q (known: %s)", g, strings.Join(idle.Names(), ", "))})
+			}
+		}
 	}
 	if len(errs) > 0 {
 		// Report each field once even when several values are bad.
@@ -387,9 +458,24 @@ func (c CampaignSpec) Expand() ([]CellSpec, error) {
 	for _, d := range designs {
 		for _, w := range workloads {
 			for _, l := range loads {
-				cells = append(cells, CellSpec{Kind: cellKind, Design: d, Workload: w, Load: l})
+				for _, g := range governors {
+					// The fill governor needs a morphing design; the
+					// cross-product silently drops invalid pairings so
+					// "Baseline+Duplexity × all governors" expands to the
+					// meaningful cells instead of erroring.
+					if g != "" && idle.RequiresMorphing(g) {
+						if dd, ok := ParseDesign(d); ok && !dd.Morphs() {
+							continue
+						}
+					}
+					cells = append(cells, CellSpec{Kind: cellKind, Design: d, Workload: w, Load: l, Governor: g})
+				}
 			}
 		}
+	}
+	if len(cells) == 0 {
+		return nil, &ValidationError{Fields: []FieldError{{"governors",
+			"no valid (design, governor) pairings: the fill governor needs a morphing design"}}}
 	}
 	return cells, nil
 }

@@ -100,7 +100,7 @@ func TestCampaignSpecExpand(t *testing.T) {
 func TestServedKeyMatchesCLI(t *testing.T) {
 	s := NewSuite(Options{Scale: 0.02, Seed: 3})
 	spec := workload.Microservices()[1]
-	cli := s.cellKey("matrix", core.DesignDuplexity, spec, 0.5)
+	cli := s.cellKey("matrix", core.DesignDuplexity, spec, 0.5, "")
 	served, err := s.ServedKey(CellSpec{Kind: KindMatrix, Design: "Duplexity", Workload: spec.Name, Load: 0.5})
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +128,7 @@ func TestRunServedMatchesCLIEntry(t *testing.T) {
 	if cli.Err() != nil {
 		t.Fatal(cli.Err())
 	}
-	key := cli.cellKey("matrix", core.DesignBaseline, spec, load)
+	key := cli.cellKey("matrix", core.DesignBaseline, spec, load, "")
 	if _, err := campaign.Run(cli.eng, []campaign.Task[cell]{{
 		Key: key,
 		Run: func() (cell, error) { return cli.runCell(core.DesignBaseline, spec, load) },

@@ -8,6 +8,7 @@ package expt
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"duplexity/internal/campaign"
 	"duplexity/internal/core"
@@ -160,6 +161,16 @@ type Suite struct {
 	serviceBase  map[string]float64
 	slowdownsRun bool
 	slowdownsErr error
+
+	energy    []energyCell
+	energyRun bool
+	energyErr error
+
+	// rawSlow memoizes closed-loop cycles-per-request for the served
+	// energyprop path, which (unlike the figure methods) runs cells
+	// concurrently and so needs the mutex.
+	slowMu  sync.Mutex
+	rawSlow map[slowKey]float64
 }
 
 // NewSuite builds a harness with the given fidelity options. An engine

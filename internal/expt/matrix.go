@@ -39,13 +39,16 @@ type slowKey struct {
 // cellKey content-addresses one campaign cell: everything that can
 // change the cell's result is in the key, so the on-disk cache is
 // invalidated exactly when it must be (see campaign.Key).
-func (s *Suite) cellKey(kind string, design core.Design, spec *workload.Spec, load float64) campaign.Key {
+// governor is empty for every pre-idle-model cell kind, which keeps
+// those digests — and therefore warm caches — byte-identical.
+func (s *Suite) cellKey(kind string, design core.Design, spec *workload.Spec, load float64, governor string) campaign.Key {
 	return campaign.Key{
 		Kind:     kind,
 		Model:    core.ModelVersion,
 		Design:   design.String(),
 		Workload: spec.Name,
 		Spec:     campaign.DigestOf(*spec),
+		Governor: governor,
 		Load:     load,
 		Scale:    s.opts.Scale,
 		Seed:     s.opts.Seed,
@@ -138,7 +141,7 @@ func (s *Suite) matrixTasks() []campaign.Task[cell] {
 			for _, load := range Loads {
 				design, spec, load := design, spec, load
 				tasks = append(tasks, campaign.Task[cell]{
-					Key: s.cellKey("matrix", design, spec, load),
+					Key: s.cellKey("matrix", design, spec, load, ""),
 					Run: func() (cell, error) { return s.runCell(design, spec, load) },
 				})
 			}
@@ -212,7 +215,7 @@ func (s *Suite) Slowdowns() (map[slowKey]float64, error) {
 		for _, design := range core.AllDesigns {
 			design, spec := design, spec
 			tasks = append(tasks, campaign.Task[float64]{
-				Key: s.cellKey("slowdown", design, spec, 0),
+				Key: s.cellKey("slowdown", design, spec, 0, ""),
 				Run: func() (float64, error) { return s.measureSlowdown(design, spec) },
 			})
 		}
@@ -231,6 +234,18 @@ func (s *Suite) Slowdowns() (map[slowKey]float64, error) {
 	}
 	s.slowdowns = make(map[slowKey]float64)
 	s.serviceBase = make(map[string]float64)
+	// Seed the concurrent-safe raw memo too, so energyprop cells reuse
+	// these campaign-cached measurements instead of re-simulating.
+	s.slowMu.Lock()
+	if s.rawSlow == nil {
+		s.rawSlow = make(map[slowKey]float64)
+	}
+	for si, spec := range specs {
+		for di, design := range core.AllDesigns {
+			s.rawSlow[slowKey{design, spec.Name}] = svc[si*len(core.AllDesigns)+di]
+		}
+	}
+	s.slowMu.Unlock()
 	for si, spec := range specs {
 		base := svc[si*len(core.AllDesigns)+baseIdx]
 		s.serviceBase[spec.Name] = base

@@ -1,0 +1,272 @@
+// Package idle models CPU core idle states (C-states) and the governors
+// that choose between them — the competing approach to Duplexity for
+// harvesting killer-microsecond idle periods. Where Duplexity fills a
+// server-idle gap with borrowed filler-threads at full power, a
+// conventional latency-sensitive server parks the core in a sleep state
+// and pays the state's exit latency on the next request.
+//
+// The state catalogue is grounded in the AgileWatts and AgilePkgC
+// proposals (PAPERS.md): a shallow halt state (C1) with ~µs exit, a deep
+// power-gated state (C6) whose tens-of-µs entry/exit latencies are
+// exactly the "core parking fattens the tail" penalty the paper argues
+// against, and an AgileWatts-style agile-deep state (C6A) that keeps
+// near-C6 residency power but exits in hundreds of nanoseconds by
+// retaining clocks/PLLs and using medium-grain power gates.
+//
+// The package is a pure model: internal/queueing drives an Accountant
+// over the simulated idle intervals, and internal/power converts the
+// resulting residency Summary into load-dependent chip power.
+package idle
+
+import "fmt"
+
+// CState is one idle state of the model.
+type CState struct {
+	// Name identifies the state in summaries ("C1", "C6", ...).
+	Name string `json:"name"`
+	// EntryUs and ExitUs are the transition latencies in µs. Entry is
+	// spent inside the idle interval (at full power, flushing state and
+	// draining clocks); exit is charged onto the next request's latency.
+	EntryUs float64 `json:"entry_us"`
+	ExitUs  float64 `json:"exit_us"`
+	// PowerFrac is the fraction of active static (leakage) power the
+	// core keeps while resident in the state.
+	PowerFrac float64 `json:"power_frac"`
+	// FillIPC marks a Duplexity-style fill pseudo-state: instead of
+	// sleeping, the core morphs and runs filler-threads at this
+	// aggregate IPC for the whole interval (PowerFrac stays 1; the
+	// "idle" time buys batch throughput rather than saving power).
+	FillIPC float64 `json:"fill_ipc,omitempty"`
+}
+
+// TargetResidencyUs is the break-even residency: the interval length
+// above which entering the state saves static energy despite the
+// entry+exit time spent at full power. States that save no power
+// (PowerFrac >= 1) have no break-even and return 0.
+func (c CState) TargetResidencyUs() float64 {
+	if c.PowerFrac >= 1 {
+		return 0
+	}
+	return (c.EntryUs + c.ExitUs) / (1 - c.PowerFrac)
+}
+
+// The state catalogue. Latencies and residency powers follow the
+// AgileWatts/AgilePkgC characterization of server parts: C1 halts the
+// clock but keeps the core powered; C6 power-gates the core (state
+// flushed to the LLC, µs-to-tens-of-µs transitions); C6A is the
+// AgileWatts agile variant (near-C6 power, sub-µs transitions); C0Fill
+// is Duplexity's alternative — morph in ~20 cycles, run fillers at full
+// power, restart the master in ~50 cycles (core.DuplexityRestartLat at
+// the 3.25 GHz master clock ≈ 0.015µs).
+var (
+	C1     = CState{Name: "C1", EntryUs: 0.2, ExitUs: 1.0, PowerFrac: 0.55}
+	C6     = CState{Name: "C6", EntryUs: 20, ExitUs: 40, PowerFrac: 0.05}
+	C6A    = CState{Name: "C6A", EntryUs: 0.1, ExitUs: 0.2, PowerFrac: 0.12}
+	C0Fill = CState{Name: "C0-fill", EntryUs: 0.006, ExitUs: 0.016, PowerFrac: 1, FillIPC: 2.0}
+)
+
+// Governor chooses a C-state for each idle interval as it begins. A
+// governor must be deterministic: the same call sequence yields the
+// same picks, so simulations stay bit-identical at any worker count.
+type Governor interface {
+	Name() string
+	// Pick returns the state to enter for an idle interval beginning
+	// now. prevIdleUs is the previous idle interval's length in µs (0
+	// before the first interval) — the only prediction signal a real
+	// governor has at idle entry.
+	Pick(prevIdleUs float64) CState
+}
+
+// Governor names accepted at API boundaries.
+const (
+	GovShallow  = "shallow"
+	GovDeep     = "deep"
+	GovAgile    = "agile"
+	GovAdaptive = "adaptive"
+	GovFill     = "fill"
+)
+
+type fixedGov struct {
+	name  string
+	state CState
+}
+
+func (g fixedGov) Name() string        { return g.name }
+func (g fixedGov) Pick(float64) CState { return g.state }
+
+// adaptiveGov is a menu-style last-interval predictor: go deep only
+// when the previous idle interval exceeded C6's break-even residency.
+type adaptiveGov struct{}
+
+func (adaptiveGov) Name() string { return GovAdaptive }
+func (adaptiveGov) Pick(prevIdleUs float64) CState {
+	if prevIdleUs >= C6.TargetResidencyUs() {
+		return C6
+	}
+	return C1
+}
+
+// governors lists every governor in canonical order; the index of a
+// name in this list is its stable identity for seed derivation.
+var governors = []Governor{
+	fixedGov{GovShallow, C1},
+	fixedGov{GovDeep, C6},
+	fixedGov{GovAgile, C6A},
+	adaptiveGov{},
+	fixedGov{GovFill, C0Fill},
+}
+
+// Governors returns the governor catalogue in canonical order:
+// always-shallow (C1), fixed-deep core parking (C6), AgileWatts-style
+// agile deep (C6A), adaptive (menu-lite C1/C6), and Duplexity fill.
+func Governors() []Governor { return append([]Governor(nil), governors...) }
+
+// Names lists the governor names in canonical order.
+func Names() []string {
+	names := make([]string, len(governors))
+	for i, g := range governors {
+		names[i] = g.Name()
+	}
+	return names
+}
+
+// ByName resolves a governor name.
+func ByName(name string) (Governor, bool) {
+	for _, g := range governors {
+		if g.Name() == name {
+			return g, true
+		}
+	}
+	return nil, false
+}
+
+// IndexOf returns a name's canonical index (stable across runs, used
+// for per-cell seed derivation), or -1 when unknown.
+func IndexOf(name string) int {
+	for i, g := range governors {
+		if g.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RequiresMorphing reports whether the governor only makes sense on a
+// design that can morph into filler mode (the fill pseudo-state).
+func RequiresMorphing(name string) bool { return name == GovFill }
+
+// StateResidency is one C-state's accumulated accounting over a
+// simulation. PowerFrac and FillIPC are copied from the state so power
+// consumers need no access to the governor or the catalogue.
+type StateResidency struct {
+	Name      string  `json:"name"`
+	PowerFrac float64 `json:"power_frac"`
+	FillIPC   float64 `json:"fill_ipc,omitempty"`
+	// ResidencyUs is time fully resident in the state (entry complete,
+	// reduced power); TransitionUs is entry time plus aborted-entry
+	// time, spent at full power inside idle intervals.
+	ResidencyUs  float64 `json:"residency_us"`
+	TransitionUs float64 `json:"transition_us"`
+	// Entries counts completed entries; Aborted counts intervals too
+	// short to finish the entry sequence.
+	Entries uint64 `json:"entries"`
+	Aborted uint64 `json:"aborted"`
+	// WakeUs is the total exit latency charged onto requests that
+	// arrived while the core was in (or entering) this state.
+	WakeUs float64 `json:"wake_us"`
+}
+
+// Summary is the per-governor idle accounting of one simulation. The
+// invariant IdleUs == Σ states (ResidencyUs + TransitionUs) holds
+// exactly: every idle microsecond is attributed to exactly one state.
+type Summary struct {
+	Governor  string           `json:"governor"`
+	IdleUs    float64          `json:"idle_us"`
+	Intervals uint64           `json:"intervals"`
+	WakeUs    float64          `json:"wake_us"`
+	States    []StateResidency `json:"states"`
+}
+
+// Accountant classifies a simulation's idle intervals through a
+// governor and accumulates per-state residency. Not safe for
+// concurrent use; simulations own one each.
+type Accountant struct {
+	gov        Governor
+	prevIdleUs float64
+	idx        map[string]int
+	states     []StateResidency
+	intervals  uint64
+	idleUs     float64
+	wakeUs     float64
+}
+
+// NewAccountant builds an accountant over the given governor.
+func NewAccountant(gov Governor) *Accountant {
+	return &Accountant{gov: gov, idx: make(map[string]int)}
+}
+
+// Idle classifies one idle interval of gapUs microseconds and returns
+// the wake latency (µs) to charge onto the request that ends it, plus
+// the chosen state's index in Summary().States. Intervals shorter than
+// the state's entry latency are aborted entries: the wake must first
+// complete the remaining entry sequence, then pay the full exit.
+func (a *Accountant) Idle(gapUs float64) (wakeUs float64, state int) {
+	if gapUs <= 0 {
+		return 0, -1
+	}
+	st := a.gov.Pick(a.prevIdleUs)
+	a.prevIdleUs = gapUs
+	i, ok := a.idx[st.Name]
+	if !ok {
+		i = len(a.states)
+		a.idx[st.Name] = i
+		a.states = append(a.states, StateResidency{
+			Name: st.Name, PowerFrac: st.PowerFrac, FillIPC: st.FillIPC,
+		})
+	}
+	r := &a.states[i]
+	a.intervals++
+	a.idleUs += gapUs
+	if gapUs < st.EntryUs {
+		r.TransitionUs += gapUs
+		r.Aborted++
+		wakeUs = (st.EntryUs - gapUs) + st.ExitUs
+	} else {
+		r.TransitionUs += st.EntryUs
+		r.ResidencyUs += gapUs - st.EntryUs
+		r.Entries++
+		wakeUs = st.ExitUs
+	}
+	r.WakeUs += wakeUs
+	a.wakeUs += wakeUs
+	return wakeUs, i
+}
+
+// Summary snapshots the accumulated accounting. States appear in
+// first-entered order, which is deterministic for deterministic
+// governors.
+func (a *Accountant) Summary() *Summary {
+	return &Summary{
+		Governor:  a.gov.Name(),
+		IdleUs:    a.idleUs,
+		Intervals: a.intervals,
+		WakeUs:    a.wakeUs,
+		States:    append([]StateResidency(nil), a.states...),
+	}
+}
+
+// Validate reports an inconsistent summary (used by power before
+// trusting residency to compute energy).
+func (s *Summary) Validate() error {
+	var sum float64
+	for _, st := range s.States {
+		if st.PowerFrac < 0 || st.PowerFrac > 1 {
+			return fmt.Errorf("idle: state %s power fraction %v outside [0,1]", st.Name, st.PowerFrac)
+		}
+		sum += st.ResidencyUs + st.TransitionUs
+	}
+	if diff := sum - s.IdleUs; diff > 1e-6*(1+s.IdleUs) || diff < -1e-6*(1+s.IdleUs) {
+		return fmt.Errorf("idle: states account for %v µs of %v µs idle", sum, s.IdleUs)
+	}
+	return nil
+}

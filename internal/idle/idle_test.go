@@ -1,0 +1,166 @@
+package idle
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTargetResidency(t *testing.T) {
+	// Break-even: (entry+exit)/(1-powerFrac). C6: 60/0.95 ≈ 63.2µs —
+	// deep idle only pays off for long intervals, the core of the
+	// paper's argument against core parking at µs scale.
+	want := (C6.EntryUs + C6.ExitUs) / (1 - C6.PowerFrac)
+	if got := C6.TargetResidencyUs(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("C6 target residency %v, want %v", got, want)
+	}
+	if C6.TargetResidencyUs() < 60 {
+		t.Fatalf("C6 break-even %vµs implausibly short", C6.TargetResidencyUs())
+	}
+	// The agile state's break-even must sit at sub-µs scale — that is
+	// the whole AgileWatts point.
+	if tr := C6A.TargetResidencyUs(); tr > 1 {
+		t.Fatalf("C6A break-even %vµs not sub-µs", tr)
+	}
+	// Fill never saves power, so it has no break-even.
+	if C0Fill.TargetResidencyUs() != 0 {
+		t.Fatal("fill state should have zero target residency")
+	}
+}
+
+func TestCatalogueOrdering(t *testing.T) {
+	// Deeper states: slower transitions, lower residency power.
+	if !(C1.ExitUs < C6.ExitUs && C1.PowerFrac > C6.PowerFrac) {
+		t.Fatal("C1/C6 ordering violated")
+	}
+	// The agile state keeps near-deep power at shallow-like latency.
+	if !(C6A.ExitUs < C1.ExitUs && C6A.PowerFrac < C1.PowerFrac) {
+		t.Fatal("C6A must beat C1 on both axes")
+	}
+	if C6A.PowerFrac > 3*C6.PowerFrac {
+		t.Fatal("C6A residency power not near C6")
+	}
+}
+
+func TestGovernorRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("governor catalogue has %d entries, want 5", len(names))
+	}
+	for i, n := range names {
+		g, ok := ByName(n)
+		if !ok || g.Name() != n {
+			t.Fatalf("ByName(%q) failed", n)
+		}
+		if IndexOf(n) != i {
+			t.Fatalf("IndexOf(%q) = %d, want %d", n, IndexOf(n), i)
+		}
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Fatal("unknown governor resolved")
+	}
+	if IndexOf("nonesuch") != -1 {
+		t.Fatal("unknown governor has an index")
+	}
+	if !RequiresMorphing(GovFill) || RequiresMorphing(GovDeep) {
+		t.Fatal("RequiresMorphing wrong")
+	}
+}
+
+func TestAdaptiveGovernor(t *testing.T) {
+	g, _ := ByName(GovAdaptive)
+	if st := g.Pick(0); st.Name != C1.Name {
+		t.Fatalf("first interval should stay shallow, got %s", st.Name)
+	}
+	if st := g.Pick(C6.TargetResidencyUs() + 1); st.Name != C6.Name {
+		t.Fatal("long previous interval should pick deep")
+	}
+	if st := g.Pick(1); st.Name != C1.Name {
+		t.Fatal("short previous interval should pick shallow")
+	}
+}
+
+func TestAccountantResidency(t *testing.T) {
+	g, _ := ByName(GovDeep)
+	a := NewAccountant(g)
+	// Interval long enough to complete entry: residency = gap - entry.
+	wake, idx := a.Idle(100)
+	if wake != C6.ExitUs || idx != 0 {
+		t.Fatalf("wake %v idx %d, want %v 0", wake, idx, C6.ExitUs)
+	}
+	// Aborted entry: gap shorter than entry latency; wake pays the
+	// remaining entry plus the full exit.
+	wake, _ = a.Idle(5)
+	wantWake := (C6.EntryUs - 5) + C6.ExitUs
+	if math.Abs(wake-wantWake) > 1e-12 {
+		t.Fatalf("aborted wake %v, want %v", wake, wantWake)
+	}
+	// Zero/negative gaps are ignored.
+	if w, i := a.Idle(0); w != 0 || i != -1 {
+		t.Fatal("zero gap accounted")
+	}
+	s := a.Summary()
+	if s.Governor != GovDeep || s.Intervals != 2 {
+		t.Fatalf("summary header wrong: %+v", s)
+	}
+	if len(s.States) != 1 {
+		t.Fatalf("expected one state, got %d", len(s.States))
+	}
+	st := s.States[0]
+	if st.Entries != 1 || st.Aborted != 1 {
+		t.Fatalf("entries/aborts wrong: %+v", st)
+	}
+	if math.Abs(st.ResidencyUs-(100-C6.EntryUs)) > 1e-12 {
+		t.Fatalf("residency %v, want %v", st.ResidencyUs, 100-C6.EntryUs)
+	}
+	if math.Abs(st.TransitionUs-(C6.EntryUs+5)) > 1e-12 {
+		t.Fatalf("transition %v, want %v", st.TransitionUs, C6.EntryUs+5)
+	}
+	if math.Abs(s.IdleUs-105) > 1e-12 {
+		t.Fatalf("idle total %v, want 105", s.IdleUs)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccountantMultiState(t *testing.T) {
+	g, _ := ByName(GovAdaptive)
+	a := NewAccountant(g)
+	a.Idle(10)  // prev 0 → C1
+	a.Idle(200) // prev 10 → C1
+	a.Idle(50)  // prev 200 > C6 break-even → C6
+	s := a.Summary()
+	if len(s.States) != 2 {
+		t.Fatalf("expected C1+C6, got %d states", len(s.States))
+	}
+	if s.States[0].Name != C1.Name || s.States[1].Name != C6.Name {
+		t.Fatalf("state order not first-entered: %+v", s.States)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every idle µs attributed exactly once.
+	var sum float64
+	for _, st := range s.States {
+		sum += st.ResidencyUs + st.TransitionUs
+	}
+	if math.Abs(sum-260) > 1e-9 {
+		t.Fatalf("attribution %v, want 260", sum)
+	}
+}
+
+func TestSummaryValidateCatchesCorruption(t *testing.T) {
+	g, _ := ByName(GovShallow)
+	a := NewAccountant(g)
+	a.Idle(100)
+	s := a.Summary()
+	s.IdleUs += 50
+	if err := s.Validate(); err == nil {
+		t.Fatal("inflated idle total accepted")
+	}
+	s2 := a.Summary()
+	s2.States[0].PowerFrac = 1.5
+	if err := s2.Validate(); err == nil {
+		t.Fatal("power fraction > 1 accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"duplexity/internal/core"
+	"duplexity/internal/idle"
+)
+
+// Golden chip-power values per design, computed by hand from the
+// per-structure area literals and the energy-per-instruction constants.
+// These pin the flat (no idle summary) model: any drift here would
+// silently re-price every published energy number.
+func TestChipPowerGolden(t *testing.T) {
+	// 3M OoO + 6M InO instructions over 1ms:
+	// dynamic = (3e6·0.45 + 6e6·0.16) nJ / 1ms = 2.31 W exactly.
+	act := Activity{Seconds: 1e-3, OoOInstrs: 3_000_000, InOInstrs: 6_000_000}
+	const dyn = 2.31
+	cases := []struct {
+		design core.Design
+		chip   float64 // core + lender (5.50) + 2MB LLC (7.80), mm²
+	}{
+		{core.DesignBaseline, 25.40},
+		{core.DesignSMT, 25.50},
+		{core.DesignSMTPlus, 25.50},
+		{core.DesignMorphCore, 25.70},
+		{core.DesignMorphCorePlus, 25.70},
+		{core.DesignDuplexity, 26.00},
+		{core.DesignDuplexityRepl, 29.78},
+	}
+	for _, c := range cases {
+		want := c.chip*leakWPerMM + dyn
+		got, err := ChipPowerW(c.design, act)
+		if err != nil {
+			t.Fatalf("%v: %v", c.design, err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%v: chip power %v W, want %v", c.design, got, want)
+		}
+	}
+	// Derived metrics off the same activity, Baseline: 9M instrs at 9 GIPS.
+	epi, err := EnergyPerInstrNJ(core.DesignBaseline, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (25.40*leakWPerMM + dyn) / 9.0; math.Abs(epi-want) > 1e-12 {
+		t.Errorf("energy/instr %v nJ, want %v", epi, want)
+	}
+	pd, err := PerfDensity(core.DesignBaseline, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 9e9 / 25.40; math.Abs(pd-want)/want > 1e-12 {
+		t.Errorf("perf density %v, want %v", pd, want)
+	}
+}
+
+// With an idle summary attached, leakage is residency-weighted: active
+// time and transitions at full power, residency at the state's
+// PowerFrac. The weights are exact, so the test pins them exactly.
+func TestChipPowerIdleWeighted(t *testing.T) {
+	sum := &idle.Summary{
+		Governor: idle.GovDeep, IdleUs: 500, Intervals: 10,
+		States: []idle.StateResidency{
+			{Name: "C6", PowerFrac: 0.05, ResidencyUs: 400, TransitionUs: 100, Entries: 10},
+		},
+	}
+	act := Activity{Seconds: 1e-3, OoOInstrs: 1_000_000, Idle: sum}
+	// 1000µs interval: 500 active + 100 transition at full power, 400
+	// resident at 5% → weight (500 + 100 + 20)/1000 = 0.62.
+	const dyn = 1_000_000 * 0.45 * 1e-9 / 1e-3 // 0.45 W
+	want := ChipArea(core.DesignBaseline)*leakWPerMM*0.62 + dyn
+	got, err := ChipPowerW(core.DesignBaseline, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("idle-weighted power %v W, want %v", got, want)
+	}
+	flat, err := ChipPowerW(core.DesignBaseline, Activity{Seconds: 1e-3, OoOInstrs: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= flat {
+		t.Fatalf("idle residency did not lower power: %v vs flat %v", got, flat)
+	}
+}
+
+func TestIdlePowerW(t *testing.T) {
+	full := ChipArea(core.DesignBaseline) * leakWPerMM
+	// No summary (or no idle time): the conservative flat answer.
+	if got, err := IdlePowerW(core.DesignBaseline, nil); err != nil || got != full {
+		t.Fatalf("nil summary: %v W (err %v), want %v", got, err, full)
+	}
+	// Pure residency in C6: 5% of full leakage.
+	pure := &idle.Summary{Governor: idle.GovDeep, IdleUs: 500, States: []idle.StateResidency{
+		{Name: "C6", PowerFrac: 0.05, ResidencyUs: 500},
+	}}
+	got, err := IdlePowerW(core.DesignBaseline, pure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := full * 0.05; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("pure C6 residency: %v W, want %v", got, want)
+	}
+	// All transition time (aborted entries): no savings at all.
+	churn := &idle.Summary{Governor: idle.GovDeep, IdleUs: 500, States: []idle.StateResidency{
+		{Name: "C6", PowerFrac: 0.05, TransitionUs: 500, Aborted: 50},
+	}}
+	got, err = IdlePowerW(core.DesignBaseline, churn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-full) > 1e-12 {
+		t.Fatalf("transition-only idle: %v W, want full %v", got, full)
+	}
+	// An inconsistent summary must be rejected, not silently priced.
+	bad := &idle.Summary{IdleUs: 500, States: []idle.StateResidency{
+		{Name: "C6", PowerFrac: 1.5, ResidencyUs: 500},
+	}}
+	if _, err := IdlePowerW(core.DesignBaseline, bad); err == nil {
+		t.Fatal("power fraction 1.5 accepted")
+	}
+}
+
+func TestEnergyPerRequestGolden(t *testing.T) {
+	act := Activity{Seconds: 1e-3, OoOInstrs: 3_000_000, InOInstrs: 6_000_000}
+	got, err := EnergyPerRequestUJ(core.DesignBaseline, act, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4.342 W × 1ms / 1000 requests = 4.342 µJ/request.
+	if want := 25.40*leakWPerMM + 2.31; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy/request %v µJ, want %v", got, want)
+	}
+	if _, err := EnergyPerRequestUJ(core.DesignBaseline, act, 0); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+}
+
+func TestActivityValidateIdle(t *testing.T) {
+	// Idle time exceeding the interval is impossible activity.
+	over := Activity{Seconds: 1e-3, OoOInstrs: 1, Idle: &idle.Summary{
+		IdleUs: 2000, States: []idle.StateResidency{{Name: "C1", PowerFrac: 0.55, ResidencyUs: 2000}},
+	}}
+	if err := over.Validate(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("idle > interval accepted: %v", err)
+	}
+	// States that don't account for the summary's idle total.
+	leaky := Activity{Seconds: 1e-3, OoOInstrs: 1, Idle: &idle.Summary{
+		IdleUs: 500, States: []idle.StateResidency{{Name: "C1", PowerFrac: 0.55, ResidencyUs: 100}},
+	}}
+	if err := leaky.Validate(); err == nil {
+		t.Fatal("unaccounted idle time accepted")
+	}
+	if _, err := ChipPowerW(core.DesignBaseline, leaky); err == nil {
+		t.Fatal("ChipPowerW priced an invalid summary")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"duplexity/internal/core"
+	"duplexity/internal/idle"
 )
 
 // Component is one area/power entry of the model.
@@ -128,7 +129,7 @@ func TableIIRows() []TableII {
 		{"MorphCore", CoreArea(core.DesignMorphCore), core.DesignMorphCore.FreqGHz()},
 		{"Master-core", CoreArea(core.DesignDuplexity), core.DesignDuplexity.FreqGHz()},
 		{"Master-core + replication", CoreArea(core.DesignDuplexityRepl), core.DesignDuplexityRepl.FreqGHz()},
-		{"Lender-core", LenderArea(), 3.4},
+		{"Lender-core", LenderArea(), core.LenderFreqGHz},
 		{"LLC (per MB)", AreaLLCPerMB, 0},
 	}
 }
@@ -151,6 +152,11 @@ type Activity struct {
 	OoOInstrs uint64
 	// InOInstrs retired on in-order engines (lender + filler mode).
 	InOInstrs uint64
+	// Idle, when non-nil, is the C-state residency accounting from
+	// internal/idle: static power is then residency-weighted instead of
+	// flat, making chip power load-dependent. Nil preserves the legacy
+	// flat-leakage model (and the legacy cache digests that pin it).
+	Idle *idle.Summary
 }
 
 // Validate reports impossible activity.
@@ -158,18 +164,82 @@ func (a Activity) Validate() error {
 	if a.Seconds <= 0 {
 		return fmt.Errorf("power: non-positive interval")
 	}
+	if a.Idle != nil {
+		if err := a.Idle.Validate(); err != nil {
+			return err
+		}
+		if a.Idle.IdleUs*1e-6 > a.Seconds*(1+1e-9) {
+			return fmt.Errorf("power: %v µs idle exceeds %v s interval", a.Idle.IdleUs, a.Seconds)
+		}
+	}
 	return nil
 }
 
+// staticFracSeconds returns the interval's leakage-weighted seconds: time
+// outside idle (and idle transitions) counts at full static power, and
+// each C-state's residency counts at its PowerFrac. With no idle summary
+// the whole interval is at full power — the legacy flat model.
+func (a Activity) staticFracSeconds() float64 {
+	if a.Idle == nil {
+		return a.Seconds
+	}
+	idleS, weighted := 0.0, 0.0
+	for _, st := range a.Idle.States {
+		idleS += (st.ResidencyUs + st.TransitionUs) * 1e-6
+		// Transitions burn full power; residency burns PowerFrac.
+		weighted += st.TransitionUs*1e-6 + st.ResidencyUs*1e-6*st.PowerFrac
+	}
+	active := a.Seconds - idleS
+	if active < 0 {
+		active = 0
+	}
+	return active + weighted
+}
+
 // ChipPowerW returns total power: leakage on the full evaluated unit plus
-// dynamic power from instruction activity.
+// dynamic power from instruction activity. When Activity carries a
+// C-state residency summary, leakage is weighted by per-state residency
+// power so light load yields proportionally lower static power.
 func ChipPowerW(d core.Design, act Activity) (float64, error) {
 	if err := act.Validate(); err != nil {
 		return 0, err
 	}
-	leak := ChipArea(d) * leakWPerMM
+	leak := ChipArea(d) * leakWPerMM * act.staticFracSeconds() / act.Seconds
 	dyn := (float64(act.OoOInstrs)*epiOoO + float64(act.InOInstrs)*epiInO) * 1e-9 / act.Seconds
 	return leak + dyn, nil
+}
+
+// IdlePowerW returns the average static power drawn during the summary's
+// idle time on design d — the "what does an idle core cost" axis of the
+// energy-proportionality curves. Transitions count at full leakage,
+// residency at the state's PowerFrac. Zero idle time returns full
+// leakage (the conservative answer for a core that never idles).
+func IdlePowerW(d core.Design, sum *idle.Summary) (float64, error) {
+	full := ChipArea(d) * leakWPerMM
+	if sum == nil || sum.IdleUs <= 0 {
+		return full, nil
+	}
+	if err := sum.Validate(); err != nil {
+		return 0, err
+	}
+	weighted := 0.0
+	for _, st := range sum.States {
+		weighted += st.TransitionUs + st.ResidencyUs*st.PowerFrac
+	}
+	return full * weighted / sum.IdleUs, nil
+}
+
+// EnergyPerRequestUJ converts an interval's average power into µJ per
+// served request — the headline energy-proportionality metric.
+func EnergyPerRequestUJ(d core.Design, act Activity, requests uint64) (float64, error) {
+	if requests == 0 {
+		return 0, fmt.Errorf("power: no requests served")
+	}
+	p, err := ChipPowerW(d, act)
+	if err != nil {
+		return 0, err
+	}
+	return p * act.Seconds / float64(requests) * 1e6, nil
 }
 
 // EnergyPerInstrNJ is Figure 5(c)'s metric: power divided by aggregate

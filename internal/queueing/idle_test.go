@@ -1,0 +1,174 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"duplexity/internal/idle"
+	"duplexity/internal/stats"
+)
+
+func mustGov(t *testing.T, name string) idle.Governor {
+	t.Helper()
+	g, ok := idle.ByName(name)
+	if !ok {
+		t.Fatalf("unknown governor %q", name)
+	}
+	return g
+}
+
+// Conservation invariant: every simulated microsecond is either busy
+// (service + charged wake) or inside exactly one idle interval, so
+// Utilization + IdleFraction == 1 to float tolerance — with or without
+// a governor, at any load, for any service distribution.
+func TestIdleConservation(t *testing.T) {
+	govNames := append([]string{""}, idle.Names()...)
+	dists := map[string]stats.Distribution{
+		"exp":    stats.Exponential{MeanVal: 10},
+		"lognrm": stats.Lognormal{MeanVal: 10, CV: 2},
+	}
+	for _, govName := range govNames {
+		for distName, dist := range dists {
+			for _, load := range []float64{0.1, 0.5, 0.9} {
+				cfg := Config{
+					ArrivalQPS:  load * 100_000,
+					ServiceUs:   dist,
+					MinRequests: 2000,
+					MaxRequests: 20_000,
+					Seed:        11,
+				}
+				if govName != "" {
+					cfg.IdleGov = mustGov(t, govName)
+				}
+				res, err := Simulate(cfg)
+				if err != nil {
+					t.Fatalf("gov=%q dist=%s load=%v: %v", govName, distName, load, err)
+				}
+				if gap := math.Abs(res.Utilization + res.IdleFraction - 1); gap > 1e-6 {
+					t.Errorf("gov=%q dist=%s load=%v: util %v + idle %v misses 1 by %v",
+						govName, distName, load, res.Utilization, res.IdleFraction, gap)
+				}
+				if res.SimulatedUs <= 0 || res.IdleIntervals <= 0 {
+					t.Errorf("gov=%q dist=%s load=%v: degenerate span %v / intervals %d",
+						govName, distName, load, res.SimulatedUs, res.IdleIntervals)
+				}
+				if govName == "" {
+					if res.Idle != nil || res.WakeChargedUs != 0 {
+						t.Errorf("dist=%s load=%v: idle accounting leaked into governor-free run", distName, load)
+					}
+					continue
+				}
+				sum := res.Idle
+				if sum == nil {
+					t.Fatalf("gov=%q: no idle summary", govName)
+				}
+				if err := sum.Validate(); err != nil {
+					t.Errorf("gov=%q dist=%s load=%v: %v", govName, distName, load, err)
+				}
+				if sum.Governor != govName {
+					t.Errorf("summary governor %q, want %q", sum.Governor, govName)
+				}
+				// The summary and the Result must agree on every shared total.
+				wantIdleUs := res.IdleFraction * res.SimulatedUs
+				if math.Abs(sum.IdleUs-wantIdleUs) > 1e-6*(1+wantIdleUs) {
+					t.Errorf("gov=%q: summary idle %v µs, result says %v", govName, sum.IdleUs, wantIdleUs)
+				}
+				if int(sum.Intervals) != res.IdleIntervals {
+					t.Errorf("gov=%q: summary intervals %d, result %d", govName, sum.Intervals, res.IdleIntervals)
+				}
+				if math.Abs(sum.WakeUs-res.WakeChargedUs) > 1e-9*(1+sum.WakeUs) {
+					t.Errorf("gov=%q: summary wake %v, result %v", govName, sum.WakeUs, res.WakeChargedUs)
+				}
+				if got := res.MeanIdleUs * float64(res.IdleIntervals); math.Abs(got-sum.IdleUs) > 1e-6*(1+sum.IdleUs) {
+					t.Errorf("gov=%q: mean idle %v × %d intervals = %v, want %v",
+						govName, res.MeanIdleUs, res.IdleIntervals, got, sum.IdleUs)
+				}
+			}
+		}
+	}
+}
+
+// The paper's core argument against core parking: a deep C-state saves
+// idle power but its exit latency lands on the request that ends the
+// idle interval, fattening the tail.
+func TestDeepIdleFattensTail(t *testing.T) {
+	run := func(gov string) Result {
+		cfg := Config{
+			ArrivalQPS:  50_000,
+			ServiceUs:   stats.Exponential{MeanVal: 10},
+			MinRequests: 20_000,
+			MaxRequests: 100_000,
+			Seed:        4,
+		}
+		if gov != "" {
+			cfg.IdleGov = mustGov(t, gov)
+		}
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base, shallow, deep := run(""), run(idle.GovShallow), run(idle.GovDeep)
+	// Same seed, same sample path: wake charging only ever delays, so the
+	// ordering is deterministic, and C6's 40µs exit (vs C1's 1µs) must be
+	// visible in the 99th percentile, not just the mean.
+	if !(shallow.P99Us >= base.P99Us) {
+		t.Errorf("shallow wake lowered p99: %v < %v", shallow.P99Us, base.P99Us)
+	}
+	if deep.P99Us < shallow.P99Us+10 {
+		t.Errorf("deep idle did not fatten the tail: p99 %v vs shallow %v", deep.P99Us, shallow.P99Us)
+	}
+	if deep.WakeChargedUs <= shallow.WakeChargedUs {
+		t.Errorf("deep charged %v µs wake, shallow %v", deep.WakeChargedUs, shallow.WakeChargedUs)
+	}
+	// At a 10µs mean inter-idle gap, C6 residency is mostly transition
+	// time: the conservation split must still attribute all of it.
+	for _, st := range deep.Idle.States {
+		if st.Name != "C6" {
+			t.Errorf("deep governor entered %s", st.Name)
+		}
+	}
+}
+
+// The fill pseudo-state models Duplexity: idle time is spent running
+// filler-threads at full power, with only the morph/restart latencies
+// as transition cost.
+func TestFillGovernorResidency(t *testing.T) {
+	res, err := Simulate(Config{
+		ArrivalQPS:  50_000,
+		ServiceUs:   stats.Exponential{MeanVal: 10},
+		IdleGov:     mustGov(t, idle.GovFill),
+		MinRequests: 10_000,
+		MaxRequests: 50_000,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Idle.States) != 1 || res.Idle.States[0].Name != "C0-fill" {
+		t.Fatalf("fill governor states: %+v", res.Idle.States)
+	}
+	st := res.Idle.States[0]
+	if st.FillIPC != 2.0 || st.PowerFrac != 1 {
+		t.Fatalf("fill state lost its character: IPC %v power %v", st.FillIPC, st.PowerFrac)
+	}
+	if st.ResidencyUs <= 0 {
+		t.Fatal("no harvestable fill residency at 50% load")
+	}
+	// Sub-µs morph + restart: the tail penalty must be far below C1's.
+	shallow, err := Simulate(Config{
+		ArrivalQPS:  50_000,
+		ServiceUs:   stats.Exponential{MeanVal: 10},
+		IdleGov:     mustGov(t, idle.GovShallow),
+		MinRequests: 10_000,
+		MaxRequests: 50_000,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WakeChargedUs >= shallow.WakeChargedUs {
+		t.Errorf("fill charged %v µs wake, not below shallow's %v", res.WakeChargedUs, shallow.WakeChargedUs)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"duplexity/internal/idle"
 	"duplexity/internal/stats"
 	"duplexity/internal/telemetry"
 )
@@ -44,6 +45,13 @@ type Config struct {
 	// design point is measured on real hardware.
 	AllowUnstable bool
 	Seed          uint64
+
+	// IdleGov, if non-nil, classifies every server-idle gap into a
+	// C-state (internal/idle). The chosen state's exit latency is charged
+	// onto the request that ends the gap — deep idle visibly fattens the
+	// tail — and per-state residency flows back in Result.Idle. Nil
+	// leaves the simulation bit-identical to the pre-idle-model code.
+	IdleGov idle.Governor
 
 	// Telemetry, when non-nil, receives RequestArrive/RequestComplete
 	// events tagged telemetry.SrcQueue. This simulator has no cycle clock;
@@ -105,6 +113,29 @@ type Result struct {
 	// CI criterion was met before MaxRequests.
 	Completed int
 	Converged bool
+
+	// Idle-time breakdown. The conservation invariant
+	// Utilization + IdleFraction == 1 holds to float tolerance: every
+	// simulated microsecond is either inside a busy period (service plus
+	// charged wake latency) or inside exactly one idle interval.
+	//
+	// IdleFraction is idle time over simulated time; IdleIntervals
+	// counts server-idle gaps (busy periods = IdleIntervals when the
+	// simulation starts idle, which it always does at t=0).
+	IdleFraction  float64
+	IdleIntervals int
+	// MeanIdleUs and MeanBusyUs are the mean idle-interval and
+	// busy-period lengths in µs (0 when there were none).
+	MeanIdleUs, MeanBusyUs float64
+	// WakeChargedUs is total C-state exit latency added to request
+	// latencies (0 without an idle governor).
+	WakeChargedUs float64
+	// TotalRequests includes warmup (Completed does not); SimulatedUs is
+	// the simulated span from t=0 to the last departure.
+	TotalRequests int
+	SimulatedUs   float64
+	// Idle is the per-state residency summary (nil without a governor).
+	Idle *idle.Summary
 }
 
 // Simulate runs the FCFS M/G/1 simulation to convergence.
@@ -121,16 +152,46 @@ func Simulate(cfg Config) (Result, error) {
 		clock     float64 // arrival clock
 		freeAt    float64 // when the server becomes free
 		busyTime  float64
+		idleTime  float64 // sum of server-idle gaps
+		intervals int     // count of server-idle gaps
+		wakeTotal float64 // C-state exit latency charged onto requests
 		queueArea float64 // integral of queue depth over time
 		lastEvent float64
 	)
+	var acct *idle.Accountant
+	if c.IdleGov != nil {
+		acct = idle.NewAccountant(c.IdleGov)
+	}
 	total := 0
 	for {
 		total++
 		clock += meanGap * rng.ExpFloat64()
 		start := clock
-		if freeAt > start {
+		var wake float64
+		if freeAt >= start {
 			start = freeAt
+		} else {
+			// The server sat idle from the last departure to this
+			// arrival. Always account the gap; with a governor attached,
+			// classify it into a C-state and charge the wake latency
+			// onto this request's service start.
+			gap := clock - freeAt
+			idleTime += gap
+			intervals++
+			if acct != nil {
+				w, st := acct.Idle(gap)
+				wake = w
+				wakeTotal += w
+				start = clock + wake
+				if c.Telemetry != nil {
+					c.Telemetry.Emit(telemetry.Event{Cycle: uint64(freeAt * 1e3),
+						Kind: telemetry.EvIdleEnter, Src: telemetry.SrcQueue,
+						A: uint64(st + 1), B: uint64(gap * 1e3)})
+					c.Telemetry.Emit(telemetry.Event{Cycle: uint64(clock * 1e3),
+						Kind: telemetry.EvIdleExit, Src: telemetry.SrcQueue,
+						A: uint64(st + 1), B: uint64(wake * 1e3)})
+				}
+			}
 		}
 		svc := c.ServiceUs.Sample(rng)
 		if c.ExtraUs != nil {
@@ -140,7 +201,9 @@ func Simulate(cfg Config) (Result, error) {
 			svc = 0
 		}
 		depart := start + svc
-		busyTime += svc
+		// Wake latency is busy time: the core burns full power completing
+		// the exit sequence, and the request it delays observes it.
+		busyTime += svc + wake
 		// Queue-depth integral: this request waits (start - clock).
 		queueArea += start - clock
 		freeAt = depart
@@ -160,13 +223,29 @@ func Simulate(cfg Config) (Result, error) {
 				c.LatencyHist.Observe(uint64((depart - clock) * 1e3))
 			}
 		}
-		if rec.Count() >= c.MinRequests && rec.Count()%8192 == 0 {
-			if rec.RelativeQuantileErrorBelow(0.99, 1.96, c.TargetRelErr) {
-				return c.finish(rec, busyTime, queueArea, lastEvent, true), nil
-			}
+		converged := false
+		done := total-c.Warmup >= c.MaxRequests
+		if rec.Count() >= c.MinRequests && rec.Count()%8192 == 0 &&
+			rec.RelativeQuantileErrorBelow(0.99, 1.96, c.TargetRelErr) {
+			converged, done = true, true
 		}
-		if total-c.Warmup >= c.MaxRequests {
-			return c.finish(rec, busyTime, queueArea, lastEvent, false), nil
+		if done {
+			r := c.finish(rec, busyTime, queueArea, lastEvent, converged)
+			r.IdleFraction = idleTime / lastEvent
+			r.IdleIntervals = intervals
+			if intervals > 0 {
+				r.MeanIdleUs = idleTime / float64(intervals)
+				r.MeanBusyUs = busyTime / float64(intervals)
+			} else {
+				r.MeanBusyUs = busyTime
+			}
+			r.WakeChargedUs = wakeTotal
+			r.TotalRequests = total
+			r.SimulatedUs = lastEvent
+			if acct != nil {
+				r.Idle = acct.Summary()
+			}
+			return r, nil
 		}
 	}
 }

@@ -53,6 +53,13 @@ const (
 	// (latency at least an LLC hit). A = access latency cycles,
 	// B = thread/slot.
 	EvCacheMiss
+	// EvIdleEnter: the server went idle and the governor picked a
+	// C-state. A = 1 + state index in the run's idle.Summary (0 when no
+	// idle model is attached), B = interval length in ns.
+	EvIdleEnter
+	// EvIdleExit: a request arrival ended an idle interval. A = 1 +
+	// state index as for EvIdleEnter, B = wake latency charged in ns.
+	EvIdleExit
 
 	numKinds
 )
@@ -74,6 +81,8 @@ var kindNames = [numKinds]string{
 	EvRequestDispatch: "request_dispatch",
 	EvRequestComplete: "request_complete",
 	EvCacheMiss:       "cache_miss",
+	EvIdleEnter:       "idle_enter",
+	EvIdleExit:        "idle_exit",
 }
 
 // String implements fmt.Stringer.

@@ -13,6 +13,10 @@
 # stdout tables from all three runs are byte-identical (modulo the
 # per-experiment "took" timing lines).
 #
+# It then runs the energyprop sweep once and writes BENCH_energy.json:
+# sweep throughput plus the RSC deep-idle vs Duplexity-fill envelope
+# (idle power, µJ/request, p99, tail penalty) at low/mid/high load.
+#
 # It then runs cmd/simbench twice and writes BENCH_simcore.json with a
 # stanza per configuration: "moderate" (steady load, full batch
 # population — parity territory, the event engine must simply never be
@@ -53,7 +57,7 @@
 # BENCH_SERVE_ADDR (default 127.0.0.1:8124), BENCH_SERVE_REQUESTS
 # (default 32), BENCH_FLEET_BASE_PORT (default 8141).
 # BENCH_ONLY selects sections as a comma list from
-# {campaign,simcore,serve,fleet,jobs} — e.g. BENCH_ONLY=simcore
+# {campaign,energy,simcore,serve,fleet,jobs} — e.g. BENCH_ONLY=simcore
 # refreshes BENCH_simcore.json alone. Unset runs everything. Every
 # envelope restamps git_commit (with a -dirty suffix when the tree
 # differs from HEAD) and host metadata on every run, so a stored
@@ -95,7 +99,7 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== build =="
-if should_run campaign; then
+if should_run campaign || should_run energy; then
     go build -o "$tmp/duplexity" ./cmd/duplexity
 fi
 if should_run serve || should_run fleet || should_run jobs; then
@@ -160,6 +164,60 @@ awk -v scale="$SCALE" -v workers="$WORKERS" -v envjson="$ENV_JSON" \
 echo "== $OUT =="
 cat "$OUT"
 fi # campaign
+
+# --- energy-proportionality benchmark -----------------------------------
+# BENCH_energy.json records the energyprop sweep's envelope: campaign
+# throughput over the governor-keyed cells, plus the headline
+# deep-idle-vs-Duplexity-fill comparison on RSC at low/mid/high load —
+# idle power, energy per request, p99, and the tail penalty in percent.
+# The figures record the trade the paper argues (sleep states save idle
+# power, fill preserves the tail and harvests throughput); the envelope
+# records, it does not assert — scripts/energyprop_smoke.sh is the gate.
+if should_run energy; then
+ENERGYOUT="BENCH_energy.json"
+echo "== energyprop bench =="
+t0="$(date +%s.%N)"
+"$tmp/duplexity" -scale "$SCALE" -seed 1 -workers "$WORKERS" \
+    -cachedir "$tmp/energy-cache" energyprop \
+    >"$tmp/energy.out" 2>"$tmp/energy.err"
+t1="$(date +%s.%N)"
+ENERGY_WALL="$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", b-a}')"
+eline="$(grep '^campaign:' "$tmp/energy.err" | tail -1)"
+echo "$eline"
+ENERGY_CELLS="$(sed 's/.*cells=\([0-9]*\).*/\1/' <<<"$eline")"
+
+# Columns: workload load design/governor util idle_frac avg_W idle_W
+# uJ/req batch_GIPS p99_us. One stanza per load level, deep vs fill.
+awk -v scale="$SCALE" -v workers="$WORKERS" -v envjson="$ENV_JSON" \
+    -v wall="$ENERGY_WALL" -v cells="$ENERGY_CELLS" '
+$1 == "RSC" && $3 == "Baseline/deep"  { dIdle[$2] = $7; dUj[$2] = $8; dP99[$2] = $10 }
+$1 == "RSC" && $3 == "Duplexity/fill" { fIdle[$2] = $7; fUj[$2] = $8; fGips[$2] = $9; fP99[$2] = $10 }
+END {
+    printf "{\n"
+    printf "  \"bench\": \"energyprop\",\n"
+    printf "  %s,\n", envjson
+    printf "  \"scale\": %s,\n", scale
+    printf "  \"workers\": %d,\n", workers
+    printf "  \"sweep\": {\"cells\": %d, \"wall_seconds\": %s, \"cells_per_sec\": %.3f},\n", cells, wall, cells/wall
+    printf "  \"rsc_deep_vs_fill\": {\n"
+    n = split("0.10 0.50 0.90", loads, " ")
+    for (i = 1; i <= n; i++) {
+        l = loads[i]
+        printf "    \"%s\": {\"deep\": {\"idle_w\": %s, \"uj_per_req\": %s, \"p99_us\": %s}, " \
+               "\"fill\": {\"idle_w\": %s, \"uj_per_req\": %s, \"batch_gips\": %s, \"p99_us\": %s}, " \
+               "\"deep_p99_penalty_pct\": %.1f}%s\n", \
+            l, dIdle[l], dUj[l], dP99[l], fIdle[l], fUj[l], fGips[l], fP99[l], \
+            (dP99[l] - fP99[l]) / fP99[l] * 100, (i < n ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+}' "$tmp/energy.out" >"$ENERGYOUT"
+python3 -m json.tool "$ENERGYOUT" >/dev/null \
+    || { echo "FAIL: $ENERGYOUT is not valid JSON"; exit 1; }
+
+echo "== $ENERGYOUT =="
+cat "$ENERGYOUT"
+fi # energy
 
 # --- simulator-core benchmark -------------------------------------------
 # BENCH_simcore.json reports how fast the cycle-level simulator itself

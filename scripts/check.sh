@@ -54,6 +54,11 @@ go test -race -timeout 15m ./internal/jobstore
 # raced.
 go test -race -timeout 15m ./internal/fleet
 go test -race -run 'TestE2E' -timeout 15m .
+# The energy-proportionality subsystem: queueing idle accounting, the
+# residency-weighted power model, and the governor-keyed campaign cells.
+# Named explicitly so a -run tweak above can never drop the conservation
+# invariant (utilization + idle fraction == 1) from the raced gate.
+go test -race -timeout 15m ./internal/idle ./internal/queueing ./internal/power
 # Trace propagation crosses every concurrency boundary in the system
 # (admission queue, coalesced flights, hedged dispatch, ring snapshot);
 # name the trace suites explicitly so a -run filter tweak above can
@@ -61,6 +66,16 @@ go test -race -run 'TestE2E' -timeout 15m .
 go test -race -timeout 15m \
     -run 'TestTracez|TestCoalescedFollowerTrace|TestTracingOff|TestMetricsz|TestHedgedTrace|TestE2EFleetStitched|TestDoRawTraced|TestLockedRing' \
     ./internal/serve ./internal/fleet ./internal/campaign ./internal/telemetry
+
+echo "== energyprop smoke =="
+# End-to-end: CLI energyprop determinism across worker counts, warm
+# cache replay with zero re-simulation, and the deep-idle-vs-fill
+# qualitative claim. CHECK_SKIP_SMOKE=1 skips it on loaded machines.
+if [[ "${CHECK_SKIP_SMOKE:-0}" == "1" ]]; then
+    echo "skipped (CHECK_SKIP_SMOKE=1)"
+else
+    ./scripts/energyprop_smoke.sh
+fi
 
 if [[ "${CHECK_SKIP_BENCH:-0}" == "1" ]]; then
     echo "== telemetry overhead guard skipped (CHECK_SKIP_BENCH=1) =="

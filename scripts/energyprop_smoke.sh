@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# energyprop_smoke.sh — end-to-end gate for the energy-proportionality
+# subsystem (internal/idle + the energyprop experiment family):
+#
+#   1. runs `duplexity energyprop` sequentially (-workers 1, cold cache)
+#   2. runs it again at -workers 4 against a second cold cache and
+#      asserts the tables are byte-identical (governor-aware cells must
+#      be as deterministic as every other campaign cell)
+#   3. replays the -workers 4 run warm and asserts zero cells were
+#      re-simulated (the governor participates in the cache key)
+#   4. parses the RSC mid-load rows and asserts the paper's qualitative
+#      claim: the deep C-state draws less idle power than Duplexity-fill
+#      but pays a fatter p99 tail
+#
+# Tunables: SMOKE_SCALE (default 0.02), SMOKE_SEED (default 1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${SMOKE_SCALE:-0.02}"
+SEED="${SMOKE_SEED:-1}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== build =="
+go build -o "$tmp/duplexity" ./cmd/duplexity
+
+run() { # run <name> <workers> <cachedir>
+    local name="$1" workers="$2" cdir="$3"
+    echo "== $name: -workers $workers =="
+    "$tmp/duplexity" -scale "$SCALE" -seed "$SEED" -workers "$workers" \
+        -cachedir "$cdir" energyprop >"$tmp/$name.out" 2>"$tmp/$name.err"
+    grep '^campaign:' "$tmp/$name.err" | tail -1
+    grep -v " took " "$tmp/$name.out" >"$tmp/$name.tables"
+}
+
+run sequential 1 "$tmp/cache-seq"
+run parallel   4 "$tmp/cache-par"
+run warm       4 "$tmp/cache-par"
+
+echo "== determinism =="
+cmp "$tmp/sequential.tables" "$tmp/parallel.tables" \
+    || { echo "FAIL: -workers 4 energyprop table differs from -workers 1"; exit 1; }
+cmp "$tmp/sequential.tables" "$tmp/warm.tables" \
+    || { echo "FAIL: warm-cache energyprop table differs"; exit 1; }
+warm_misses="$(grep '^campaign:' "$tmp/warm.err" | tail -1 | sed 's/.*misses=\([0-9]*\).*/\1/')"
+if [[ "$warm_misses" != "0" ]]; then
+    echo "FAIL: warm replay re-simulated $warm_misses cells"
+    exit 1
+fi
+echo "tables byte-identical across sequential/parallel/warm; warm replay simulated 0 cells"
+
+echo "== qualitative claim (RSC @ 0.50) =="
+# Columns: workload load design/governor util idle_frac avg_W idle_W
+# uJ/req batch_GIPS p99_us.
+awk '
+$1 == "RSC" && $2 == "0.50" && $3 == "Baseline/deep"   { dIdleW = $7; dP99 = $10 }
+$1 == "RSC" && $2 == "0.50" && $3 == "Duplexity/fill"  { fIdleW = $7; fP99 = $10 }
+END {
+    if (dIdleW == "" || fIdleW == "") { print "FAIL: RSC@0.50 rows missing"; exit 1 }
+    printf "deep: idle %.2f W, p99 %.1f µs; fill: idle %.2f W, p99 %.1f µs\n", dIdleW, dP99, fIdleW, fP99
+    if (dIdleW + 0 >= fIdleW + 0) { print "FAIL: deep idle power not below fill"; exit 1 }
+    if (dP99 + 0 <= fP99 + 0)     { print "FAIL: deep p99 not above fill (core parking should fatten the tail)"; exit 1 }
+    print "OK: deep C-state saves idle power but fattens the tail vs Duplexity-fill"
+}' "$tmp/sequential.tables"
+
+echo "energyprop smoke passed"
