@@ -94,13 +94,14 @@ func main() {
 	fleetList := flag.String("fleet", "", "comma-separated duplexityd worker URLs to run cells on (empty = local CPU)")
 	telemetryPath := flag.String("telemetry", "", "write a JSON campaign manifest to this file")
 	progress := flag.Bool("progress", false, "report per-experiment progress on stderr")
+	singlePhase := flag.Bool("single-phase", false, "disable the two-layer (micro-sim + queueing) cache split; results are byte-identical either way")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	experimentFlag := flag.String("experiment", "", "comma-separated experiment names (equivalent to positional arguments)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: duplexity [-scale f] [-seed n] [-workers n] [-cachedir dir] [-resume] <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1a fig1b fig1c fig2a fig2b table1 table2\n")
 		fmt.Fprintf(os.Stderr, "             fig5a fig5b fig5c fig5d fig5e fig5f fig6\n")
-		fmt.Fprintf(os.Stderr, "             workloads slowdowns energyprop motivation all\n")
+		fmt.Fprintf(os.Stderr, "             workloads slowdowns energyprop tails motivation all\n")
 		fmt.Fprintf(os.Stderr, "             ablation-contexts ablation-restart ablation-l0\n")
 		flag.PrintDefaults()
 	}
@@ -136,7 +137,7 @@ func main() {
 	}
 	s := duplexity.NewSuite(duplexity.SuiteOptions{
 		Scale: *scale, Seed: *seed, Workers: *workers, CacheDir: *cacheDir,
-		Remote: remote,
+		Remote: remote, SinglePhase: *singlePhase,
 	})
 	if err := s.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "duplexity:", err)
@@ -184,6 +185,10 @@ func main() {
 		"fig6":       s.Fig6,
 		"slowdowns":  s.ServiceSlowdowns,
 		"energyprop": s.EnergyProp,
+		// The Figure 5(d) queueing stage as a standalone content-addressed
+		// campaign (absolute p99 per design × workload × load); also the
+		// scripts/bench.sh two-phase A/B target.
+		"tails": s.TailMatrix,
 		// Ablation studies of Duplexity's design choices (not paper figures).
 		"ablation-contexts": s.AblationVirtualContexts,
 		"ablation-restart":  s.AblationRestartLatency,
@@ -193,7 +198,7 @@ func main() {
 		"table1", "table2", "workloads",
 		"fig1a", "fig1b", "fig1c", "fig2a", "fig2b",
 		"slowdowns", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig6",
-		"ablation-contexts", "ablation-restart", "ablation-l0",
+		"tails", "ablation-contexts", "ablation-restart", "ablation-l0",
 	}
 	motivation := []string{"fig1a", "fig1b", "fig1c", "fig2a", "fig2b"}
 
@@ -250,8 +255,12 @@ func main() {
 	// byte-comparable across runs (and scripts/bench.sh can parse it).
 	cs := s.CampaignStats()
 	if cs.Cells > 0 {
-		fmt.Fprintf(os.Stderr, "campaign: workers=%d cells=%d hits=%d misses=%d remote=%d sim_wall_s=%.3f\n",
-			cs.Workers, cs.Cells, cs.Hits, cs.Misses, cs.Remote, cs.SimWallSeconds)
+		// phase1/phase2 report the two-layer split's per-layer hits/misses
+		// (both 0/0 for a purely monolithic run). The field names must not
+		// contain "hits="/"misses=" — scripts/bench.sh greps those.
+		fmt.Fprintf(os.Stderr, "campaign: workers=%d cells=%d hits=%d misses=%d remote=%d sim_wall_s=%.3f phase1=%d/%d phase2=%d/%d\n",
+			cs.Workers, cs.Cells, cs.Hits, cs.Misses, cs.Remote, cs.SimWallSeconds,
+			cs.MicrosimHits, cs.MicrosimMisses, cs.QueueingHits, cs.QueueingMisses)
 	}
 
 	if *telemetryPath != "" {

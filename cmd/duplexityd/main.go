@@ -20,7 +20,7 @@
 //	duplexityd submit  [-addr a] [-campaign] [-kind k] [-designs l]
 //	                   [-workloads l] [-loads l] [-governors l]
 //	                   [-design d] [-workload w] [-governor g]
-//	                   [-load f] [-timeout-ms n]
+//	                   [-load f] [-lambda f] [-timeout-ms n]
 //	duplexityd jobs    [-addr a] [-submit] [-kind k] [-designs l]
 //	                   [-workloads l] [-loads l] [-tenant t] [-lane l]
 //	                   [-deadline-ms n] [-ttl-sec n] [-stream] [-id j]
@@ -531,11 +531,12 @@ func cmdSubmit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8077", "daemon address")
 	campaign := fs.Bool("campaign", false, "submit a campaign instead of one cell")
-	kind := fs.String("kind", "matrix", "cell or campaign kind (matrix | slowdown | energyprop | fig5 | slowdowns)")
+	kind := fs.String("kind", "matrix", "cell or campaign kind (matrix | slowdown | energyprop | tail | fig5 | slowdowns | tails)")
 	design := fs.String("design", "Baseline", "cell design")
 	workload := fs.String("workload", "RSC", "cell workload")
 	load := fs.Float64("load", 0.5, "cell offered load (0 for slowdown cells)")
 	governor := fs.String("governor", "", "cell idle governor (energyprop cells only)")
+	lambda := fs.Float64("lambda", 0, "cell arrival rate in QPS (tail cells only; 0 = the workload's nominal rate at -load)")
 	timeoutMs := fs.Int64("timeout-ms", 0, "per-request deadline in ms (0 = server default)")
 	designs := fs.String("designs", "", "campaign designs, comma-separated (empty = all)")
 	workloads := fs.String("workloads", "", "campaign workloads, comma-separated (empty = all)")
@@ -546,7 +547,7 @@ func cmdSubmit(args []string) error {
 
 	if !*campaign {
 		body, err := postExpectOK(base+"/v1/cells", serve.CellRequest{
-			CellSpec:  expt.CellSpec{Kind: *kind, Design: *design, Workload: *workload, Load: *load, Governor: *governor},
+			CellSpec:  expt.CellSpec{Kind: *kind, Design: *design, Workload: *workload, Load: *load, Governor: *governor, Lambda: *lambda},
 			TimeoutMs: *timeoutMs,
 		}, http.StatusOK)
 		if err != nil {

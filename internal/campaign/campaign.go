@@ -79,6 +79,14 @@ type Engine struct {
 	journal *Journal
 	remote  Remote
 	stats   *Stats
+
+	// microMu guards the phase-1 layer of two-phase cells: an in-memory
+	// memo of resolved micro-sim results (bounded by the number of
+	// unique design×workload points) and the singleflight map that
+	// coalesces concurrent cells sharing a micro-sim.
+	microMu      sync.Mutex
+	microMem     map[string]json.RawMessage
+	microFlights map[string]*microFlight
 }
 
 // New builds an engine. With a CacheDir, the directory is created if
@@ -89,7 +97,11 @@ func New(o Options) (*Engine, error) {
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
-	e := &Engine{workers: w, remote: o.Remote, stats: newStats()}
+	e := &Engine{
+		workers: w, remote: o.Remote, stats: newStats(),
+		microMem:     make(map[string]json.RawMessage),
+		microFlights: make(map[string]*microFlight),
+	}
 	if o.CacheDir != "" {
 		c, err := OpenCache(o.CacheDir)
 		if err != nil {
@@ -141,6 +153,11 @@ func (e *Engine) Stats() Summary {
 type Task[R any] struct {
 	Key Key
 	Run func() (R, error)
+	// TwoPhase, when non-nil, resolves the cell through the two-layer
+	// cache (phase-1 micro-sims shared across cells, phase-2 stored
+	// under the cell's own digest) instead of Run. TwoPhase.Queue must
+	// produce bytes identical to Run's for the same key.
+	TwoPhase *TwoPhase
 }
 
 // Run executes tasks on the engine's worker pool and returns their
@@ -208,21 +225,28 @@ func Do[R any](e *Engine, t Task[R]) (R, bool, error) {
 // journaling on a miss. The bool reports a cache hit.
 func runOne[R any](e *Engine, t Task[R]) (R, bool, error) {
 	var zero R
-	var run func() (json.RawMessage, error)
-	if t.Run != nil {
-		run = func() (json.RawMessage, error) {
-			r, err := t.Run()
-			if err != nil {
-				return nil, err
+	var ent Entry
+	var cached bool
+	var err error
+	if t.TwoPhase != nil {
+		ent, cached, err = e.DoRawTwoPhase(t.Key, t.TwoPhase, nil, time.Time{})
+	} else {
+		var run func() (json.RawMessage, error)
+		if t.Run != nil {
+			run = func() (json.RawMessage, error) {
+				r, rerr := t.Run()
+				if rerr != nil {
+					return nil, rerr
+				}
+				raw, merr := json.Marshal(r)
+				if merr != nil {
+					return nil, fmt.Errorf("encoding result: %w", merr)
+				}
+				return raw, nil
 			}
-			raw, err := json.Marshal(r)
-			if err != nil {
-				return nil, fmt.Errorf("encoding result: %w", err)
-			}
-			return raw, nil
 		}
+		ent, cached, err = e.DoRaw(t.Key, run)
 	}
-	ent, cached, err := e.DoRaw(t.Key, run)
 	if err != nil {
 		return zero, false, err
 	}

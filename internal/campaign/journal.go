@@ -31,6 +31,15 @@ type JournalEntry struct {
 	// untraced paths. encoding/json sorts map keys, so lines stay
 	// deterministic.
 	StagesUs map[string]int64 `json:"stages_us,omitempty"`
+	// Layer marks which cache layer of a two-phase cell this line
+	// records: LayerMicrosim for a phase-1 micro-sim resolution,
+	// LayerQueueing for the whole-cell (phase-2) completion. Empty for
+	// legacy single-phase cells, so pre-split journal lines are
+	// unchanged.
+	Layer string `json:"layer,omitempty"`
+	// MicroDigests lists the phase-1 digests a queueing-layer cell was
+	// derived from, in dependency order.
+	MicroDigests []string `json:"micro_digests,omitempty"`
 	// Status is empty for a completed cell. Incomplete cells — admitted
 	// by a serving layer but never finished — are journaled with
 	// StatusCancelled (abandoned before execution, e.g. a deadline
@@ -39,6 +48,14 @@ type JournalEntry struct {
 	// and cached" from "accepted but lost".
 	Status string `json:"status,omitempty"`
 }
+
+// Journal layer values for two-phase cells.
+const (
+	// LayerMicrosim marks a phase-1 micro-sim resolution.
+	LayerMicrosim = "microsim"
+	// LayerQueueing marks a two-phase cell's whole-cell completion.
+	LayerQueueing = "queueing"
+)
 
 // Journal status values for incomplete cells.
 const (

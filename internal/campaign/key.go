@@ -30,6 +30,12 @@ type Key struct {
 	// omitted from the digest so every legacy cache address is
 	// byte-identical to before the field existed.
 	Governor string `json:"governor,omitempty"`
+	// Lambda is an explicit arrival rate (QPS) for queueing-stage cells
+	// whose rate is not a pure function of Load (Figure 5(e) scales it
+	// per design by measured performance density). Zero for every other
+	// cell kind, and — like Governor — omitted from the digest when
+	// zero, so legacy cache addresses are untouched by the field.
+	Lambda float64 `json:"lambda,omitempty"`
 	// Load is the offered load (0 for closed-loop cells).
 	Load float64 `json:"load"`
 	// Scale is the fidelity multiplier (it scales cycle budgets).
@@ -49,6 +55,9 @@ func (k Key) Digest() string {
 		k.Kind, k.Model, k.Design, k.Workload, k.Spec)
 	if k.Governor != "" {
 		fmt.Fprintf(h, "governor=%s\n", k.Governor)
+	}
+	if k.Lambda != 0 {
+		fmt.Fprintf(h, "lambda=%s\n", strconv.FormatFloat(k.Lambda, 'g', -1, 64))
 	}
 	fmt.Fprintf(h, "load=%s\nscale=%s\nseed=%d\n",
 		strconv.FormatFloat(k.Load, 'g', -1, 64),

@@ -19,6 +19,68 @@ func TestLegacyDigestPinned(t *testing.T) {
 	}
 }
 
+// A zero Lambda must leave every legacy digest untouched — like
+// Governor, the field is omitted from the canonical encoding when zero,
+// so caches written before the arrival-rate field existed keep hitting.
+func TestLambdaZeroKeepsLegacyDigest(t *testing.T) {
+	k := Key{
+		Kind: "matrix", Model: "hpca19-duplexity-v1", Design: "Duplexity",
+		Workload: "RSC", Spec: "0123456789abcdef", Load: 0.5, Scale: 1, Seed: 1,
+	}
+	withField := k
+	withField.Lambda = 0
+	if got, want := withField.Digest(), k.Digest(); got != want {
+		t.Fatalf("zero Lambda perturbed the digest: %s != %s", got, want)
+	}
+	const pinned = "9ea5cad8adc4cd21c77267efdfc7c9e751eeaaf5b7133e25179fcec9ce051063"
+	if got := withField.Digest(); got != pinned {
+		t.Fatalf("legacy digest drifted:\n got %s\nwant %s", got, pinned)
+	}
+}
+
+// Golden pins for both layers of the two-phase cache split: a phase-1
+// micro-sim key (the load-free slowdown cell) and a phase-2 queueing
+// key (a tail cell with an explicit arrival rate). Drift in either
+// means warm caches stop hitting — change them only with a deliberate
+// ModelVersion-style decision.
+func TestTwoPhaseDigestsPinned(t *testing.T) {
+	phase1 := Key{
+		Kind: "slowdown", Model: "hpca19-duplexity-v1", Design: "Duplexity",
+		Workload: "RSC", Spec: "0123456789abcdef", Scale: 1, Seed: 1,
+	}
+	const pinned1 = "5f9ef7062f0018cfd12b2f79decd62f708ad90c16a2eca521e00790c01b6f98b"
+	if got := phase1.Digest(); got != pinned1 {
+		t.Fatalf("phase-1 (micro-sim) digest drifted:\n got %s\nwant %s", got, pinned1)
+	}
+	phase2 := Key{
+		Kind: "tail", Model: "hpca19-duplexity-v1", Design: "Duplexity",
+		Workload: "RSC", Spec: "0123456789abcdef", Load: 0.5, Lambda: 120000, Scale: 1, Seed: 1,
+	}
+	const pinned2 = "3d1f2705e93ac7dfd4d56f486d48d23e5763fd55f2cf28eeb0a983d7df2e350d"
+	if got := phase2.Digest(); got != pinned2 {
+		t.Fatalf("phase-2 (queueing) digest drifted:\n got %s\nwant %s", got, pinned2)
+	}
+}
+
+// Distinct arrival rates are distinct cells: the Figure 5(e)
+// density-scaled sweep keys on Lambda.
+func TestLambdaExtendsDigest(t *testing.T) {
+	base := Key{
+		Kind: "tail", Model: "m", Design: "Duplexity",
+		Workload: "RSC", Spec: "s", Load: 0.5, Scale: 1, Seed: 1,
+	}
+	seen := map[string]float64{base.Digest(): 0}
+	for _, l := range []float64{1, 120000, 120000.5, 240000} {
+		k := base
+		k.Lambda = l
+		d := k.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("lambda %v collides with %v", l, prev)
+		}
+		seen[d] = l
+	}
+}
+
 // A non-empty governor extends the digest (distinct cells), and every
 // governor gets its own address.
 func TestGovernorExtendsDigest(t *testing.T) {

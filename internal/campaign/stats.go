@@ -33,6 +33,16 @@ type Summary struct {
 	// Remote counts cells resolved by fleet workers (a subset of Cells).
 	Remote int `json:"remote,omitempty"`
 	Errors int `json:"errors,omitempty"`
+	// Per-layer counters for two-phase cells. Micro-sim resolutions are
+	// accounted here only — never in Cells/Hits/Misses, which still
+	// count whole cells — so a two-phase campaign's legacy totals stay
+	// comparable with single-phase runs. A queueing hit/miss is recorded
+	// alongside the legacy hit/miss for every two-phase cell; legacy
+	// single-phase cells touch neither layer.
+	MicrosimHits   int `json:"microsim_hits,omitempty"`
+	MicrosimMisses int `json:"microsim_misses,omitempty"`
+	QueueingHits   int `json:"queueing_hits,omitempty"`
+	QueueingMisses int `json:"queueing_misses,omitempty"`
 	// Incomplete counts admitted cells journaled as cancelled or
 	// panicked by a serving layer (never part of Cells).
 	Incomplete int `json:"incomplete,omitempty"`
@@ -58,6 +68,10 @@ type Stats struct {
 	remote     int
 	errors     int
 	incomplete int
+	microHits  int
+	microMiss  int
+	queueHits  int
+	queueMiss  int
 	simWall    float64
 	timings    []CellTiming
 }
@@ -99,6 +113,34 @@ func (s *Stats) recordIncomplete() int {
 	return s.seq
 }
 
+// recordMicro logs one phase-1 micro-sim resolution and returns its
+// journal sequence number. Micro-sim wall time is real compute and
+// counts toward SimWallSeconds.
+func (s *Stats) recordMicro(hit bool, wall float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hit {
+		s.microHits++
+	} else {
+		s.microMiss++
+	}
+	s.simWall += wall
+	s.seq++
+	return s.seq
+}
+
+// recordQueueing logs the phase-2 probe outcome of one two-phase cell
+// (recorded alongside the legacy hit/miss, which record() handles).
+func (s *Stats) recordQueueing(hit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hit {
+		s.queueHits++
+	} else {
+		s.queueMiss++
+	}
+}
+
 func (s *Stats) recordError() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -116,6 +158,10 @@ func (s *Stats) summary() Summary {
 		Remote:         s.remote,
 		Errors:         s.errors,
 		Incomplete:     s.incomplete,
+		MicrosimHits:   s.microHits,
+		MicrosimMisses: s.microMiss,
+		QueueingHits:   s.queueHits,
+		QueueingMisses: s.queueMiss,
 		SimWallSeconds: s.simWall,
 		Timings:        append([]CellTiming(nil), s.timings...),
 	}

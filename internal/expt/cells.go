@@ -34,6 +34,12 @@ const (
 	// simulation under an idle governor plus the power model over the
 	// resulting C-state residency.
 	KindEnergyProp = "energyprop"
+	// KindTail is one tail-latency queueing point (the Figure 5(d)/(e)
+	// BigHouse stage as a content-addressed cell): a queueing simulation
+	// whose service distribution is scaled by the design's closed-loop
+	// slowdown. Resolves two-phase by default — the slowdown micro-sims
+	// are shared phase-1 dependencies.
+	KindTail = "tail"
 )
 
 // CellSpec is a single simulation cell requested over the serve API.
@@ -51,6 +57,10 @@ type CellSpec struct {
 	// Governor names the idle governor for energyprop cells
 	// (idle.Names); other kinds must leave it empty.
 	Governor string `json:"governor,omitempty"`
+	// Lambda is an explicit arrival rate (QPS) for tail cells; 0 defaults
+	// to the workload's nominal rate at the requested load. Other kinds
+	// must leave it 0.
+	Lambda float64 `json:"lambda,omitempty"`
 }
 
 // FieldError locates one invalid request field.
@@ -138,11 +148,21 @@ func (cs CellSpec) Validate() error {
 				errs = append(errs, FieldError{"governor", fmt.Sprintf("the %s governor needs a morphing design; %s cannot run filler-threads", cs.Governor, cs.Design)})
 			}
 		}
+	case KindTail:
+		if math.IsNaN(cs.Load) || cs.Load <= 0 || cs.Load > 0.95 {
+			errs = append(errs, FieldError{"load", fmt.Sprintf("tail cells need 0 < load <= 0.95, got %v", cs.Load)})
+		}
+		if math.IsNaN(cs.Lambda) || cs.Lambda < 0 {
+			errs = append(errs, FieldError{"lambda", fmt.Sprintf("tail cells need lambda >= 0 (0: the workload's nominal rate at the load), got %v", cs.Lambda)})
+		}
 	default:
-		errs = append(errs, FieldError{"kind", fmt.Sprintf("unknown kind %q (known: %s, %s, %s)", cs.Kind, KindMatrix, KindSlowdown, KindEnergyProp)})
+		errs = append(errs, FieldError{"kind", fmt.Sprintf("unknown kind %q (known: %s, %s, %s, %s)", cs.Kind, KindMatrix, KindSlowdown, KindEnergyProp, KindTail)})
 	}
 	if cs.Kind != KindEnergyProp && cs.Governor != "" {
 		errs = append(errs, FieldError{"governor", "only energyprop cells take an idle governor"})
+	}
+	if cs.Kind != KindTail && cs.Lambda != 0 {
+		errs = append(errs, FieldError{"lambda", "only tail cells take an explicit arrival rate"})
 	}
 	if _, ok := ParseDesign(cs.Design); !ok {
 		errs = append(errs, FieldError{"design", fmt.Sprintf("unknown design %q (known: %s)", cs.Design, strings.Join(KnownDesignNames(), ", "))})
@@ -178,6 +198,8 @@ type ServedResult struct {
 	CyclesPerReq float64 `json:"cycles_per_req,omitempty"`
 	// Energy is the energyprop-cell payload (nil for other kinds).
 	Energy *EnergyCellReport `json:"energy,omitempty"`
+	// Tail is the tail-cell payload (nil for other kinds).
+	Tail *TailCellReport `json:"tail,omitempty"`
 	// Raw is the cache-entry-level form this result decoded from. It is
 	// what a fleet worker ships to its coordinator (the serve layer's
 	// /v1/exec endpoint returns it); excluded from client-facing JSON.
@@ -207,15 +229,32 @@ type RawCellResult struct {
 // journaling).
 func (s *Suite) Engine() *campaign.Engine { return s.eng }
 
+// servedKeyFor resolves a validated spec to its campaign key plus the
+// parsed design, workload, and effective arrival rate (tail cells with
+// Lambda 0 default to the workload's nominal rate at the load, exactly
+// as the CLI figure path does — so the defaulted request and the CLI
+// cell share one cache entry).
+func (s *Suite) servedKeyFor(cs CellSpec) (campaign.Key, core.Design, *workload.Spec, float64) {
+	design, _ := ParseDesign(cs.Design)
+	spec := workloadByName(cs.Workload)
+	if cs.Kind == KindTail {
+		lambda := cs.Lambda
+		if lambda == 0 {
+			lambda = spec.QPSAtLoad(cs.Load)
+		}
+		return s.tailKey(design, spec, cs.Load, lambda), design, spec, lambda
+	}
+	return s.cellKey(cs.Kind, design, spec, cs.Load, cs.Governor), design, spec, 0
+}
+
 // ServedKey returns the content-address key a validated spec resolves
 // to — the same key the CLI path would use for the identical cell.
 func (s *Suite) ServedKey(cs CellSpec) (campaign.Key, error) {
 	if err := cs.Validate(); err != nil {
 		return campaign.Key{}, err
 	}
-	design, _ := ParseDesign(cs.Design)
-	spec := workloadByName(cs.Workload)
-	return s.cellKey(cs.Kind, design, spec, cs.Load, cs.Governor), nil
+	key, _, _, _ := s.servedKeyFor(cs)
+	return key, nil
 }
 
 // RunServedRaw resolves one validated cell through the campaign engine
@@ -244,9 +283,30 @@ func (s *Suite) RunServedRawDeadline(cs CellSpec, tr *telemetry.CellTrace, deadl
 	if err := cs.Validate(); err != nil {
 		return RawCellResult{}, err
 	}
-	design, _ := ParseDesign(cs.Design)
-	spec := workloadByName(cs.Workload)
-	key := s.cellKey(cs.Kind, design, spec, cs.Load, cs.Governor)
+	key, design, spec, lambda := s.servedKeyFor(cs)
+
+	// Two-phase kinds resolve their slowdown micro-sims through the
+	// engine's phase-1 layer (shared across every served cell and CLI
+	// figure that needs them) unless the suite runs single-phase.
+	if !s.opts.SinglePhase {
+		var tp *campaign.TwoPhase
+		switch cs.Kind {
+		case KindTail:
+			tp = s.tailTwoPhase(design, spec, cs.Load, lambda)
+		case KindEnergyProp:
+			tp = s.energyTwoPhase(design, spec, cs.Governor, cs.Load)
+		}
+		if tp != nil {
+			ent, cached, err := s.eng.DoRawTwoPhase(key, tp, tr, deadline)
+			if err != nil {
+				return RawCellResult{}, err
+			}
+			return RawCellResult{
+				Digest: key.Digest(), Cached: cached,
+				WallSeconds: ent.WallSeconds, Result: ent.Result,
+			}, nil
+		}
+	}
 
 	var run func() (json.RawMessage, error)
 	switch cs.Kind {
@@ -269,6 +329,14 @@ func (s *Suite) RunServedRawDeadline(cs CellSpec, tr *telemetry.CellTrace, deadl
 	case KindEnergyProp:
 		run = func() (json.RawMessage, error) {
 			c, err := s.runEnergyCell(design, spec, cs.Governor, cs.Load)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(c)
+		}
+	case KindTail:
+		run = func() (json.RawMessage, error) {
+			c, err := s.runTailCell(design, spec, cs.Load, lambda)
 			if err != nil {
 				return nil, err
 			}
@@ -345,6 +413,12 @@ func (s *Suite) RunServedDeadline(cs CellSpec, tr *telemetry.CellTrace, deadline
 			return ServedResult{}, fmt.Errorf("expt: decoding energyprop cell %s: %w", raw.Digest[:12], err)
 		}
 		out.Energy = c.report()
+	case KindTail:
+		var c tailCell
+		if err := json.Unmarshal(raw.Result, &c); err != nil {
+			return ServedResult{}, fmt.Errorf("expt: decoding tail cell %s: %w", raw.Digest[:12], err)
+		}
+		out.Tail = c.report()
 	}
 	return out, nil
 }
@@ -358,6 +432,7 @@ const (
 	CampaignFig5       = "fig5"
 	CampaignSlowdowns  = "slowdowns"
 	CampaignEnergyProp = "energyprop"
+	CampaignTails      = "tails"
 )
 
 // CampaignSpec is a batch submission: a cell family crossed over design
@@ -388,9 +463,11 @@ func (c CampaignSpec) Expand() ([]CellSpec, error) {
 		}
 	case CampaignEnergyProp:
 		cellKind = KindEnergyProp
+	case CampaignTails:
+		cellKind = KindTail
 	default:
-		errs = append(errs, FieldError{"kind", fmt.Sprintf("unknown campaign kind %q (known: %s, %s, %s, %s)",
-			c.Kind, CampaignMatrix, CampaignFig5, CampaignSlowdowns, CampaignEnergyProp)})
+		errs = append(errs, FieldError{"kind", fmt.Sprintf("unknown campaign kind %q (known: %s, %s, %s, %s, %s)",
+			c.Kind, CampaignMatrix, CampaignFig5, CampaignSlowdowns, CampaignEnergyProp, CampaignTails)})
 	}
 	if cellKind != KindEnergyProp && len(c.Governors) > 0 {
 		errs = append(errs, FieldError{"governors", "only energyprop campaigns take idle governors"})
@@ -421,7 +498,7 @@ func (c CampaignSpec) Expand() ([]CellSpec, error) {
 	}
 	loads := c.Loads
 	switch cellKind {
-	case KindMatrix, KindEnergyProp:
+	case KindMatrix, KindEnergyProp, KindTail:
 		if len(loads) == 0 {
 			if cellKind == KindEnergyProp {
 				loads = append([]float64(nil), EnergyLoads...)

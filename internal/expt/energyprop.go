@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"duplexity/internal/campaign"
@@ -123,21 +124,37 @@ func (s *Suite) slowdownFor(design core.Design, spec *workload.Spec) (float64, e
 	if err != nil {
 		return 0, err
 	}
-	return (v / design.FreqGHz()) / (base / core.DesignBaseline.FreqGHz()), nil
+	return freqAdjSlowdown(design, v, base), nil
 }
 
-// runEnergyCell simulates one (design, workload, governor, load) point:
-// a queueing simulation with the governor classifying idle gaps, then
-// the power model over the resulting residency. All seeds derive from
-// the cell's own inputs, so cells are order- and concurrency-independent.
+// runEnergyCell simulates one (design, workload, governor, load) point
+// monolithically: derive the slowdown (through the in-process memo),
+// then run the queueing + power stage. This is the single-phase path;
+// the two-phase path reaches queueEnergyCell with a slowdown derived
+// from cached phase-1 bytes instead, and produces identical results
+// (TestTwoPhaseByteIdentity).
 func (s *Suite) runEnergyCell(design core.Design, spec *workload.Spec, govName string, load float64) (energyCell, error) {
-	gov, ok := idle.ByName(govName)
-	if !ok {
+	// Governor resolution stays first so an unknown governor errors
+	// without spending a closed-loop measurement.
+	if _, ok := idle.ByName(govName); !ok {
 		return energyCell{}, fmt.Errorf("expt: unknown idle governor %q", govName)
 	}
 	slow, err := s.slowdownFor(design, spec)
 	if err != nil {
 		return energyCell{}, err
+	}
+	return s.queueEnergyCell(design, spec, govName, load, slow)
+}
+
+// queueEnergyCell is the phase-2 body of an energyprop cell: a queueing
+// simulation with the governor classifying idle gaps, then the power
+// model over the resulting residency, for an already-derived slowdown.
+// All seeds derive from the cell's own inputs, so cells are order- and
+// concurrency-independent.
+func (s *Suite) queueEnergyCell(design core.Design, spec *workload.Spec, govName string, load, slow float64) (energyCell, error) {
+	gov, ok := idle.ByName(govName)
+	if !ok {
+		return energyCell{}, fmt.Errorf("expt: unknown idle governor %q", govName)
 	}
 	lambda := spec.QPSAtLoad(load)
 	rho := lambda * spec.NominalServiceUs * slow / 1e6
@@ -228,20 +245,48 @@ func scaledInt(scale float64, full, floor int) int {
 	return v
 }
 
+// energyTwoPhase builds the two-phase decomposition of one energyprop
+// cell: phase-1 is the shared slowdown micro-sim pair, phase-2 the
+// queueing + power stage.
+func (s *Suite) energyTwoPhase(design core.Design, spec *workload.Spec, govName string, load float64) *campaign.TwoPhase {
+	return &campaign.TwoPhase{
+		Micro: s.slowMicros(design, spec),
+		Queue: func(micro []json.RawMessage) (json.RawMessage, error) {
+			if _, ok := idle.ByName(govName); !ok {
+				return nil, fmt.Errorf("expt: unknown idle governor %q", govName)
+			}
+			slow, err := slowFromMicros(design, micro)
+			if err != nil {
+				return nil, err
+			}
+			c, err := s.queueEnergyCell(design, spec, govName, load, slow)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(c)
+		},
+	}
+}
+
 // energyTasks enumerates the canonical sweep in (combo, workload, load)
-// order.
+// order. Two-phase by default: the slowdown micro-sims resolve once per
+// (design, workload) however many loads and governors fan out from them.
 func (s *Suite) energyTasks() []campaign.Task[energyCell] {
 	var tasks []campaign.Task[energyCell]
 	for _, combo := range EnergyCombos() {
 		for _, spec := range workload.Microservices() {
 			for _, load := range EnergyLoads {
 				combo, spec, load := combo, spec, load
-				tasks = append(tasks, campaign.Task[energyCell]{
+				t := campaign.Task[energyCell]{
 					Key: s.cellKey(KindEnergyProp, combo.Design, spec, load, combo.Governor),
 					Run: func() (energyCell, error) {
 						return s.runEnergyCell(combo.Design, spec, combo.Governor, load)
 					},
-				})
+				}
+				if !s.opts.SinglePhase {
+					t.TwoPhase = s.energyTwoPhase(combo.Design, spec, combo.Governor, load)
+				}
+				tasks = append(tasks, t)
 			}
 		}
 	}
@@ -249,9 +294,12 @@ func (s *Suite) energyTasks() []campaign.Task[energyCell] {
 }
 
 // EnergyCells runs (or returns the memoized) energy-proportionality
-// campaign. The closed-loop slowdown cells run first through their own
-// campaign tasks — cache-keyed identically to the Figure 5 path — so
-// the queueing cells find every slowdown memoized.
+// campaign. Two-phase (the default), the slowdown dependencies resolve
+// through the campaign engine's micro-sim layer — cache-keyed
+// identically to the Figure 5 slowdown cells, so warm caches written
+// before the two-phase split still answer them. Single-phase, the
+// closed-loop slowdown campaign runs up front and the queueing cells
+// find every slowdown memoized, as before the split.
 func (s *Suite) EnergyCells() ([]energyCell, error) {
 	if s.energyRun {
 		return s.energy, s.energyErr
@@ -261,9 +309,11 @@ func (s *Suite) EnergyCells() ([]energyCell, error) {
 		s.energyErr = s.engErr
 		return nil, s.energyErr
 	}
-	if _, err := s.Slowdowns(); err != nil {
-		s.energyErr = err
-		return nil, err
+	if s.opts.SinglePhase {
+		if _, err := s.Slowdowns(); err != nil {
+			s.energyErr = err
+			return nil, err
+		}
 	}
 	s.energy, s.energyErr = campaign.Run(s.eng, s.energyTasks())
 	return s.energy, s.energyErr

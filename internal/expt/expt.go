@@ -42,6 +42,12 @@ type Options struct {
 	// TestCellDigestExecEquivalence pins; the knob exists for that test
 	// and for debugging.
 	Exec core.ExecMode
+	// SinglePhase disables the two-layer (micro-sim + queueing) cache
+	// split for decomposable cell kinds: every cell computes its full
+	// pipeline monolithically, as before the split. Results and cache
+	// bytes are byte-identical either way (TestTwoPhaseByteIdentity);
+	// the knob exists for the A/B benchmark and for debugging.
+	SinglePhase bool
 }
 
 func (o Options) withDefaults() Options {

@@ -3,12 +3,11 @@ package expt
 import (
 	"fmt"
 
+	"duplexity/internal/campaign"
 	"duplexity/internal/core"
 	"duplexity/internal/metrics"
 	"duplexity/internal/netmodel"
 	"duplexity/internal/power"
-	"duplexity/internal/queueing"
-	"duplexity/internal/stats"
 	"duplexity/internal/workload"
 )
 
@@ -151,73 +150,33 @@ func (s *Suite) Fig5c() (*Table, error) {
 	return t, nil
 }
 
-// tailP99 runs the BigHouse-style queueing stage for one design point.
+// tailP99 runs the BigHouse-style queueing stage for one design point
+// over the Slowdowns() memo — the legacy inline path, kept for the
+// single-phase A/B baseline (-single-phase). The default Figure 5(d)/(e)
+// path resolves the same computation as content-addressed tail cells
+// (see tail.go); both execute queueTail, so they agree byte-for-byte.
 func (s *Suite) tailP99(design core.Design, spec *workload.Spec, load, lambdaQPS float64) (float64, error) {
-	slow := s.slowdowns[slowKey{design, spec.Name}]
-	if slow == 0 {
-		return 0, fmt.Errorf("expt: no slowdown for %v/%s", design, spec.Name)
-	}
-	// Per-request master restart overhead applies to requests that arrive
-	// while the core is morphed (approximately the idle fraction).
-	var extra stats.Distribution
-	if r := design.RestartLat(); r > 0 {
-		restartUs := float64(r) / (design.FreqGHz() * 1e3)
-		extra = stats.Deterministic{Value: restartUs * (1 - load)}
-	}
-	rho := lambdaQPS * spec.NominalServiceUs * slow / 1e6
-	// Common random numbers: all designs at one (workload, load) point
-	// share a seed, so normalized tail ratios difference out sampling
-	// noise. Sojourn times are autocorrelated at high load, so the CI
-	// stopping rule alone is optimistic; a large floor keeps p99 stable.
-	cfg := queueing.Config{
-		ArrivalQPS:  lambdaQPS,
-		ServiceUs:   stats.Scaled{Base: spec.ServiceDist(), Factor: slow},
-		ExtraUs:     extra,
-		Seed:        s.opts.Seed*131 + uint64(len(spec.Name))*977 + uint64(load*1000),
-		MinRequests: 400_000,
-		MaxRequests: 3_000_000,
-	}
-	if rho >= 0.95 {
-		// Saturated design point: measure the tail over a finite window,
-		// as on real hardware.
-		cfg.AllowUnstable = true
-		cfg.MaxRequests = int(s.opts.Scale * 400_000)
-		if cfg.MaxRequests < 50_000 {
-			cfg.MaxRequests = 50_000
-		}
-	}
-	res, err := queueing.Simulate(cfg)
+	c, err := s.queueTail(design, spec, load, lambdaQPS, s.slowdowns[slowKey{design, spec.Name}])
 	if err != nil {
 		return 0, err
 	}
-	return res.P99Us, nil
+	return c.P99Us, nil
 }
 
-// Fig5d regenerates Figure 5(d): 99th-percentile tail latency of the
-// microservice, normalized to Baseline, at equal offered load.
-func (s *Suite) Fig5d() (*Table, error) {
-	if _, err := s.Slowdowns(); err != nil {
-		return nil, err
-	}
-	t := &Table{
-		Title:   "Figure 5(d): normalized 99th-percentile tail latency",
-		Columns: designColumns("workload@load"),
-		Notes: []string{
-			"BigHouse methodology: M/G/1 at request granularity, service scaled by measured IPC slowdown",
-			"values >> 1 indicate QoS violation; saturated points measured over a finite window",
-		},
-	}
+// tailTable renders a normalized Figure 5(d)/(e)-shaped table from a
+// per-(workload, load) p99 lookup.
+func (s *Suite) tailTable(title string, notes []string, p99 func(d core.Design, spec *workload.Spec, load float64) (float64, error)) (*Table, error) {
+	t := &Table{Title: title, Columns: designColumns("workload@load"), Notes: notes}
 	perDesign := make(map[core.Design][]float64)
 	for _, spec := range workload.Microservices() {
 		for _, load := range Loads {
-			lambda := spec.QPSAtLoad(load)
-			base, err := s.tailP99(core.DesignBaseline, spec, load, lambda)
+			base, err := p99(core.DesignBaseline, spec, load)
 			if err != nil {
 				return nil, err
 			}
 			row := []string{fmt.Sprintf("%s@%d%%", spec.Name, int(load*100))}
 			for _, d := range core.AllDesigns {
-				p, err := s.tailP99(d, spec, load, lambda)
+				p, err := p99(d, spec, load)
 				if err != nil {
 					return nil, err
 				}
@@ -240,13 +199,67 @@ func (s *Suite) Fig5d() (*Table, error) {
 	return t, nil
 }
 
-// Fig5e regenerates Figure 5(e): iso-throughput 99th-percentile tail
-// latency — load scaled per design in proportion to its performance
-// density, normalized to Baseline.
-func (s *Suite) Fig5e() (*Table, error) {
-	if _, err := s.Slowdowns(); err != nil {
+// tailCellLookup runs a batch of tail tasks through the campaign
+// engine and returns a lookup keyed on the cell's full coordinates.
+func (s *Suite) tailCellLookup(tasks []campaign.Task[tailCell]) (func(d core.Design, spec *workload.Spec, load float64) (float64, error), error) {
+	if s.engErr != nil {
+		return nil, s.engErr
+	}
+	cells, err := campaign.Run(s.eng, tasks)
+	if err != nil {
 		return nil, err
 	}
+	byPoint := make(map[string]float64, len(cells))
+	for _, c := range cells {
+		byPoint[fmt.Sprintf("%v|%s|%v", c.Design, c.Workload, c.Load)] = c.P99Us
+	}
+	return func(d core.Design, spec *workload.Spec, load float64) (float64, error) {
+		p, ok := byPoint[fmt.Sprintf("%v|%s|%v", d, spec.Name, load)]
+		if !ok {
+			return 0, fmt.Errorf("expt: no tail cell for %v/%s@%v", d, spec.Name, load)
+		}
+		return p, nil
+	}, nil
+}
+
+var fig5dNotes = []string{
+	"BigHouse methodology: M/G/1 at request granularity, service scaled by measured IPC slowdown",
+	"values >> 1 indicate QoS violation; saturated points measured over a finite window",
+}
+
+// Fig5d regenerates Figure 5(d): 99th-percentile tail latency of the
+// microservice, normalized to Baseline, at equal offered load. The
+// queueing stage resolves as two-phase tail cells: each design×workload
+// slowdown micro-sim simulates once (or hits a warm cache, including
+// caches written before the split) and every load reuses it, and the
+// queueing results themselves are cached — previously they were
+// recomputed inline on every invocation.
+func (s *Suite) Fig5d() (*Table, error) {
+	const title = "Figure 5(d): normalized 99th-percentile tail latency"
+	if s.opts.SinglePhase {
+		if _, err := s.Slowdowns(); err != nil {
+			return nil, err
+		}
+		return s.tailTable(title, fig5dNotes, func(d core.Design, spec *workload.Spec, load float64) (float64, error) {
+			return s.tailP99(d, spec, load, spec.QPSAtLoad(load))
+		})
+	}
+	lookup, err := s.tailCellLookup(s.tailMatrixTasks())
+	if err != nil {
+		return nil, err
+	}
+	return s.tailTable(title, fig5dNotes, lookup)
+}
+
+// Fig5e regenerates Figure 5(e): iso-throughput 99th-percentile tail
+// latency — load scaled per design in proportion to its performance
+// density, normalized to Baseline. The density scaling comes from the
+// open-loop matrix campaign; the queueing stage resolves as two-phase
+// tail cells keyed on the scaled arrival rate. Baseline's scaled rate
+// is exactly the nominal one (dd/dBase is exactly 1.0 when dd == dBase),
+// so its cells share digests — and therefore cache entries — with
+// Figure 5(d).
+func (s *Suite) Fig5e() (*Table, error) {
 	if _, err := s.Matrix(); err != nil {
 		return nil, err
 	}
@@ -264,49 +277,39 @@ func (s *Suite) Fig5e() (*Table, error) {
 		}
 		return 0
 	}
-	t := &Table{
-		Title:   "Figure 5(e): normalized iso-throughput 99th-percentile tail latency",
-		Columns: designColumns("workload@load"),
-		Notes: []string{
-			"arrival rate scaled per design by its performance density (equal cost comparison)",
-		},
+	isoLambda := func(d core.Design, spec *workload.Spec, load float64) float64 {
+		lambdaBase := spec.QPSAtLoad(load)
+		dBase := density(core.DesignBaseline, spec.Name, load)
+		if dd := density(d, spec.Name, load); dd > 0 && dBase > 0 {
+			return lambdaBase * dd / dBase
+		}
+		return lambdaBase
 	}
-	perDesign := make(map[core.Design][]float64)
+	const title = "Figure 5(e): normalized iso-throughput 99th-percentile tail latency"
+	notes := []string{
+		"arrival rate scaled per design by its performance density (equal cost comparison)",
+	}
+	if s.opts.SinglePhase {
+		if _, err := s.Slowdowns(); err != nil {
+			return nil, err
+		}
+		return s.tailTable(title, notes, func(d core.Design, spec *workload.Spec, load float64) (float64, error) {
+			return s.tailP99(d, spec, load, isoLambda(d, spec, load))
+		})
+	}
+	var tasks []campaign.Task[tailCell]
 	for _, spec := range workload.Microservices() {
 		for _, load := range Loads {
-			lambdaBase := spec.QPSAtLoad(load)
-			dBase := density(core.DesignBaseline, spec.Name, load)
-			base, err := s.tailP99(core.DesignBaseline, spec, load, lambdaBase)
-			if err != nil {
-				return nil, err
-			}
-			row := []string{fmt.Sprintf("%s@%d%%", spec.Name, int(load*100))}
 			for _, d := range core.AllDesigns {
-				lambda := lambdaBase
-				if dd := density(d, spec.Name, load); dd > 0 && dBase > 0 {
-					lambda = lambdaBase * dd / dBase
-				}
-				p, err := s.tailP99(d, spec, load, lambda)
-				if err != nil {
-					return nil, err
-				}
-				norm := p / base
-				perDesign[d] = append(perDesign[d], norm)
-				row = append(row, f2(norm))
+				tasks = append(tasks, s.tailTask(d, spec, load, isoLambda(d, spec, load)))
 			}
-			t.AddRow(row...)
 		}
 	}
-	mean := []string{"geomean"}
-	for _, d := range core.AllDesigns {
-		m, err := metrics.GeoMean(perDesign[d])
-		if err != nil {
-			m = 0
-		}
-		mean = append(mean, f2(m))
+	lookup, err := s.tailCellLookup(tasks)
+	if err != nil {
+		return nil, err
 	}
-	t.AddRow(mean...)
-	return t, nil
+	return s.tailTable(title, notes, lookup)
 }
 
 // Fig5f regenerates Figure 5(f): batch-thread system throughput (STP),

@@ -167,6 +167,17 @@ func (s *Suite) Matrix() ([]cell, error) {
 	return s.matrix, s.matrixErr
 }
 
+// freqAdjSlowdown converts raw closed-loop cycles-per-request for a
+// design and the baseline into the frequency-adjusted service-time
+// inflation. Every consumer — Slowdowns(), the energyprop memo path,
+// and the two-phase queue closures that recompute the value from
+// cached phase-1 bytes — funnels through this one expression, so the
+// float arithmetic (and therefore cached cell bytes) is identical on
+// all of them.
+func freqAdjSlowdown(design core.Design, v, base float64) float64 {
+	return (v / design.FreqGHz()) / (base / core.DesignBaseline.FreqGHz())
+}
+
 // measureSlowdown runs the saturated closed-loop cell for one (design,
 // workload) point and returns cycles per request.
 func (s *Suite) measureSlowdown(design core.Design, spec *workload.Spec) (float64, error) {
@@ -256,8 +267,7 @@ func (s *Suite) Slowdowns() (map[slowKey]float64, error) {
 			}
 			// Frequency-adjust: cycles per request at different clocks.
 			v := svc[si*len(core.AllDesigns)+di]
-			slow := (v / design.FreqGHz()) / (base / core.DesignBaseline.FreqGHz())
-			s.slowdowns[slowKey{design, spec.Name}] = slow
+			s.slowdowns[slowKey{design, spec.Name}] = freqAdjSlowdown(design, v, base)
 		}
 	}
 	return s.slowdowns, nil

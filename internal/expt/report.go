@@ -19,6 +19,26 @@ type CellReport struct {
 	MicroP99Us   float64 `json:"micro_p99_us,omitempty"`
 }
 
+// TailCellReport is the machine-readable form of one tail-latency
+// queueing point (design × workload × load × arrival rate).
+type TailCellReport struct {
+	Design    string  `json:"design"`
+	Workload  string  `json:"workload"`
+	Load      float64 `json:"load"`
+	LambdaQPS float64 `json:"lambda_qps"`
+	P99Us     float64 `json:"p99_us"`
+}
+
+func (c tailCell) report() *TailCellReport {
+	return &TailCellReport{
+		Design:    c.Design.String(),
+		Workload:  c.Workload,
+		Load:      c.Load,
+		LambdaQPS: c.LambdaQPS,
+		P99Us:     c.P99Us,
+	}
+}
+
 // EnergyCellReport is the machine-readable form of one
 // energy-proportionality point (design × workload × governor × load).
 type EnergyCellReport struct {

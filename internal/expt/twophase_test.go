@@ -1,0 +1,178 @@
+package expt
+
+import (
+	"bytes"
+	"testing"
+
+	"duplexity/internal/core"
+	"duplexity/internal/idle"
+)
+
+// rawFor resolves one cell through a fresh suite and returns its cache
+// entry bytes plus its digest.
+func rawFor(t *testing.T, opts Options, cs CellSpec) (string, []byte) {
+	t.Helper()
+	opts.CacheDir = t.TempDir()
+	s := NewSuite(opts)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := s.RunServedRaw(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw.Digest, raw.Result
+}
+
+// The tentpole invariant of the two-phase cache split: for every
+// decomposable cell kind, the phase-2 entry's bytes decode to exactly
+// what the monolithic cell produced, and the cell's content address is
+// the unchanged legacy digest — so warm caches written before the split
+// keep hitting, byte for byte.
+func TestTwoPhaseByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two cold micro-sims per case")
+	}
+	base := Options{Scale: 0.02, Seed: 1}
+	cases := []CellSpec{
+		// A non-baseline tail cell (exercises both slowdown micro-sims)
+		// and a baseline one (no micros at all).
+		{Kind: KindTail, Design: core.DesignDuplexity.String(), Workload: "RSC", Load: 0.5},
+		{Kind: KindTail, Design: core.DesignBaseline.String(), Workload: "RSC", Load: 0.5},
+		// An explicit arrival rate (the Figure 5(e) shape).
+		{Kind: KindTail, Design: core.DesignDuplexity.String(), Workload: "RSC", Load: 0.5, Lambda: 12345},
+		// Energyprop under the fill governor (morphing design) and a
+		// C-state governor on the baseline.
+		{Kind: KindEnergyProp, Design: core.DesignDuplexity.String(), Workload: "RSC", Load: 0.25, Governor: idle.GovFill},
+		{Kind: KindEnergyProp, Design: core.DesignBaseline.String(), Workload: "RSC", Load: 0.25, Governor: idle.GovDeep},
+	}
+	for _, cs := range cases {
+		mono := base
+		mono.SinglePhase = true
+		dMono, bMono := rawFor(t, mono, cs)
+		dTwo, bTwo := rawFor(t, base, cs)
+		if dMono != dTwo {
+			t.Errorf("%s %s/%s gov=%q lambda=%v: digest drifted between modes: %s != %s",
+				cs.Kind, cs.Design, cs.Workload, cs.Governor, cs.Lambda, dMono, dTwo)
+		}
+		if !bytes.Equal(bMono, bTwo) {
+			t.Errorf("%s %s/%s gov=%q lambda=%v: two-phase bytes differ from monolithic:\n mono %s\n two  %s",
+				cs.Kind, cs.Design, cs.Workload, cs.Governor, cs.Lambda, bMono, bTwo)
+		}
+	}
+}
+
+// The cold tail campaign computes exactly one slowdown micro-sim per
+// design × workload, no matter how many loads fan out from it, and the
+// legacy whole-cell totals keep counting cells only.
+func TestTailMatrixMicroSharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the cold 105-cell tail campaign")
+	}
+	if raceEnabled {
+		t.Skip("cold full-matrix campaign is too slow under the race detector")
+	}
+	s := NewSuite(Options{Scale: 0.01, Seed: 1, Workers: 4})
+	if _, err := s.TailMatrix(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.CampaignStats()
+	designs, workloads, loads := len(core.AllDesigns), 5, len(Loads)
+	wantCells := designs * workloads * loads
+	if st.Cells != wantCells || st.Misses != wantCells || st.Hits != 0 {
+		t.Fatalf("legacy totals cells=%d hits=%d misses=%d, want %d/0/%d",
+			st.Cells, st.Hits, st.Misses, wantCells, wantCells)
+	}
+	// One micro-sim per design×workload: baseline cells need none, but
+	// every non-baseline family also pulls in the baseline measurement.
+	wantMicro := designs * workloads
+	if st.MicrosimMisses != wantMicro {
+		t.Fatalf("micro-sims simulated %d times, want %d (one per design×workload)",
+			st.MicrosimMisses, wantMicro)
+	}
+	if st.QueueingMisses != wantCells {
+		t.Fatalf("queueing layer misses = %d, want %d", st.QueueingMisses, wantCells)
+	}
+}
+
+// Served tail cells default Lambda to the workload's nominal rate at
+// the load, sharing one content address with the CLI figure cell; an
+// explicit equal rate resolves to the same key.
+func TestTailServedKeyDefaults(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.01, Seed: 1})
+	spec := workloadByName("RSC")
+	defaulted, err := s.ServedKey(CellSpec{Kind: KindTail, Design: "Duplexity", Workload: "RSC", Load: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := s.ServedKey(CellSpec{Kind: KindTail, Design: "Duplexity", Workload: "RSC", Load: 0.5, Lambda: spec.QPSAtLoad(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaulted.Digest() != explicit.Digest() {
+		t.Fatalf("defaulted lambda key %s != explicit %s", defaulted.Digest(), explicit.Digest())
+	}
+	if defaulted.Lambda == 0 {
+		t.Fatal("tail key left Lambda unset")
+	}
+	cli := s.tailKey(core.DesignDuplexity, spec, 0.5, spec.QPSAtLoad(0.5))
+	if cli.Digest() != defaulted.Digest() {
+		t.Fatalf("served tail key %s != CLI figure key %s", defaulted.Digest(), cli.Digest())
+	}
+}
+
+// Lambda is rejected on non-tail kinds and never perturbs legacy keys.
+func TestLambdaValidation(t *testing.T) {
+	bad := CellSpec{Kind: KindMatrix, Design: "Baseline", Workload: "RSC", Load: 0.5, Lambda: 100}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("matrix cell with lambda accepted")
+	}
+	ok := CellSpec{Kind: KindTail, Design: "Baseline", Workload: "RSC", Load: 0.5, Lambda: 100}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	neg := CellSpec{Kind: KindTail, Design: "Baseline", Workload: "RSC", Load: 0.5, Lambda: -1}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+// A tails campaign expands over the Figure 5 load grid with Lambda
+// left 0 (per-cell nominal-rate default).
+func TestTailsCampaignExpand(t *testing.T) {
+	cells, err := CampaignSpec{Kind: CampaignTails}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(core.AllDesigns) * 5 * len(Loads)
+	if len(cells) != want {
+		t.Fatalf("tails campaign expanded to %d cells, want %d", len(cells), want)
+	}
+	for _, c := range cells {
+		if c.Kind != KindTail || c.Lambda != 0 {
+			t.Fatalf("unexpected expanded cell %+v", c)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := (CampaignSpec{Kind: CampaignTails, Governors: []string{idle.GovDeep}}).Expand(); err == nil {
+		t.Fatal("tails campaign with governors accepted")
+	}
+}
+
+// The fleet shard digest of a two-phase cell is its first phase-1
+// digest — the design's own slowdown cell — so every load fanned out
+// from one micro-sim rendezvous-ranks to the same worker.
+func TestTwoPhaseShardDigestIsPhase1(t *testing.T) {
+	s := NewSuite(Options{Scale: 0.01, Seed: 1})
+	spec := workloadByName("RSC")
+	tp := s.tailTwoPhase(core.DesignDuplexity, spec, 0.5, spec.QPSAtLoad(0.5))
+	if len(tp.Micro) != 2 {
+		t.Fatalf("tail cell has %d micros, want 2", len(tp.Micro))
+	}
+	wantShard := s.cellKey(KindSlowdown, core.DesignDuplexity, spec, 0, "").Digest()
+	if got := tp.Micro[0].Key.Digest(); got != wantShard {
+		t.Fatalf("first micro digest %s, want the design's slowdown cell %s", got, wantShard)
+	}
+}

@@ -256,7 +256,7 @@ func (c *Coordinator) queuez(ctx context.Context, w *worker) (serve.Queuez, erro
 // dispatch's remote spans, with the worker's shipped spans adopted as
 // children.
 func (c *Coordinator) Exec(k campaign.Key, tr *telemetry.CellTrace) (campaign.Entry, bool, error) {
-	return c.execDeadline(k, tr, time.Time{})
+	return c.execDeadline(k, "", tr, time.Time{})
 }
 
 // ExecDeadline is the campaign.DeadlineRemote seam: identical routing
@@ -268,11 +268,30 @@ func (c *Coordinator) ExecDeadline(k campaign.Key, tr *telemetry.CellTrace, dead
 	if !deadline.IsZero() {
 		c.deadlineCells.Add(1)
 	}
-	return c.execDeadline(k, tr, deadline)
+	return c.execDeadline(k, "", tr, deadline)
 }
 
-func (c *Coordinator) execDeadline(k campaign.Key, tr *telemetry.CellTrace, deadline time.Time) (campaign.Entry, bool, error) {
+// ExecSharded is the campaign.ShardedRemote seam: identical result
+// semantics to ExecDeadline, but workers are rendezvous-ranked on
+// shardDigest — a two-phase cell's first phase-1 micro-sim digest —
+// instead of the cell's own digest. Every cell sharing a micro-sim
+// family therefore lands on the same worker, whose in-process phase-1
+// memo turns the family's remaining micro resolutions into hits;
+// ranking on cell digests would scatter the family and re-simulate the
+// micro-sims once per worker. L1, singleflight, and the digest
+// verification all still use the cell's own content address.
+func (c *Coordinator) ExecSharded(k campaign.Key, shardDigest string, tr *telemetry.CellTrace, deadline time.Time) (campaign.Entry, bool, error) {
+	if !deadline.IsZero() {
+		c.deadlineCells.Add(1)
+	}
+	return c.execDeadline(k, shardDigest, tr, deadline)
+}
+
+func (c *Coordinator) execDeadline(k campaign.Key, rankDigest string, tr *telemetry.CellTrace, deadline time.Time) (campaign.Entry, bool, error) {
 	digest := k.Digest()
+	if rankDigest == "" {
+		rankDigest = digest
+	}
 	probe := time.Now()
 	c.mu.Lock()
 	if ent, ok := c.l1[digest]; ok {
@@ -298,7 +317,7 @@ func (c *Coordinator) execDeadline(k campaign.Key, tr *telemetry.CellTrace, dead
 	c.flights[digest] = f
 	c.mu.Unlock()
 
-	ent, cached, err := c.dispatch(k, digest, tr, deadline)
+	ent, cached, err := c.dispatch(k, digest, rankDigest, tr, deadline)
 
 	c.mu.Lock()
 	delete(c.flights, digest)
@@ -315,7 +334,7 @@ func (c *Coordinator) execDeadline(k campaign.Key, tr *telemetry.CellTrace, dead
 // worker, attempt (with hedging), reshard to the next worker on
 // failure. Validation failures and digest mismatches are fatal; 429s
 // and connection errors reshard.
-func (c *Coordinator) dispatch(k campaign.Key, digest string, tr *telemetry.CellTrace, deadline time.Time) (campaign.Entry, bool, error) {
+func (c *Coordinator) dispatch(k campaign.Key, digest, rankDigest string, tr *telemetry.CellTrace, deadline time.Time) (campaign.Entry, bool, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.CellTimeout)
 	defer cancel()
 	var lastErr error
@@ -323,14 +342,14 @@ func (c *Coordinator) dispatch(k campaign.Key, digest string, tr *telemetry.Cell
 		if attempt > 0 {
 			c.retries.Add(1)
 		}
-		w, err := c.acquireWait(ctx, digest)
+		w, err := c.acquireWait(ctx, rankDigest)
 		if err != nil {
 			if lastErr != nil {
 				return campaign.Entry{}, false, fmt.Errorf("fleet: cell %s: %w (last worker error: %v)", digest[:12], err, lastErr)
 			}
 			return campaign.Entry{}, false, fmt.Errorf("fleet: cell %s: %w", digest[:12], err)
 		}
-		out := c.attemptHedged(ctx, w, k, digest, tr, deadline)
+		out := c.attemptHedged(ctx, w, k, digest, rankDigest, tr, deadline)
 		if out.err == nil {
 			return out.ent, out.cached, nil
 		}
@@ -404,7 +423,7 @@ func (out attemptOutcome) record(tr *telemetry.CellTrace, winner bool) {
 // hedge threshold, also on the next-ranked available worker. The first
 // success wins and cancels the other request; the worker's coalescing
 // layer cancels the losing cell if it is still queued there.
-func (c *Coordinator) attemptHedged(ctx context.Context, primary *worker, k campaign.Key, digest string, tr *telemetry.CellTrace, deadline time.Time) attemptOutcome {
+func (c *Coordinator) attemptHedged(ctx context.Context, primary *worker, k campaign.Key, digest, rankDigest string, tr *telemetry.CellTrace, deadline time.Time) attemptOutcome {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan attemptOutcome, 2)
@@ -444,7 +463,7 @@ func (c *Coordinator) attemptHedged(ctx context.Context, primary *worker, k camp
 			return out
 		case <-hedgeT.C:
 			if inFlight == 1 {
-				if h := c.acquire(digest, primary); h != nil {
+				if h := c.acquire(rankDigest, primary); h != nil {
 					c.hedges.Add(1)
 					if !deadline.IsZero() {
 						c.deadlineHedges.Add(1)
@@ -521,6 +540,7 @@ func (c *Coordinator) attempt(ctx context.Context, w *worker, k campaign.Key, di
 	start := time.Now()
 	body, err := json.Marshal(serve.CellRequest{CellSpec: expt.CellSpec{
 		Kind: k.Kind, Design: k.Design, Workload: k.Workload, Load: k.Load,
+		Governor: k.Governor, Lambda: k.Lambda,
 	}})
 	if err != nil {
 		out.err, out.fatal = err, true

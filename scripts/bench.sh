@@ -13,6 +13,16 @@
 # stdout tables from all three runs are byte-identical (modulo the
 # per-experiment "took" timing lines).
 #
+# The campaign section then runs the two-phase A/B: the cold 105-cell
+# tails campaign (the Figure 5(d) queueing stage as content-addressed
+# cells) once with -single-phase (monolithic cells, each re-measuring
+# its own service slowdowns inline) and once with the two-layer cache
+# split (one micro-sim per design × workload, shared across the load
+# grid). The "cold_two_phase" stanza records micro-sims computed vs
+# cells completed and the speedup over single-phase; the section fails
+# unless the tables are byte-identical, exactly 35 micro-sims were
+# simulated, and the split is >=2x faster.
+#
 # It then runs the energyprop sweep once and writes BENCH_energy.json:
 # sweep throughput plus the RSC deep-idle vs Duplexity-fill envelope
 # (idle power, µJ/request, p99, tail penalty) at low/mid/high load.
@@ -134,6 +144,51 @@ run sequential 1          "$tmp/cache-seq"
 run parallel   "$WORKERS" "$tmp/cache-par"
 run warm       "$WORKERS" "$tmp/cache-par"
 
+# run_tails <name> <cachedir> [flags...]: executes the tails campaign,
+# recording the same wall/cells files as run() plus the phase-1
+# micro-sim simulation count (the M of the "phase1=H/M" summary field).
+run_tails() {
+    local name="$1" cdir="$2"; shift 2
+    echo "== $name: tails $* =="
+    local t0 t1
+    t0="$(date +%s.%N)"
+    "$tmp/duplexity" -scale "$SCALE" -seed 1 -workers "$WORKERS" -cachedir "$cdir" \
+        "$@" tails >"$tmp/$name.out" 2>"$tmp/$name.err"
+    t1="$(date +%s.%N)"
+    awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", b-a}' >"$tmp/$name.wall"
+    local line
+    line="$(grep '^campaign:' "$tmp/$name.err" | tail -1)"
+    echo "$line"
+    echo "$line" | sed 's/.*cells=\([0-9]*\).*/\1/' >"$tmp/$name.cells"
+    echo "$line" | sed 's/.* phase1=[0-9]*\/\([0-9]*\).*/\1/' >"$tmp/$name.micros"
+    grep -v " took " "$tmp/$name.out" >"$tmp/$name.tables"
+}
+
+# The two-phase A/B. Both runs are cold; the only variable is the cache
+# split, so the wall-time gap is exactly the redundant micro-sim compute
+# the split eliminates (180 inline slowdown measurements collapse to 35
+# shared ones — one per design × workload, baselines needing none of
+# their own but every non-baseline family pulling the baseline in).
+run_tails single_phase_cold "$tmp/cache-sp" -single-phase
+run_tails two_phase_cold    "$tmp/cache-tp"
+
+echo "== two-phase check =="
+cmp "$tmp/single_phase_cold.tables" "$tmp/two_phase_cold.tables" \
+    || { echo "FAIL: two-phase tails tables differ from single-phase"; exit 1; }
+TP_MICROS="$(cat "$tmp/two_phase_cold.micros")"
+TP_CELLS="$(cat "$tmp/two_phase_cold.cells")"
+if [[ "$TP_MICROS" != "35" ]]; then
+    echo "FAIL: cold two-phase tails simulated $TP_MICROS micro-sims, want 35 (one per design x workload)"
+    exit 1
+fi
+TP_SPEEDUP="$(awk -v s="$(cat "$tmp/single_phase_cold.wall")" \
+                  -v t="$(cat "$tmp/two_phase_cold.wall")" 'BEGIN{printf "%.2f", s/t}')"
+if awk -v x="$TP_SPEEDUP" 'BEGIN{exit !(x < 2.0)}'; then
+    echo "FAIL: two-phase cold speedup ${TP_SPEEDUP}x < 2x over single-phase"
+    exit 1
+fi
+echo "tables byte-identical; $TP_MICROS micro-sims for $TP_CELLS cells; ${TP_SPEEDUP}x vs single-phase"
+
 echo "== determinism check =="
 cmp "$tmp/sequential.tables" "$tmp/parallel.tables" \
     || { echo "FAIL: -workers $WORKERS tables differ from -workers 1"; exit 1; }
@@ -149,7 +204,11 @@ awk -v scale="$SCALE" -v workers="$WORKERS" -v envjson="$ENV_JSON" \
     -v sw="$(cat "$tmp/sequential.wall")" -v sc="$(cat "$tmp/sequential.cells")" \
     -v pw="$(cat "$tmp/parallel.wall")"   -v pc="$(cat "$tmp/parallel.cells")" \
     -v ww="$(cat "$tmp/warm.wall")"       -v wh="$(cat "$tmp/warm.hits")" \
-    -v wc="$(cat "$tmp/warm.cells")" 'BEGIN {
+    -v wc="$(cat "$tmp/warm.cells")" \
+    -v spw="$(cat "$tmp/single_phase_cold.wall")" \
+    -v tpw="$(cat "$tmp/two_phase_cold.wall")" \
+    -v tpc="$(cat "$tmp/two_phase_cold.cells")" \
+    -v tpm="$(cat "$tmp/two_phase_cold.micros")" 'BEGIN {
     printf "{\n"
     printf "  \"bench\": \"campaign-fig5-matrix\",\n"
     printf "  \"scale\": %s,\n", scale
@@ -157,7 +216,8 @@ awk -v scale="$SCALE" -v workers="$WORKERS" -v envjson="$ENV_JSON" \
     printf "  \"experiments\": [\"fig5a\", \"fig5b\", \"fig5c\", \"fig5f\", \"fig6\"],\n"
     printf "  \"sequential\": {\"workers\": 1, \"wall_seconds\": %s, \"cells\": %d, \"cells_per_sec\": %.3f},\n", sw, sc, sc/sw
     printf "  \"parallel\": {\"workers\": %d, \"wall_seconds\": %s, \"cells\": %d, \"cells_per_sec\": %.3f, \"speedup_vs_sequential\": %.2f},\n", workers, pw, pc, pc/pw, sw/pw
-    printf "  \"warm_cache\": {\"workers\": %d, \"wall_seconds\": %s, \"cells\": %d, \"hits\": %d, \"hit_rate\": %.3f, \"speedup_vs_sequential\": %.2f}\n", workers, ww, wc, wh, wh/wc, sw/ww
+    printf "  \"warm_cache\": {\"workers\": %d, \"wall_seconds\": %s, \"cells\": %d, \"hits\": %d, \"hit_rate\": %.3f, \"speedup_vs_sequential\": %.2f},\n", workers, ww, wc, wh, wh/wc, sw/ww
+    printf "  \"cold_two_phase\": {\"experiment\": \"tails\", \"workers\": %d, \"cells\": %d, \"micro_sims_computed\": %d, \"wall_seconds\": %s, \"single_phase_wall_seconds\": %s, \"speedup_vs_single_phase\": %.2f}\n", workers, tpc, tpm, tpw, spw, spw/tpw
     printf "}\n"
 }' >"$OUT"
 

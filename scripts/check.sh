@@ -5,7 +5,8 @@
 #   2. go build ./...
 #   3. go test -race on the telemetry, core, campaign, expt, serve,
 #      and fleet packages plus the root e2e tests
-#   4. a telemetry-overhead guard benchmark
+#   4. the energyprop and twophase end-to-end smoke scripts
+#   5. a telemetry-overhead guard benchmark
 #
 # The guard compares BenchmarkDyadCycleRate (nil sink: every instrumented
 # site takes its one-nil-check fast path) against BenchmarkDyadTelemetry
@@ -41,6 +42,15 @@ go test -race -run 'TestEventEquivalenceQuick' -timeout 15m ./internal/core
 # suites run real cycle-level cells concurrently (full-matrix tests
 # self-skip under race via the raceEnabled build-tag guard).
 go test -race -timeout 15m ./internal/campaign ./internal/expt
+# The two-layer cache split's correctness spine: the golden digest pins
+# for both key layers, the byte-identity of two-phase cells against
+# their monolithic equivalents, and the micro-sim singleflight under
+# contention. Named explicitly so a -run or -short tweak above can
+# never silently drop the warm-cache compatibility guarantee from the
+# raced gate.
+go test -race -timeout 15m \
+    -run 'TestLegacyDigestPinned|TestLambdaZeroKeepsLegacyDigest|TestTwoPhaseDigestsPinned|TestTwoPhaseByteIdentity|TestTwoPhaseMicroComputedOnce|TestTwoPhaseWarmAndGridChange|TestTwoPhaseSingleflight' \
+    ./internal/campaign ./internal/expt
 # The serving layer is the most concurrency-dense package in the repo
 # (admission, coalescing, drain, panic isolation all cross goroutines);
 # its whole suite, including the real-simulator e2e tests, runs raced.
@@ -75,6 +85,17 @@ if [[ "${CHECK_SKIP_SMOKE:-0}" == "1" ]]; then
     echo "skipped (CHECK_SKIP_SMOKE=1)"
 else
     ./scripts/energyprop_smoke.sh
+fi
+
+echo "== twophase smoke =="
+# End-to-end through duplexityd: a cold tails campaign computes one
+# micro-sim per design × workload, a load-grid change re-simulates
+# zero micro-sims, and overlapping cells are byte-identical across
+# independent caches. Shares the CHECK_SKIP_SMOKE gate.
+if [[ "${CHECK_SKIP_SMOKE:-0}" == "1" ]]; then
+    echo "skipped (CHECK_SKIP_SMOKE=1)"
+else
+    ./scripts/twophase_smoke.sh
 fi
 
 if [[ "${CHECK_SKIP_BENCH:-0}" == "1" ]]; then

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# twophase_smoke.sh — end-to-end gate for the two-layer (micro-sim +
+# queueing) campaign cache split, driven through duplexityd over a real
+# socket:
+#
+#   1. boot duplexityd with a fresh cache dir, poll /v1/healthz
+#   2. submit the tails campaign (the Figure 5(d) queueing stage as
+#      content-addressed cells) cold over loads {0.3, 0.5} and assert
+#      /v1/metricsz reports exactly one micro-sim simulated per
+#      design × workload (35), not one per cell (70)
+#   3. re-submit with only the load grid changed ({0.5, 0.7}) and
+#      assert zero micro-sim re-simulations: the 35 overlapping cells
+#      answer from the phase-2 (queueing) layer, the 35 new ones
+#      re-derive from cached phase-1 results
+#   4. run the overlapping load alone on a second daemon over a second
+#      fresh cache dir and assert every cache entry it wrote — phase-1
+#      micro-sims and phase-2 cells alike — exists in the first cache
+#      under the same digest with an identical result payload
+#
+# Tunables: SMOKE_SCALE (default 0.02), SMOKE_SEED (default 1),
+# SMOKE_TP_ADDR (default 127.0.0.1:8127).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${SMOKE_SCALE:-0.02}"
+SEED="${SMOKE_SEED:-1}"
+ADDR="${SMOKE_TP_ADDR:-127.0.0.1:8127}"
+
+tmp="$(mktemp -d)"
+cleanup() {
+    [[ -n "${daemon_pid:-}" ]] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$tmp/duplexityd" ./cmd/duplexityd
+
+# boot <cachedir>: starts duplexityd and waits for /v1/healthz.
+boot() {
+    "$tmp/duplexityd" serve -addr "$ADDR" -scale "$SCALE" -seed "$SEED" \
+        -cachedir "$1" 2>"$tmp/daemon.log" &
+    daemon_pid=$!
+    for i in $(seq 1 100); do
+        if curl -fsS "http://$ADDR/v1/healthz" >/dev/null 2>&1; then break; fi
+        if ! kill -0 "$daemon_pid" 2>/dev/null; then
+            echo "FAIL: daemon died during boot"; cat "$tmp/daemon.log"; exit 1
+        fi
+        sleep 0.1
+    done
+    curl -fsS "http://$ADDR/v1/healthz" | grep -q '"ok"' \
+        || { echo "FAIL: daemon never became healthy"; cat "$tmp/daemon.log"; exit 1; }
+}
+
+stop() {
+    kill -TERM "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    daemon_pid=""
+}
+
+# metric <name>: scrapes one counter value from /v1/metricsz.
+metric() {
+    curl -fsS "http://$ADDR/v1/metricsz" \
+        | awk -v m="$1" '$1 == m { print $2; found = 1 } END { if (!found) print 0 }'
+}
+
+submit_tails() { # submit_tails <name> <loads>
+    "$tmp/duplexityd" submit -addr "$ADDR" -campaign -kind tails \
+        -loads "$2" >"$tmp/$1.ndjson"
+    tail -1 "$tmp/$1.ndjson" | grep -q '"state":"done"' \
+        || { echo "FAIL: $1 campaign never finished"; tail -3 "$tmp/$1.ndjson"; exit 1; }
+}
+
+echo "== boot (cache A) =="
+boot "$tmp/cache-a"
+echo "daemon healthy on $ADDR"
+
+echo "== cold tails campaign, loads 0.3,0.5 =="
+submit_tails cold "0.3,0.5"
+micro1="$(metric duplexity_campaign_cells_microsim_misses)"
+queue_miss1="$(metric duplexity_campaign_cells_queueing_misses)"
+if [[ "$micro1" != "35" ]]; then
+    echo "FAIL: cold campaign simulated $micro1 micro-sims, want 35 (one per design x workload)"
+    exit 1
+fi
+if [[ "$queue_miss1" != "70" ]]; then
+    echo "FAIL: cold campaign resolved $queue_miss1 queueing cells, want 70"
+    exit 1
+fi
+echo "cold: 70 cells from 35 micro-sims"
+
+echo "== load-grid change, loads 0.5,0.7 =="
+queue_hit1="$(metric duplexity_campaign_cells_queueing_hits)"
+submit_tails regrid "0.5,0.7"
+micro2="$(metric duplexity_campaign_cells_microsim_misses)"
+queue_hit2="$(metric duplexity_campaign_cells_queueing_hits)"
+if [[ "$micro2" != "$micro1" ]]; then
+    echo "FAIL: load-grid change re-simulated $((micro2 - micro1)) micro-sims, want 0"
+    exit 1
+fi
+if [[ "$((queue_hit2 - queue_hit1))" != "35" ]]; then
+    echo "FAIL: overlapping load answered $((queue_hit2 - queue_hit1)) cells from the queueing layer, want 35"
+    exit 1
+fi
+echo "grid change: 0 micro-sims re-simulated, 35 overlapping cells served from the queueing layer"
+stop
+
+echo "== byte-identity of overlapping cells (fresh cache B) =="
+boot "$tmp/cache-b"
+submit_tails overlap "0.5"
+stop
+
+# Every entry the fresh run wrote — 35 phase-1 micro-sims plus 35
+# phase-2 cells — must exist in cache A under the same content address
+# with an identical result payload (wall time is the only legal
+# difference between the two runs).
+python3 - "$tmp/cache-b" "$tmp/cache-a" <<'PYEOF'
+import json, os, sys
+fresh, orig = sys.argv[1], sys.argv[2]
+entries = [f for f in os.listdir(fresh) if f.endswith(".json") and len(f) == 69]
+assert len(entries) == 70, f"fresh cache holds {len(entries)} entries, want 70 (35 micro + 35 cells)"
+for name in entries:
+    other = os.path.join(orig, name)
+    assert os.path.exists(other), f"digest {name} missing from the original cache"
+    a = json.load(open(os.path.join(fresh, name)))
+    b = json.load(open(other))
+    assert a["key"] == b["key"], f"{name}: keys diverge"
+    assert a["result"] == b["result"], f"{name}: result payloads diverge"
+print(f"byte-identity OK: {len(entries)} overlapping entries match across independent runs")
+PYEOF
+
+echo "twophase smoke passed"
